@@ -1,0 +1,44 @@
+// Command edit opens an interactive scheduling session on a problem
+// specification: the terminal version of the paper's power-aware Gantt
+// chart tool. Drag bins with move/drag, pin them with lock, let the
+// automated pipeline rearrange the rest with reschedule, and undo
+// freely. Type help for the command list.
+//
+//	edit testdata/example9.spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/repl"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "random seed for the heuristics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: edit [flags] <spec-file>")
+		os.Exit(2)
+	}
+	prob, err := impacct.ParseSpecFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	session, err := impacct.NewSession(prob, impacct.Options{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("editing %s (%d tasks); type help for commands\n", prob.Name, len(prob.Tasks))
+	r := &repl.REPL{S: session, In: os.Stdin, Out: os.Stdout, Prompt: "impacct> "}
+	if err := r.Run(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edit:", err)
+	os.Exit(1)
+}

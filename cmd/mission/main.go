@@ -1,0 +1,85 @@
+// Command mission regenerates Table 4 of the paper: the 48-step travel
+// scenario under falling solar power (14.9 W for 10 min, 12 W for
+// 10 min, then 9 W), comparing the fixed JPL schedule against the
+// power-aware schedules. The power-aware rover front-loads its work
+// into the cheap phases and wins on both time and energy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mission"
+	"repro/internal/power"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		stepsFlag  = flag.Int("steps", 48, "travel distance in 7 cm steps")
+		seed       = flag.Int64("seed", 0, "random seed for the heuristics")
+		preheatAll = flag.Bool("preheat-all", false, "extension: pre-heat unrolling in every case, not only the best case")
+		capacity   = flag.Float64("battery", 0, "battery capacity in joules (0 = untracked)")
+		scenario   = flag.String("scenario", "", "load the mission from a scenario file instead of the built-in Table 4 staircase")
+	)
+	flag.Parse()
+
+	phases := mission.PaperScenario()
+	steps := *stepsFlag
+	bat := battery(*capacity)
+	batPA := battery(*capacity)
+	if *scenario != "" {
+		sc, err := mission.ParseScenarioFile(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		phases = sc.Phases
+		steps = sc.TargetSteps
+		if sc.Battery != nil {
+			bat = &power.Battery{Capacity: sc.Battery.Capacity, MaxPower: sc.Battery.MaxPower}
+			batPA = &power.Battery{Capacity: sc.Battery.Capacity, MaxPower: sc.Battery.MaxPower}
+		}
+	}
+	opts := sched.Options{Seed: *seed}
+
+	jpl, err := mission.Simulate(mission.Config{
+		TargetSteps: steps,
+		Phases:      phases,
+		Policy:      &mission.JPLPolicy{},
+		Battery:     bat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	pa := &mission.PowerAwarePolicy{Opts: opts}
+	if *preheatAll {
+		pa.Preheat = map[rover.Case]bool{rover.Best: true, rover.Typical: true, rover.Worst: true}
+	}
+	paRep, err := mission.Simulate(mission.Config{
+		TargetSteps: steps,
+		Phases:      phases,
+		Policy:      pa,
+		Battery:     batPA,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Table 4: mission scenario, %d steps\n", steps)
+	fmt.Print(mission.FormatTable(jpl, paRep))
+}
+
+func battery(capacity float64) *power.Battery {
+	if capacity == 0 {
+		return nil
+	}
+	return &power.Battery{Capacity: capacity, MaxPower: 10}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mission:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command report runs every reproduced experiment and emits a markdown
+// report of paper-vs-measured values — the generator behind
+// EXPERIMENTS.md's measured columns.
+//
+//	report > measured.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mission"
+	"repro/internal/paperex"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "random seed for the heuristics")
+	flag.Parse()
+	opts := sched.Options{Seed: *seed}
+
+	fmt.Println("# Measured results")
+	fmt.Println()
+
+	table3(opts)
+	table4(opts)
+	figures(opts)
+}
+
+func must(r *sched.Result, err error) *sched.Result {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	return r
+}
+
+func table3(opts sched.Options) {
+	fmt.Println("## Table 3 — one iteration per case")
+	fmt.Println()
+	fmt.Println("| case | policy | cost (J) | utilization | tau (s) |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, c := range rover.Cases {
+		pJ, sJ := rover.JPL(c)
+		mJ := rover.Measure(pJ, sJ)
+		fmt.Printf("| %s | JPL | %.1f | %.1f%% | %d |\n", c, mJ.EnergyCost, 100*mJ.Utilization, mJ.Finish)
+
+		prob := rover.BuildIteration(c, rover.Cold)
+		r := must(sched.Run(prob, opts))
+		m := rover.Measure(prob, r.Schedule)
+		fmt.Printf("| %s | power-aware | %.1f | %.1f%% | %d |\n", c, m.EnergyCost, 100*m.Utilization, m.Finish)
+	}
+	first := must(sched.Run(rover.BuildIteration(rover.Best, rover.ColdPreheat), opts))
+	warm := must(sched.Run(rover.BuildIteration(rover.Best, rover.Warm), opts))
+	fmt.Printf("| best | power-aware 1st/2nd | %.1f / %.1f | — | %d / %d |\n",
+		first.EnergyCost(), warm.EnergyCost(), first.Finish(), warm.Finish())
+	fmt.Println()
+}
+
+func table4(opts sched.Options) {
+	fmt.Println("## Table 4 — 48-step mission")
+	fmt.Println()
+	jpl, err := mission.Simulate(mission.Config{
+		TargetSteps: 48, Phases: mission.PaperScenario(), Policy: &mission.JPLPolicy{},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	pa, err := mission.Simulate(mission.Config{
+		TargetSteps: 48, Phases: mission.PaperScenario(),
+		Policy: &mission.PowerAwarePolicy{Opts: opts},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Println("```")
+	fmt.Print(mission.FormatTable(jpl, pa))
+	fmt.Println("```")
+	fmt.Println()
+}
+
+func figures(opts sched.Options) {
+	fmt.Println("## Figures")
+	fmt.Println()
+	fmt.Println("| figure | measured |")
+	fmt.Println("|---|---|")
+
+	p := paperex.Nine()
+	rt := must(sched.Timing(p, opts))
+	fmt.Printf("| Fig. 2 (time-valid) | tau=%d s, peak=%.1f W, %d spike(s) |\n",
+		rt.Finish(), rt.Peak(), len(rt.Profile.Spikes(p.Pmax)))
+	rm := must(sched.MaxPower(paperex.Nine(), opts))
+	fmt.Printf("| Fig. 5 (valid) | tau=%d s, cost=%.1f J, util=%.1f%% |\n",
+		rm.Finish(), rm.EnergyCost(), 100*rm.Utilization())
+	rf := must(sched.Run(paperex.Nine(), opts))
+	fmt.Printf("| Fig. 7 (improved) | tau=%d s, cost=%.1f J, util=%.1f%%, needs Pmax>=%.4g W |\n",
+		rf.Finish(), rf.EnergyCost(), 100*rf.Utilization(), rf.Peak())
+
+	for _, c := range rover.Cases {
+		r := must(sched.Run(rover.BuildIteration(c, rover.Cold), opts))
+		fig := map[rover.Case]string{rover.Best: "Fig. 9", rover.Typical: "Fig. 10", rover.Worst: "Fig. 11"}[c]
+		fmt.Printf("| %s (%s case) | tau=%d s, cost=%.1f J, util=%.1f%% |\n",
+			fig, c, r.Finish(), r.EnergyCost(), 100*r.Utilization())
+	}
+
+	un := must(sched.Run(rover.BuildUnrolled(rover.Best, 2, true), opts))
+	fmt.Printf("| Fig. 9 (two unrolled iterations) | tau=%d s, total cost=%.1f J |\n",
+		un.Finish(), un.EnergyCost())
+	fmt.Println()
+}

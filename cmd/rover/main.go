@@ -1,0 +1,73 @@
+// Command rover regenerates Table 3 of the paper: performance and
+// energy cost of the hand-crafted JPL schedule versus the power-aware
+// schedules for one Mars-rover iteration (two steps) in the best,
+// typical, and worst environmental cases. With -gantt it also renders
+// the power-aware schedules (the power views of Figs. 9-11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gantt"
+	"repro/internal/model"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		showGantt = flag.Bool("gantt", false, "render the power-aware schedule of each case")
+		preheat   = flag.Bool("preheat", true, "include the best-case pre-heat iterations (Table 3's 1st/2nd rows)")
+		seed      = flag.Int64("seed", 0, "random seed for the heuristics")
+	)
+	flag.Parse()
+	opts := sched.Options{Seed: *seed}
+
+	fmt.Println("Table 3: performance and energy cost of the schedules")
+	fmt.Printf("%-8s | %26s | %26s\n", "", "JPL", "Power-aware")
+	fmt.Printf("%-8s | %10s %7s %6s | %10s %7s %6s\n",
+		"Pmin (W)", "cost (J)", "util", "tau(s)", "cost (J)", "util", "tau(s)")
+
+	for _, c := range rover.Cases {
+		pJPL, sJPL := rover.JPL(c)
+		mJPL := rover.Measure(pJPL, sJPL)
+
+		prob := rover.BuildIteration(c, rover.Cold)
+		costLabel := ""
+		var m rover.Metrics
+		if c == rover.Best && *preheat {
+			first := mustRun(rover.BuildIteration(c, rover.ColdPreheat), opts)
+			second := mustRun(rover.BuildIteration(c, rover.Warm), opts)
+			m = rover.Measure(first.Compiled.Prob, first.Schedule)
+			costLabel = fmt.Sprintf("%.1f(1st) %.1f(2nd)", first.EnergyCost(), second.EnergyCost())
+		} else {
+			r := mustRun(prob, opts)
+			m = rover.Measure(prob, r.Schedule)
+			costLabel = fmt.Sprintf("%.1f", m.EnergyCost)
+		}
+		fmt.Printf("%-8.4g | %10.1f %6.0f%% %6d | %10s %6.0f%% %6d\n",
+			rover.Table2(c).Solar,
+			mJPL.EnergyCost, 100*mJPL.Utilization, mJPL.Finish,
+			costLabel, 100*m.Utilization, m.Finish)
+	}
+
+	if *showGantt {
+		for _, c := range rover.Cases {
+			prob := rover.BuildIteration(c, rover.Cold)
+			r := mustRun(prob, opts)
+			fmt.Println()
+			fmt.Print(gantt.New(prob, r.Schedule).ASCII(1))
+		}
+	}
+}
+
+func mustRun(p *model.Problem, opts sched.Options) *sched.Result {
+	r, err := sched.Run(p, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rover:", err)
+		os.Exit(1)
+	}
+	return r
+}

@@ -1,0 +1,52 @@
+// Command serve hosts the schedule visualization server: the paper's
+// built-in problems (the nine-task example and the Mars rover cases)
+// plus any spec files given on the command line, browsable as
+// power-aware Gantt charts.
+//
+//	serve -addr :8080 [spec files...]
+//
+// Then open http://localhost:8080/ — each problem links to SVG, ASCII,
+// and DOT renderings; stage= and format= query parameters select
+// pipeline stages. POST a spec document to /problems to register more.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro"
+	"repro/internal/paperex"
+	"repro/internal/rover"
+	"repro/internal/sched"
+	"repro/internal/web"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		seed = flag.Int64("seed", 0, "random seed for the heuristics")
+	)
+	flag.Parse()
+
+	srv := web.NewServer(sched.Options{Seed: *seed})
+	srv.Add(paperex.Nine())
+	for _, c := range rover.Cases {
+		srv.Add(rover.BuildIteration(c, rover.Cold))
+	}
+	for _, path := range flag.Args() {
+		p, err := impacct.ParseSpecFile(path)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		srv.Add(p)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("POST /verify", srv.VerifyHandlerFunc)
+
+	fmt.Printf("serving %d problems on %s\n", len(srv.Names()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,86 @@
+// Command sweep explores the power/performance design space of a
+// problem: it schedules the problem under a range of max-power budgets,
+// prints every design point, and marks the Pareto front of the
+// finish-time versus energy-cost trade-off. This is the exploration
+// loop the IMPACCT framework was built to enable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		budgets = flag.String("pmax", "", "comma-separated max-power budgets to sweep (default: 10 points around the spec's Pmax)")
+		seed    = flag.Int64("seed", 0, "random seed for the heuristics")
+		pareto  = flag.Bool("pareto", true, "also print the time/energy Pareto front")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sweep [flags] <spec-file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	prob, err := impacct.ParseSpecFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var list []float64
+	if *budgets != "" {
+		for _, f := range strings.Split(*budgets, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -pmax entry %q: %v", f, err))
+			}
+			list = append(list, v)
+		}
+	} else {
+		list = defaultBudgets(prob)
+	}
+
+	pts := impacct.SweepPmax(prob, list, impacct.Options{Seed: *seed})
+	fmt.Printf("design points for %s:\n", prob.Name)
+	fmt.Print(analysis.FormatPoints(pts))
+
+	if *pareto {
+		fmt.Println("\npareto front (finish time vs energy cost):")
+		fmt.Print(analysis.FormatPoints(impacct.Pareto(pts)))
+	}
+}
+
+// defaultBudgets spreads ten budgets from "one heavy task" up to 150 %
+// of the spec's Pmax (or of the total parallel power when unset).
+func defaultBudgets(p *impacct.Problem) []float64 {
+	top := p.Pmax
+	if top == 0 {
+		for _, t := range p.Tasks {
+			top += t.Power
+		}
+		top += p.BasePower
+	}
+	lo := 0.0
+	for _, t := range p.Tasks {
+		if t.Power+p.BasePower > lo {
+			lo = t.Power + p.BasePower
+		}
+	}
+	hi := top * 1.5
+	var out []float64
+	for i := 0; i < 10; i++ {
+		out = append(out, lo+(hi-lo)*float64(i)/9)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package impacct_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the complete pipeline on a two-task problem
+// whose power budget forces serialization.
+func Example() {
+	p := &impacct.Problem{
+		Name: "two-radios",
+		Tasks: []impacct.Task{
+			{Name: "tx1", Resource: "radio1", Delay: 4, Power: 5},
+			{Name: "tx2", Resource: "radio2", Delay: 4, Power: 5},
+		},
+		Pmax: 8, // both at once would draw 10 W
+	}
+	res, err := impacct.Run(p, impacct.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("finish: %d s\n", res.Finish())
+	fmt.Printf("peak: %.0f W\n", res.Peak())
+	// Output:
+	// finish: 8 s
+	// peak: 5 W
+}
+
+// ExampleProblem_Window shows the min/max separation constraint that
+// subsumes deadlines and precedences: heating must complete 5..50 s
+// before the motors run (the Mars rover's Table 1 constraint).
+func ExampleProblem_Window() {
+	p := &impacct.Problem{Name: "heater"}
+	p.AddTask(impacct.Task{Name: "heat", Resource: "H1", Delay: 5, Power: 7.6})
+	p.AddTask(impacct.Task{Name: "steer", Resource: "motors", Delay: 5, Power: 4.3})
+	p.Window("heat", "steer", 5, 50)
+
+	res, err := impacct.Run(p, impacct.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sep := res.Schedule.Start[1] - res.Schedule.Start[0]
+	fmt.Printf("steering starts %d s after heating\n", sep)
+	// Output:
+	// steering starts 5 s after heating
+}
+
+// ExampleParseSpecString parses the textual problem format.
+func ExampleParseSpecString() {
+	spec := `
+problem demo
+pmax 10
+task a cpu 2 4
+task b cpu 3 4
+precede a b
+`
+	p, err := impacct.ParseSpecString(spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(p.Name, len(p.Tasks), "tasks")
+	// Output:
+	// demo 2 tasks
+}
+
+// ExampleVerify shows the independent acceptance check.
+func ExampleVerify() {
+	p := &impacct.Problem{
+		Name:  "check",
+		Tasks: []impacct.Task{{Name: "t", Resource: "R", Delay: 3, Power: 2}},
+		Pmax:  10,
+	}
+	good := impacct.Schedule{Start: []impacct.Time{0}}
+	fmt.Println("valid:", impacct.Verify(p, good).OK())
+	bad := impacct.Schedule{Start: []impacct.Time{-2}}
+	fmt.Println("valid:", impacct.Verify(p, bad).OK())
+	// Output:
+	// valid: true
+	// valid: false
+}
+
+// ExampleResult_EnergyCost shows the free-vs-costly energy split: with
+// Pmin at the free solar level, only consumption above it costs
+// battery energy.
+func ExampleResult_EnergyCost() {
+	p := &impacct.Problem{
+		Name:  "solar",
+		Tasks: []impacct.Task{{Name: "work", Resource: "R", Delay: 10, Power: 8}},
+		Pmax:  20,
+		Pmin:  5, // 5 W of free solar power
+	}
+	res, err := impacct.Run(p, impacct.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("total: %.0f J, from battery: %.0f J\n",
+		res.Profile.Energy(), res.EnergyCost())
+	// Output:
+	// total: 80 J, from battery: 30 J
+}

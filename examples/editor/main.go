@@ -1,0 +1,66 @@
+// Interactive schedule editing: the paper's power-aware Gantt chart is
+// also "the underlying model for a power-aware design tool... designers
+// can manually intervene with the automated scheduling process by
+// dragging and locking the bins... while observing the results in the
+// power view interactively." This example scripts such a session on the
+// nine-task example: inspect the automated schedule, drag a task, lock
+// it, let the scheduler rearrange everything else around the lock, and
+// undo the whole excursion.
+//
+//	go run ./examples/editor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/paperex"
+)
+
+func main() {
+	s, err := impacct.NewSession(paperex.Nine(), impacct.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(label string) {
+		m := s.Metrics()
+		fmt.Printf("%-28s tau=%2d s  cost=%5.1f J  util=%5.1f%%  gaps=%v\n",
+			label, m.Finish, m.EnergyCost, 100*m.Utilization, s.Gaps())
+	}
+	show("automated schedule:")
+
+	// The designer drags task h somewhere else. Illegal drops are
+	// rejected with an explanation and leave the schedule untouched.
+	if err := s.Move("h", -3); err != nil {
+		fmt.Println("rejected:", err)
+	}
+	hStart, _ := s.StartOf("h")
+	target := hStart
+	for delta := impacct.Time(1); delta <= 4; delta++ {
+		if err := s.Move("h", hStart+delta); err == nil {
+			target = hStart + delta
+			break
+		}
+	}
+	if target != hStart {
+		show(fmt.Sprintf("after dragging h to %d:", target))
+	}
+
+	// Lock h where it is and let the automated pipeline redo the rest.
+	if err := s.Lock("h"); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Reschedule(); err != nil {
+		log.Fatal(err)
+	}
+	show("rescheduled around lock:")
+
+	// Change of mind: undo everything back to the automated schedule.
+	for s.Undo() {
+	}
+	show("after undoing everything:")
+
+	fmt.Println()
+	fmt.Print(s.Chart().ASCII(1))
+}

@@ -1,0 +1,67 @@
+// The Mars rover case study (paper sections 3 and 6): schedule one
+// two-step iteration of the rover's hazard-detect / steer / drive loop
+// with motor heating, in each of the three environmental cases, and
+// compare against the hand-crafted JPL baseline. Also writes the
+// best-case schedule as rover-best.svg.
+//
+//	go run ./examples/rover
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/gantt"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func main() {
+	fmt.Println("Mars rover, one iteration (two 7 cm steps) per case")
+	fmt.Println()
+
+	var library impacct.Selector
+	for _, c := range rover.Cases {
+		par := rover.Table2(c)
+		prob := rover.BuildIteration(c, rover.Cold)
+		res, err := sched.Run(prob, sched.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		jplProb, jplSched := rover.JPL(c)
+		jpl := rover.Measure(jplProb, jplSched)
+		m := rover.Measure(prob, res.Schedule)
+
+		fmt.Printf("%-8s solar=%4.1f W  JPL: %2d s / %5.1f J   power-aware: %2d s / %5.1f J\n",
+			c, par.Solar, jpl.Finish, jpl.EnergyCost, m.Finish, m.EnergyCost)
+
+		library.Add(impacct.NewLibraryEntry(prob.Name, prob, res.Schedule))
+	}
+
+	// The schedule library with validity ranges: a statically computed
+	// schedule applies to every budget at or above its peak (paper
+	// section 5.3), so a runtime selector needs no on-board scheduling.
+	fmt.Println("\nschedule library (runtime-selectable):")
+	fmt.Print(library.Table())
+
+	for _, solar := range []float64{14.9, 12, 9} {
+		if e, ok := library.Select(solar+10, solar); ok {
+			fmt.Printf("at %4.1f W solar the selector picks %-20s (tau=%d s)\n", solar, e.Name, e.Finish)
+		}
+	}
+
+	// Render the best-case schedule as a power-aware Gantt chart.
+	best := rover.BuildIteration(rover.Best, rover.Cold)
+	res, err := sched.Run(best, sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(gantt.New(best, res.Schedule).ASCII(1))
+	if err := os.WriteFile("rover-best.svg", []byte(gantt.New(best, res.Schedule).SVG()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote rover-best.svg")
+}

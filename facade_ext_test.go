@@ -1,0 +1,124 @@
+package impacct_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/corners"
+	"repro/internal/rover"
+)
+
+func TestFacadeVerify(t *testing.T) {
+	p := sensorProblem()
+	r, err := impacct.Run(p, impacct.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := impacct.Verify(p, r.Schedule)
+	if !rep.OK() {
+		t.Fatalf("valid schedule rejected: %v", rep.Err())
+	}
+	bad := r.Schedule.Clone()
+	bad.Start[0] = -1
+	if impacct.Verify(p, bad).OK() {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+func TestFacadeSession(t *testing.T) {
+	s, err := impacct.NewSession(sensorProblem(), impacct.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Lock("tx"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reschedule(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Locked()) != 1 {
+		t.Fatal("lock lost")
+	}
+
+	// NewSessionWith from an existing schedule.
+	p2 := sensorProblem()
+	r, err := impacct.Run(p2, impacct.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := impacct.NewSessionWith(p2, r.Schedule, impacct.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCorners(t *testing.T) {
+	prob, m := corners.RoverModel(rover.Cold)
+	rep, err := impacct.ConservativeCorners(prob, m, impacct.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerCorner) != 3 {
+		t.Fatalf("corners = %d", len(rep.PerCorner))
+	}
+	per, err := impacct.PerCornerSchedules(prob, m, impacct.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per[0].Metrics.Finish != 50 {
+		t.Errorf("min-corner finish = %d, want 50", per[0].Metrics.Finish)
+	}
+}
+
+func TestFacadeExecuteAndTrace(t *testing.T) {
+	p := sensorProblem()
+	r, err := impacct.Run(p, impacct.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := impacct.TraceSchedule(p, r.Schedule)
+	if len(evs) != 2*len(p.Tasks) {
+		t.Fatalf("events = %d, want %d", len(evs), 2*len(p.Tasks))
+	}
+	sup := impacct.Supply{Solar: impacct.NewSolar(6)}
+	bat := &impacct.Battery{MaxPower: 4}
+	rep, err := impacct.Execute(p, r.Schedule, sup, bat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Energy <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestFacadeExact(t *testing.T) {
+	p := &impacct.Problem{
+		Name: "tiny",
+		Tasks: []impacct.Task{
+			{Name: "x", Resource: "R", Delay: 2, Power: 3},
+			{Name: "y", Resource: "R", Delay: 2, Power: 3},
+		},
+	}
+	sol, err := impacct.SolveExactMinFinish(p, impacct.ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Finish != 4 || !sol.Optimal {
+		t.Fatalf("exact finish = %d (optimal=%v), want 4", sol.Finish, sol.Optimal)
+	}
+	solEc, err := impacct.SolveExactMinCost(p, impacct.ExactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solEc.EnergyCost != 0 { // Pmin is 0: everything is free
+		t.Fatalf("cost = %g, want 0", solEc.EnergyCost)
+	}
+}
+
+// NewSolar re-exported? The facade exposes Solar as a type alias; the
+// constructor lives on the alias target.
+func TestFacadeSolarAlias(t *testing.T) {
+	s := impacct.NewSolar(5)
+	if s.At(0) != 5 {
+		t.Fatal("solar alias broken")
+	}
+}

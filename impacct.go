@@ -1,0 +1,179 @@
+// Package impacct is the public API of this reproduction of
+// "Power-Aware Scheduling under Timing Constraints for Mission-Critical
+// Embedded Systems" (Liu, Chou, Bagherzadeh, Kurdahi; DAC 2001), the
+// scheduling core of the IMPACCT system-level design framework.
+//
+// The library schedules non-preemptive tasks with min/max timing
+// separations onto heterogeneous execution resources under a hard max
+// power budget and a soft min power goal:
+//
+//	p := &impacct.Problem{Pmax: 16, Pmin: 14}
+//	p.AddTask(impacct.Task{Name: "heat", Resource: "heater", Delay: 5, Power: 7.6})
+//	p.AddTask(impacct.Task{Name: "steer", Resource: "motors", Delay: 5, Power: 4.3})
+//	p.Window("heat", "steer", 5, 50) // heat 5..50 s before steering
+//	res, err := impacct.Run(p, impacct.Options{})
+//
+// Run executes the paper's three-stage pipeline — timing scheduling,
+// max-power spike elimination, min-power gap filling — and returns the
+// schedule, its power profile, and the energy-cost/utilization metrics.
+// See the examples directory for complete programs, including the Mars
+// rover case study the paper evaluates.
+package impacct
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/gantt"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+	"repro/internal/spec"
+)
+
+// Core model vocabulary (see internal/model).
+type (
+	// Task is a schedulable unit of work: delay, power, resource.
+	Task = model.Task
+	// Constraint is a min/max separation between task start times.
+	Constraint = model.Constraint
+	// Problem is a complete scheduling problem.
+	Problem = model.Problem
+	// Time is a point or duration on the discrete time axis (seconds).
+	Time = model.Time
+)
+
+// Anchor is the reserved name of the virtual time-zero task; use it in
+// constraints to express release times and deadlines.
+const Anchor = model.Anchor
+
+// Scheduling pipeline (see internal/sched).
+type (
+	// Options tunes the schedulers' heuristics.
+	Options = sched.Options
+	// Result is a computed schedule with its power profile and stats.
+	Result = sched.Result
+	// Stats counts heuristic effort.
+	Stats = sched.Stats
+	// ScanOrder selects the min-power gap-visit order.
+	ScanOrder = sched.ScanOrder
+	// SlotChoice selects the min-power slot heuristic.
+	SlotChoice = sched.SlotChoice
+	// Schedule assigns a start time to every task.
+	Schedule = schedule.Schedule
+)
+
+// Scan orders for Options.ScanOrders.
+const (
+	ScanForward = sched.ScanForward
+	ScanReverse = sched.ScanReverse
+	ScanRandom  = sched.ScanRandom
+)
+
+// Slot heuristics for Options.SlotChoices.
+const (
+	SlotStartAtGap     = sched.SlotStartAtGap
+	SlotFinishAtGapEnd = sched.SlotFinishAtGapEnd
+	SlotRandom         = sched.SlotRandom
+)
+
+// ErrInfeasible wraps scheduling failures caused by unsatisfiable
+// constraints.
+var ErrInfeasible = sched.ErrInfeasible
+
+// Run executes the full power-aware pipeline: timing scheduling, then
+// max-power spike elimination, then best-effort min-power gap filling.
+func Run(p *Problem, opts Options) (*Result, error) { return sched.Run(p, opts) }
+
+// Timing runs only the time-constrained scheduler (paper Fig. 3).
+func Timing(p *Problem, opts Options) (*Result, error) { return sched.Timing(p, opts) }
+
+// MaxPower runs timing scheduling plus spike elimination (Fig. 4).
+func MaxPower(p *Problem, opts Options) (*Result, error) { return sched.MaxPower(p, opts) }
+
+// MinPower is an alias for Run (Fig. 6 completes the pipeline).
+func MinPower(p *Problem, opts Options) (*Result, error) { return sched.MinPower(p, opts) }
+
+// Power profiles and sources (see internal/power).
+type (
+	// Profile is a schedule's piecewise-constant power profile.
+	Profile = power.Profile
+	// Solar is a time-varying free power source.
+	Solar = power.Solar
+	// Battery is a non-rechargeable store with bounded output power.
+	Battery = power.Battery
+	// Supply couples solar and battery into Pmax/Pmin levels.
+	Supply = power.Supply
+)
+
+// BuildProfile computes the power profile of a schedule.
+func BuildProfile(tasks []Task, s Schedule, base float64) Profile {
+	return power.Build(tasks, s, base)
+}
+
+// NewSolar returns a constant free power source producing watts.
+func NewSolar(watts float64) *Solar { return power.NewSolar(watts) }
+
+// Specification front-end (see internal/spec).
+
+// ParseSpec reads a problem from its textual specification.
+func ParseSpec(r io.Reader) (*Problem, error) { return spec.Parse(r) }
+
+// ParseSpecFile reads a problem specification from a file.
+func ParseSpecFile(path string) (*Problem, error) { return spec.ParseFile(path) }
+
+// ParseSpecString reads a problem specification from a string.
+func ParseSpecString(s string) (*Problem, error) { return spec.ParseString(s) }
+
+// FormatSpec renders a problem in the specification language.
+func FormatSpec(p *Problem) string { return spec.Format(p) }
+
+// Power-aware Gantt charts (see internal/gantt).
+
+// Chart is a schedule prepared for rendering as a power-aware Gantt
+// chart (time view + power view).
+type Chart = gantt.Chart
+
+// NewChart builds a chart from a problem and a schedule.
+func NewChart(p *Problem, s Schedule) *Chart { return gantt.New(p, s) }
+
+// Runtime schedule selection (see internal/runtime).
+type (
+	// LibraryEntry is a precomputed schedule with its validity range.
+	LibraryEntry = runtime.Entry
+	// Selector picks the best precomputed schedule for the ambient
+	// power conditions.
+	Selector = runtime.Selector
+)
+
+// NewLibraryEntry computes the validity range of a schedule.
+func NewLibraryEntry(name string, p *Problem, s Schedule) LibraryEntry {
+	return runtime.NewEntry(name, p, s)
+}
+
+// Design-space exploration (see internal/analysis).
+type (
+	// DesignPoint is one evaluated (Pmax, Pmin) combination.
+	DesignPoint = analysis.Point
+	// GenConfig parameterizes the random problem generator.
+	GenConfig = analysis.GenConfig
+)
+
+// SweepPmax evaluates the problem under a list of power budgets.
+func SweepPmax(p *Problem, budgets []float64, opts Options) []DesignPoint {
+	return analysis.SweepPmax(p, budgets, opts)
+}
+
+// SweepGrid evaluates every feasible (pmax, pmin) combination.
+func SweepGrid(p *Problem, pmaxs, pmins []float64, opts Options) []DesignPoint {
+	return analysis.SweepGrid(p, pmaxs, pmins, opts)
+}
+
+// Pareto filters design points to the time/energy non-dominated front.
+func Pareto(pts []DesignPoint) []DesignPoint { return analysis.Pareto(pts) }
+
+// GenerateProblem builds a random feasible problem for scaling
+// experiments.
+func GenerateProblem(cfg GenConfig) *Problem { return analysis.Generate(cfg) }

@@ -1,0 +1,117 @@
+package impacct_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/mission"
+	"repro/internal/power"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+// TestMissionAccountingMatchesExecution cross-validates the two energy
+// accounting paths over the whole Table 4 mission: the mission
+// simulator charges each iteration its static energy cost; here every
+// iteration's actual schedule is replayed second-by-second against the
+// time-varying solar staircase with the correct mission-time offset.
+// Because the paper scenario's iterations align exactly with the phase
+// boundaries, the two totals must agree to the joule.
+func TestMissionAccountingMatchesExecution(t *testing.T) {
+	phases := mission.PaperScenario()
+	pa := &mission.PowerAwarePolicy{}
+	rep, err := mission.Simulate(mission.Config{
+		TargetSteps: 48, Phases: phases, Policy: pa,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the mission iteration-by-iteration and execute each
+	// schedule against the live supply.
+	sol := power.NewSolar(14.9)
+	sol.AddPhase(600, 12)
+	sol.AddPhase(1200, 9)
+	sup := power.Supply{Solar: sol}
+	bat := &power.Battery{MaxPower: 10}
+
+	type iterSpec struct {
+		c    rover.Case
+		kind rover.IterationKind
+		n    int
+	}
+	plan := []iterSpec{
+		{rover.Best, rover.ColdPreheat, 1},
+		{rover.Best, rover.Warm, 11},
+		{rover.Typical, rover.Cold, 10},
+		{rover.Worst, rover.Cold, 2},
+	}
+	var at impacct.Time
+	for _, spec := range plan {
+		prob := rover.BuildIteration(spec.c, spec.kind)
+		r, err := sched.Run(prob, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < spec.n; k++ {
+			exec, err := impacct.Execute(prob, r.Schedule, sup, bat, at)
+			if err != nil {
+				t.Fatalf("t=%d (%s/%s): %v", at, spec.c, spec.kind, err)
+			}
+			at += exec.Finish
+		}
+	}
+	if at != rep.TotalSeconds {
+		t.Fatalf("execution timeline %d s != mission report %d s", at, rep.TotalSeconds)
+	}
+	if math.Abs(bat.Drawn()-rep.TotalCost) > 1e-6 {
+		t.Fatalf("executed battery draw %.3f J != mission accounting %.3f J",
+			bat.Drawn(), rep.TotalCost)
+	}
+}
+
+// TestLibraryMissionExecutesWithinBudget drives the selector-policy
+// mission and confirms every picked schedule also replays cleanly
+// against the live supply at its mission offset.
+func TestLibraryMissionExecutesWithinBudget(t *testing.T) {
+	sol := power.NewSolar(14.9)
+	sol.AddPhase(600, 12)
+	sol.AddPhase(1200, 9)
+	sup := power.Supply{Solar: sol}
+
+	var library impacct.Selector
+	scheds := map[string]struct {
+		prob *impacct.Problem
+		s    impacct.Schedule
+	}{}
+	for _, c := range rover.Cases {
+		p := rover.BuildIteration(c, rover.Cold)
+		r, err := sched.Run(p, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		library.Add(impacct.NewLibraryEntry(p.Name, p, r.Schedule))
+		scheds[p.Name] = struct {
+			prob *impacct.Problem
+			s    impacct.Schedule
+		}{p, r.Schedule}
+	}
+
+	var at impacct.Time
+	steps := 0
+	for steps < 48 {
+		solar := sup.PminAt(at)
+		e, ok := library.Select(solar+10, solar)
+		if !ok {
+			t.Fatalf("no schedule at t=%d (%.1f W solar)", at, solar)
+		}
+		entry := scheds[e.Name]
+		bat := &power.Battery{MaxPower: 10}
+		if _, err := impacct.Execute(entry.prob, entry.s, sup, bat, at); err != nil {
+			t.Fatalf("t=%d: %s does not execute: %v", at, e.Name, err)
+		}
+		at += e.Finish
+		steps += rover.StepsPerIteration
+	}
+}

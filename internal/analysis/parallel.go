@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// SweepGridParallel evaluates the same design points as SweepGrid using
+// a worker pool (every scheduler run is independent, so exploration
+// parallelizes trivially). Results are returned in the same order as
+// the sequential sweep. workers <= 0 selects GOMAXPROCS.
+func SweepGridParallel(p *model.Problem, pmaxs, pmins []float64, opts sched.Options, workers int) []Point {
+	type job struct {
+		idx        int
+		pmax, pmin float64
+	}
+	var jobs []job
+	for _, pm := range pmaxs {
+		for _, pn := range pmins {
+			if pn > pm {
+				continue
+			}
+			jobs = append(jobs, job{idx: len(jobs), pmax: pm, pmin: pn})
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Point, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				q := p.Clone()
+				q.Pmax, q.Pmin = j.pmax, j.pmin
+				out[j.idx] = run(q, opts)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}

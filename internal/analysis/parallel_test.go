@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/sched"
+)
+
+func TestSweepGridParallelMatchesSequential(t *testing.T) {
+	p := paperex.Nine()
+	pmaxs := []float64{12, 14, 16, 18, 20}
+	pmins := []float64{8, 12, 14}
+	seq := SweepGrid(p, pmaxs, pmins, sched.Options{})
+	par := SweepGridParallel(p, pmaxs, pmins, sched.Options{}, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, q := seq[i], par[i]
+		if s.Pmax != q.Pmax || s.Pmin != q.Pmin {
+			t.Fatalf("point %d ordering differs: (%g,%g) vs (%g,%g)", i, s.Pmax, s.Pmin, q.Pmax, q.Pmin)
+		}
+		if s.Feasible() != q.Feasible() {
+			t.Fatalf("point %d feasibility differs", i)
+		}
+		if !s.Feasible() {
+			continue
+		}
+		if s.Finish != q.Finish || s.EnergyCost != q.EnergyCost {
+			t.Fatalf("point %d results differ: %+v vs %+v", i, s, q)
+		}
+	}
+}
+
+func TestSweepGridParallelDegenerate(t *testing.T) {
+	p := paperex.Nine()
+	if got := SweepGridParallel(p, nil, nil, sched.Options{}, 4); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d points", len(got))
+	}
+	// One job, many workers.
+	got := SweepGridParallel(p, []float64{16}, []float64{14}, sched.Options{}, 64)
+	if len(got) != 1 || !got[0].Feasible() {
+		t.Fatalf("single-job sweep wrong: %+v", got)
+	}
+	// Zero workers defaults to GOMAXPROCS.
+	got = SweepGridParallel(p, []float64{16}, []float64{14}, sched.Options{}, 0)
+	if len(got) != 1 {
+		t.Fatalf("auto-worker sweep wrong: %+v", got)
+	}
+}

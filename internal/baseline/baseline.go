@@ -1,0 +1,202 @@
+// Package baseline implements a conventional power-constrained list
+// scheduler as an algorithmic comparator for the paper's pipeline. It
+// is the textbook approach a designer without the power-aware framework
+// would reach for: dispatch tasks in priority order at the earliest
+// instant where timing predecessors, the resource, and the power budget
+// all allow. It handles Pmax (greedily, no backtracking, so it can fail
+// where the pipeline succeeds) and is oblivious to Pmin — it never
+// spends free energy on purpose, which is precisely the behaviour the
+// min-power scheduler improves on.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// ListSchedule greedily schedules the problem. horizon bounds the
+// search for a feasible start per task (0 means a generous default).
+// The result is time-valid and respects Pmax when err is nil; max
+// separations can defeat the greedy placement, in which case an error
+// is returned.
+func ListSchedule(p *model.Problem, horizon model.Time) (schedule.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return schedule.Schedule{}, err
+	}
+	comp, err := schedule.Compile(p)
+	if err != nil {
+		return schedule.Schedule{}, err
+	}
+	if horizon == 0 {
+		for _, t := range p.Tasks {
+			horizon += t.Delay
+		}
+		for _, c := range p.Constraints {
+			if c.Min > 0 {
+				horizon += c.Min
+			}
+		}
+	}
+
+	n := len(p.Tasks)
+	// Priority: critical-path-style — tasks with longer downstream
+	// chains first; computed as longest path to any sink over min
+	// edges.
+	rank := downstreamRank(p)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if rank[order[a]] != rank[order[b]] {
+			return rank[order[a]] > rank[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	s := schedule.Schedule{Start: make([]model.Time, n)}
+	placed := make([]bool, n)
+	for _, v := range order {
+		start, ok := earliestFeasible(p, comp, s, placed, v, horizon)
+		if !ok {
+			return schedule.Schedule{}, fmt.Errorf("baseline: no feasible slot for %q within horizon %d",
+				p.Tasks[v].Name, horizon)
+		}
+		s.Start[v] = start
+		placed[v] = true
+	}
+	// Final full check: greedy placement used only pairwise tests
+	// against placed tasks, so verify the complete assignment.
+	if err := schedule.CheckTimeValid(comp.Base, comp, s); err != nil {
+		return schedule.Schedule{}, fmt.Errorf("baseline: greedy placement invalid: %w", err)
+	}
+	return s, nil
+}
+
+// downstreamRank returns, per task, the length of the longest chain of
+// min separations it heads.
+func downstreamRank(p *model.Problem) []model.Time {
+	idx := p.TaskIndex()
+	memo := make([]model.Time, len(p.Tasks))
+	seen := make([]bool, len(p.Tasks))
+	var visit func(v int) model.Time
+	visit = func(v int) model.Time {
+		if seen[v] {
+			return memo[v]
+		}
+		seen[v] = true // mark first: cycles through max edges are ignored
+		best := model.Time(p.Tasks[v].Delay)
+		for _, c := range p.Constraints {
+			if c.From != p.Tasks[v].Name || c.Min <= 0 {
+				continue
+			}
+			if u, ok := idx[c.To]; ok {
+				if r := model.Time(c.Min) + visit(u); r > best {
+					best = r
+				}
+			}
+		}
+		memo[v] = best
+		return best
+	}
+	for v := range p.Tasks {
+		visit(v)
+	}
+	return memo
+}
+
+// earliestFeasible finds the smallest start in [0, horizon] satisfying
+// constraints against already-placed tasks, the resource, and Pmax.
+func earliestFeasible(p *model.Problem, comp *schedule.Compiled, s schedule.Schedule, placed []bool, v int, horizon model.Time) (model.Time, bool) {
+	idx := comp.Index
+	task := p.Tasks[v]
+	lo := model.Time(0)
+	for _, c := range p.Constraints {
+		if c.To != task.Name {
+			continue
+		}
+		if c.From == model.Anchor {
+			if c.Min > lo {
+				lo = c.Min
+			}
+		} else if u := idx[c.From]; placed[u] && s.Start[u]+c.Min > lo {
+			lo = s.Start[u] + c.Min
+		}
+	}
+
+try:
+	for start := lo; start <= horizon; start++ {
+		end := start + task.Delay
+		// Window upper bounds against placed tasks.
+		for _, c := range p.Constraints {
+			if !c.HasMax {
+				continue
+			}
+			if c.To == task.Name {
+				from := model.Time(0)
+				known := c.From == model.Anchor
+				if !known {
+					if u := idx[c.From]; placed[u] {
+						from, known = s.Start[u], true
+					}
+				}
+				if known && start > from+c.Max {
+					return 0, false // only grows with start: no later slot works
+				}
+			}
+			if c.From == task.Name {
+				if u := idx[c.To]; c.To != model.Anchor && placed[u] {
+					if s.Start[u] > start+c.Max {
+						start = s.Start[u] - c.Max - 1 // must start later; loop increments
+						continue try
+					}
+					if s.Start[u] < start+c.Min {
+						return 0, false // placed successor too early; no later slot works
+					}
+				}
+			}
+		}
+		// Resource exclusivity against placed tasks.
+		for u := range p.Tasks {
+			if !placed[u] || p.Tasks[u].Resource != task.Resource {
+				continue
+			}
+			if s.Start[u] < end && start < s.Start[u]+p.Tasks[u].Delay {
+				start = s.Start[u] + p.Tasks[u].Delay - 1 // jump past the conflict
+				continue try
+			}
+		}
+		// Power budget against placed tasks.
+		if p.Pmax > 0 && !fitsBudget(p, s, placed, v, start) {
+			continue
+		}
+		return start, true
+	}
+	return 0, false
+}
+
+func fitsBudget(p *model.Problem, s schedule.Schedule, placed []bool, v int, start model.Time) bool {
+	task := p.Tasks[v]
+	for t := start; t < start+task.Delay; t++ {
+		sum := p.BasePower + task.Power
+		for u, other := range p.Tasks {
+			if placed[u] && s.Start[u] <= t && t < s.Start[u]+other.Delay {
+				sum += other.Power
+			}
+		}
+		if sum > p.Pmax {
+			return false
+		}
+	}
+	return true
+}
+
+// Metrics evaluates a baseline schedule with the problem's Pmin.
+func Metrics(p *model.Problem, s schedule.Schedule) (finish model.Time, cost, util float64) {
+	prof := power.Build(p.Tasks, s, p.BasePower)
+	return s.Finish(p.Tasks), prof.EnergyCost(p.Pmin), prof.Utilization(p.Pmin)
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/model"
+	"repro/internal/rover"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+func TestListScheduleChain(t *testing.T) {
+	p := &model.Problem{
+		Name: "chain",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 2, Power: 1},
+			{Name: "b", Resource: "B", Delay: 3, Power: 1},
+		},
+	}
+	p.MinSep("a", "b", 2)
+	s, err := ListSchedule(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[0] != 0 || s.Start[1] != 2 {
+		t.Fatalf("starts = %v, want [0 2]", s.Start)
+	}
+}
+
+func TestListScheduleSerializesResource(t *testing.T) {
+	p := &model.Problem{
+		Name: "res",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "R", Delay: 3, Power: 1},
+			{Name: "b", Resource: "R", Delay: 3, Power: 1},
+		},
+	}
+	s, err := ListSchedule(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := verify.Check(p, s); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+	if s.Finish(p.Tasks) != 6 {
+		t.Fatalf("finish = %d, want 6", s.Finish(p.Tasks))
+	}
+}
+
+func TestListScheduleRespectsBudget(t *testing.T) {
+	p := &model.Problem{
+		Name: "budget",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 4, Power: 5},
+			{Name: "b", Resource: "B", Delay: 4, Power: 5},
+		},
+		Pmax: 8,
+	}
+	s, err := ListSchedule(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := verify.Check(p, s); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+}
+
+func TestListScheduleOnRover(t *testing.T) {
+	for _, c := range rover.Cases {
+		p := rover.BuildIteration(c, rover.Cold)
+		s, err := ListSchedule(p, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if rep := verify.Check(p, s); !rep.OK() {
+			t.Fatalf("%s: %v", c, rep.Err())
+		}
+	}
+}
+
+// TestQuickListScheduleValid: on random layered problems the list
+// scheduler's output, when it succeeds, passes the independent oracle.
+func TestQuickListScheduleValid(t *testing.T) {
+	f := func(seed int64) bool {
+		p := analysis.Generate(analysis.GenConfig{Tasks: 12, Seed: seed})
+		s, err := ListSchedule(p, 0)
+		if err != nil {
+			return true // greedy failure is allowed; invalid output is not
+		}
+		return verify.Check(p, s).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelineBeatsListSchedulerOnUtilization: the list scheduler never
+// fills power gaps, so on the rover's typical case the pipeline's
+// min-power stage must achieve at least its utilization.
+func TestPipelineBeatsListSchedulerOnUtilization(t *testing.T) {
+	p := rover.BuildIteration(rover.Typical, rover.Cold)
+	ls, err := ListSchedule(p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lsCost, lsUtil := Metrics(p, ls)
+	r, err := sched.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utilization()+1e-9 < lsUtil {
+		t.Errorf("pipeline utilization %.4f below list scheduler's %.4f", r.Utilization(), lsUtil)
+	}
+	t.Logf("list: cost=%.1f util=%.3f | pipeline: cost=%.1f util=%.3f",
+		lsCost, lsUtil, r.EnergyCost(), r.Utilization())
+}

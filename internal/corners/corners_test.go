@@ -1,0 +1,190 @@
+package corners
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func simpleModel() (*model.Problem, Model) {
+	p := &model.Problem{
+		Name: "tri",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 4, Power: 5},
+			{Name: "b", Resource: "B", Delay: 4, Power: 5},
+		},
+		Pmax: 14,
+		Pmin: 6,
+	}
+	m := Model{
+		Tasks: map[string]TriPower{
+			"a": {Min: 3, Typ: 5, Max: 8},
+			"b": {Min: 3, Typ: 5, Max: 8},
+		},
+		Base: TriPower{Min: 1, Typ: 1, Max: 2},
+	}
+	return p, m
+}
+
+func TestTriPower(t *testing.T) {
+	tp := TriPower{Min: 1, Typ: 2, Max: 3}
+	if tp.At(Min) != 1 || tp.At(Typ) != 2 || tp.At(Max) != 3 {
+		t.Fatal("At broken")
+	}
+	if !tp.Valid() {
+		t.Fatal("ordered corners rejected")
+	}
+	if (TriPower{Min: 3, Typ: 2, Max: 4}).Valid() {
+		t.Fatal("unordered corners accepted")
+	}
+	if (TriPower{Min: -1, Typ: 0, Max: 0}).Valid() {
+		t.Fatal("negative corner accepted")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	p, m := simpleModel()
+	q, err := m.Instantiate(p, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Tasks[0].Power != 8 || q.BasePower != 2 {
+		t.Fatalf("max corner not applied: %+v base %g", q.Tasks[0], q.BasePower)
+	}
+	if q.Pmax != p.Pmax {
+		t.Fatal("env unexpectedly overridden")
+	}
+	// Original untouched.
+	if p.Tasks[0].Power != 5 {
+		t.Fatal("Instantiate mutated the source problem")
+	}
+}
+
+func TestInstantiateEnvOverride(t *testing.T) {
+	p, m := simpleModel()
+	m.Envs = map[Corner]Env{Min: {Pmax: 20, Pmin: 10}}
+	q, err := m.Instantiate(p, Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pmax != 20 || q.Pmin != 10 {
+		t.Fatalf("env not applied: Pmax=%g Pmin=%g", q.Pmax, q.Pmin)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p, m := simpleModel()
+	delete(m.Tasks, "b")
+	if err := m.Validate(p); err == nil {
+		t.Fatal("missing task accepted")
+	}
+	_, m2 := simpleModel()
+	m2.Tasks["a"] = TriPower{Min: 9, Typ: 5, Max: 8}
+	if err := m2.Validate(p); err == nil {
+		t.Fatal("unordered task corners accepted")
+	}
+}
+
+func TestConservativeValidEverywhere(t *testing.T) {
+	p, m := simpleModel()
+	rep, err := Conservative(p, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerCorner) != 3 {
+		t.Fatalf("corners = %d", len(rep.PerCorner))
+	}
+	for _, cm := range rep.PerCorner {
+		if !cm.Valid {
+			t.Errorf("max-corner schedule invalid at %s corner", cm.Corner)
+		}
+	}
+	// Consumption ordering: energy at min <= typ <= max.
+	if !(rep.PerCorner[0].Metrics.Energy <= rep.PerCorner[1].Metrics.Energy &&
+		rep.PerCorner[1].Metrics.Energy <= rep.PerCorner[2].Metrics.Energy) {
+		t.Errorf("energy not monotone across corners: %+v", rep.PerCorner)
+	}
+}
+
+func TestPerCornerSchedules(t *testing.T) {
+	p, m := simpleModel()
+	res, err := PerCorner(p, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Result.Peak() > r.Problem.Pmax {
+			t.Errorf("%s corner schedule over budget", r.Corner)
+		}
+	}
+	// With the tight 14 W budget, the max corner (8+8+2 = 18 W
+	// parallel) must serialize while the min corner (3+3+1 = 7 W) can
+	// run parallel: per-corner scheduling buys performance.
+	if !(res[0].Metrics.Finish <= res[2].Metrics.Finish) {
+		t.Errorf("min corner slower than max corner: %d > %d",
+			res[0].Metrics.Finish, res[2].Metrics.Finish)
+	}
+}
+
+// TestRoverModelReproducesCases: instantiating the rover corner model
+// reproduces exactly the per-case problems of the rover package — the
+// Table 2 columns are the corners.
+func TestRoverModelReproducesCases(t *testing.T) {
+	p, m := RoverModel(rover.Cold)
+	for _, c := range AllCorners {
+		q, err := m.Instantiate(p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rover.BuildIteration(caseOf(c), rover.Cold)
+		if len(q.Tasks) != len(want.Tasks) {
+			t.Fatalf("%s: task counts differ", c)
+		}
+		for i := range q.Tasks {
+			if math.Abs(q.Tasks[i].Power-want.Tasks[i].Power) > 1e-12 {
+				t.Errorf("%s: task %s power %g, want %g", c, q.Tasks[i].Name,
+					q.Tasks[i].Power, want.Tasks[i].Power)
+			}
+		}
+		if q.Pmax != want.Pmax || q.Pmin != want.Pmin || q.BasePower != want.BasePower {
+			t.Errorf("%s: env mismatch", c)
+		}
+	}
+}
+
+// TestRoverConservativeIsJPLLike: the single max-corner rover schedule
+// takes 75 s at every corner — the corner framework derives the JPL
+// baseline's behaviour as "conservative scheduling", while per-corner
+// scheduling recovers the paper's 50/60/75 s (Table 3's two columns).
+func TestRoverConservativeIsJPLLike(t *testing.T) {
+	p, m := RoverModel(rover.Cold)
+	cons, err := Conservative(p, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cm := range cons.PerCorner {
+		if !cm.Valid {
+			t.Errorf("conservative schedule invalid at %s", cm.Corner)
+		}
+		if cm.Metrics.Finish != 75 {
+			t.Errorf("conservative finish at %s = %d, want 75", cm.Corner, cm.Metrics.Finish)
+		}
+	}
+
+	per, err := PerCorner(p, m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Corner]int{Min: 50, Typ: 60, Max: 75}
+	for _, r := range per {
+		if r.Metrics.Finish != want[r.Corner] {
+			t.Errorf("per-corner finish at %s = %d, want %d", r.Corner, r.Metrics.Finish, want[r.Corner])
+		}
+	}
+}

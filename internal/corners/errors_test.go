@@ -1,0 +1,49 @@
+package corners
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestCornerString(t *testing.T) {
+	if Min.String() != "min" || Typ.String() != "typ" || Max.String() != "max" {
+		t.Error("corner strings wrong")
+	}
+	if !strings.Contains(Corner(7).String(), "7") {
+		t.Error("unknown corner not numeric")
+	}
+}
+
+func TestInstantiateRejectsOverBudgetCorner(t *testing.T) {
+	p, m := simpleModel()
+	// Max corner powers exceed the un-overridden Pmax.
+	m.Tasks["a"] = TriPower{Min: 3, Typ: 5, Max: 20}
+	if _, err := m.Instantiate(p, Max); err == nil {
+		t.Fatal("over-budget corner instantiation accepted")
+	}
+}
+
+func TestConservativePropagatesErrors(t *testing.T) {
+	p, m := simpleModel()
+	delete(m.Tasks, "a")
+	if _, err := Conservative(p, m, sched.Options{}); err == nil {
+		t.Fatal("missing corner data accepted")
+	}
+	if _, err := PerCorner(p, m, sched.Options{}); err == nil {
+		t.Fatal("missing corner data accepted by PerCorner")
+	}
+}
+
+func TestConservativeInfeasibleMaxCorner(t *testing.T) {
+	p, m := simpleModel()
+	// Tighten the max-corner environment below any single task's draw.
+	m.Envs = map[Corner]Env{Max: {Pmax: 1, Pmin: 1}}
+	if _, err := Conservative(p, m, sched.Options{}); err == nil {
+		t.Fatal("unschedulable max corner accepted")
+	}
+	if _, err := PerCorner(p, m, sched.Options{}); err == nil {
+		t.Fatal("unschedulable corner accepted by PerCorner")
+	}
+}

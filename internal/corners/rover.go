@@ -1,0 +1,56 @@
+package corners
+
+import (
+	"repro/internal/model"
+	"repro/internal/rover"
+)
+
+// caseOf maps power corners onto the rover's environmental cases: the
+// best case (-40 C, full sun) is the minimum-consumption corner, the
+// worst case (-80 C, dusk) the maximum.
+func caseOf(c Corner) rover.Case {
+	switch c {
+	case Min:
+		return rover.Best
+	case Typ:
+		return rover.Typical
+	default:
+		return rover.Worst
+	}
+}
+
+// RoverModel builds the Mars rover's corner model straight from
+// Table 2: every task's power at -40/-60/-80 C, the CPU's constant
+// load, and the per-corner power environments (solar + battery).
+// The returned problem carries the typical-corner structure; use
+// Model.Instantiate or the analysis entry points to retarget it.
+func RoverModel(kind rover.IterationKind) (*model.Problem, Model) {
+	p := rover.BuildIteration(rover.Typical, kind)
+	m := Model{
+		Tasks: make(map[string]TriPower, len(p.Tasks)),
+		Envs:  make(map[Corner]Env, 3),
+	}
+	params := map[Corner]rover.Params{}
+	for _, c := range AllCorners {
+		par := rover.Table2(caseOf(c))
+		params[c] = par
+		m.Envs[c] = Env{Pmax: par.Pmax(), Pmin: par.Pmin()}
+	}
+	m.Base = TriPower{Min: params[Min].CPU, Typ: params[Typ].CPU, Max: params[Max].CPU}
+	pick := func(sel func(rover.Params) float64) TriPower {
+		return TriPower{Min: sel(params[Min]), Typ: sel(params[Typ]), Max: sel(params[Max])}
+	}
+	for _, t := range p.Tasks {
+		switch t.Resource {
+		case rover.ResLaser:
+			m.Tasks[t.Name] = pick(func(p rover.Params) float64 { return p.Hazard })
+		case rover.ResSteer:
+			m.Tasks[t.Name] = pick(func(p rover.Params) float64 { return p.Steer })
+		case rover.ResWheels:
+			m.Tasks[t.Name] = pick(func(p rover.Params) float64 { return p.Drive })
+		default: // heaters H1..H5
+			m.Tasks[t.Name] = pick(func(p rover.Params) float64 { return p.Heat })
+		}
+	}
+	return p, m
+}

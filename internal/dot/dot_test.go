@@ -1,0 +1,77 @@
+package dot
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func TestGraphNineTask(t *testing.T) {
+	out := Graph(paperex.Nine())
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT document")
+	}
+	for _, task := range []string{"\"a\"", "\"i\""} {
+		if !strings.Contains(out, task) {
+			t.Errorf("missing vertex %s", task)
+		}
+	}
+	// The a->d precedence with weight 3.
+	if !strings.Contains(out, `"a" -> "d" [label="3"]`) {
+		t.Error("missing min edge a->d")
+	}
+	// No anchor node without anchor constraints.
+	if strings.Contains(out, "anchor") {
+		t.Error("anchor rendered without anchor constraints")
+	}
+}
+
+func TestGraphRoverWindows(t *testing.T) {
+	out := Graph(rover.BuildIteration(rover.Best, rover.Cold))
+	// Heating windows produce dashed back edges.
+	if !strings.Contains(out, `"st1" -> "sh1" [label="-50", style=dashed`) {
+		t.Errorf("missing dashed max edge:\n%s", out)
+	}
+	// Vertex annotation in r/d/p form.
+	if !strings.Contains(out, `label="dr1\nwheels/10/7.5"`) {
+		t.Error("missing r/d/p annotation for dr1")
+	}
+}
+
+func TestGraphAnchorRendered(t *testing.T) {
+	p := paperex.Nine()
+	p.Release("a", 3)
+	out := Graph(p)
+	if !strings.Contains(out, "anchor [shape=point") {
+		t.Error("anchor node missing")
+	}
+	if !strings.Contains(out, `"anchor" -> "a" [label="3"]`) {
+		t.Error("anchor edge missing")
+	}
+}
+
+func TestScheduledAnnotation(t *testing.T) {
+	p := paperex.Nine()
+	r, err := sched.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Scheduled(p, r.Schedule)
+	idx := p.TaskIndex()
+	want := `label="b @` + strconv.Itoa(r.Schedule.Start[idx["b"]]) + `\n`
+	if !strings.Contains(out, want) {
+		t.Errorf("missing start annotation %q", want)
+	}
+}
+
+func TestResourceColorsStable(t *testing.T) {
+	p := paperex.Nine()
+	a, b := Graph(p), Graph(p)
+	if a != b {
+		t.Fatal("DOT output not deterministic")
+	}
+}

@@ -1,0 +1,69 @@
+package editor
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestNewInfeasibleProblem(t *testing.T) {
+	p := &model.Problem{
+		Name: "inf",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 5, Power: 1},
+			{Name: "b", Resource: "B", Delay: 5, Power: 1},
+		},
+	}
+	p.MinSep("a", "b", 10)
+	p.Window("a", "b", 0, 5)
+	if _, err := New(p, sched.Options{}); err == nil {
+		t.Fatal("session opened on an infeasible problem")
+	}
+}
+
+func TestStartOfUnknown(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.StartOf("nosuch"); err == nil {
+		t.Fatal("StartOf accepted unknown task")
+	}
+	if err := s.Unlock("nosuch"); err == nil {
+		t.Fatal("Unlock accepted unknown task")
+	}
+}
+
+func TestLockIdempotent(t *testing.T) {
+	s := newSession(t)
+	if err := s.Lock("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Lock("a"); err != nil {
+		t.Fatal("re-lock errored")
+	}
+	// Double lock must not push two undo states.
+	if !s.Undo() {
+		t.Fatal("undo failed")
+	}
+	if len(s.Locked()) != 0 {
+		t.Fatal("one undo should remove the single lock commit")
+	}
+	if err := s.Unlock("a"); err != nil {
+		t.Fatal("unlock of unlocked task errored")
+	}
+}
+
+func TestRedoClearedByNewEdit(t *testing.T) {
+	s := newSession(t)
+	if err := s.Lock("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Undo() {
+		t.Fatal("undo failed")
+	}
+	if err := s.Lock("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Redo() {
+		t.Fatal("redo should be cleared by a fresh edit")
+	}
+}

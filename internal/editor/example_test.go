@@ -1,0 +1,48 @@
+package editor_test
+
+import (
+	"fmt"
+
+	"repro/internal/editor"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Example walks the paper's interactive loop: inspect the automated
+// schedule, lock a task where the designer wants it, and let the
+// scheduler rearrange the rest.
+func Example() {
+	p := &model.Problem{Name: "demo", Pmax: 9, Pmin: 4, BasePower: 1}
+	p.AddTask(model.Task{Name: "a", Resource: "A", Delay: 4, Power: 4})
+	p.AddTask(model.Task{Name: "b", Resource: "B", Delay: 4, Power: 4})
+
+	s, err := editor.New(p, sched.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("finish:", s.Metrics().Finish)
+
+	// The designer wants b pinned at t=6 and everything else redone.
+	if err := s.MoveAndReschedule("b", 6); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := s.Lock("b"); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	at, _ := s.StartOf("b")
+	fmt.Println("b locked at:", at)
+	fmt.Println("locked:", s.Locked())
+
+	// Change of mind: roll everything back.
+	for s.Undo() {
+	}
+	fmt.Println("after undo, finish:", s.Metrics().Finish)
+	// Output:
+	// finish: 4
+	// b locked at: 6
+	// locked: [b]
+	// after undo, finish: 4
+}

@@ -1,0 +1,335 @@
+// Package exact is a branch-and-bound reference scheduler for small
+// problem instances. The paper observes that finding an energy-optimal
+// schedule "should examine all valid partial orderings of tasks, which
+// will increase the complexity of computation to an exponential order";
+// this package performs exactly that enumeration, with pruning, so the
+// heuristic pipeline can be measured against true optima in tests and
+// ablation benchmarks. It is not intended for production-size inputs.
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+// Objective selects what Solve minimizes.
+type Objective int
+
+const (
+	// MinFinish minimizes the schedule finish time tau.
+	MinFinish Objective = iota
+	// MinEnergyCost minimizes Ec(Pmin) subject to finishing within
+	// Config.TauBound.
+	MinEnergyCost
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinFinish:
+		return "min-finish"
+	case MinEnergyCost:
+		return "min-energy-cost"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Config bounds the search.
+type Config struct {
+	// Horizon is the largest start time considered (default: sum of
+	// all delays plus the largest anchor separation).
+	Horizon model.Time
+	// TauBound caps the finish time for MinEnergyCost (default:
+	// Horizon + the longest delay).
+	TauBound model.Time
+	// MaxNodes caps the number of search nodes (default 2,000,000).
+	// When exhausted, the best solution so far is returned with
+	// Optimal = false.
+	MaxNodes int
+}
+
+// Solution is the search outcome.
+type Solution struct {
+	Schedule   schedule.Schedule
+	Finish     model.Time
+	EnergyCost float64
+	// Nodes is the number of search nodes expanded.
+	Nodes int
+	// Optimal is true when the search space was exhausted (the
+	// solution is provably optimal), false when MaxNodes stopped it.
+	Optimal bool
+}
+
+// Solve exhaustively schedules p under the given objective. It returns
+// an error when the problem is invalid or no schedule exists within the
+// horizon.
+func Solve(p *model.Problem, obj Objective, cfg Config) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Tasks)
+	if cfg.Horizon == 0 {
+		for _, t := range p.Tasks {
+			cfg.Horizon += t.Delay
+		}
+		for _, c := range p.Constraints {
+			if c.From == model.Anchor && c.Min > 0 {
+				cfg.Horizon += c.Min
+			}
+		}
+	}
+	if cfg.TauBound == 0 {
+		cfg.TauBound = cfg.Horizon
+		for _, t := range p.Tasks {
+			if cfg.TauBound < cfg.Horizon+t.Delay {
+				cfg.TauBound = cfg.Horizon + t.Delay
+			}
+		}
+	}
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = 2_000_000
+	}
+
+	s := &solver{p: p, cfg: cfg, obj: obj, idx: p.TaskIndex()}
+	s.start = make([]model.Time, n)
+	s.assigned = make([]bool, n)
+	s.bestCost = -1
+	s.search(0)
+
+	if s.bestCost < 0 {
+		if s.truncated {
+			return Solution{Nodes: s.nodes}, fmt.Errorf("exact: no schedule found within %d nodes", cfg.MaxNodes)
+		}
+		return Solution{Nodes: s.nodes}, fmt.Errorf("exact: no feasible schedule within horizon %d", cfg.Horizon)
+	}
+	return Solution{
+		Schedule:   schedule.Schedule{Start: s.best},
+		Finish:     s.bestFinish,
+		EnergyCost: s.bestEc,
+		Nodes:      s.nodes,
+		Optimal:    !s.truncated,
+	}, nil
+}
+
+type solver struct {
+	p   *model.Problem
+	cfg Config
+	obj Objective
+	idx map[string]int
+
+	start    []model.Time
+	assigned []bool
+
+	best       []model.Time
+	bestFinish model.Time
+	bestEc     float64
+	bestCost   float64 // objective value of best (-1 = none yet)
+
+	nodes     int
+	truncated bool
+}
+
+// search assigns task k (tasks are assigned in index order; the
+// instance generator and the paper's examples list tasks in rough
+// topological order, which keeps bounds tight).
+func (s *solver) search(k int) {
+	if s.truncated {
+		return
+	}
+	if k == len(s.p.Tasks) {
+		s.leaf()
+		return
+	}
+	lo, hi := s.bounds(k)
+	for t := lo; t <= hi; t++ {
+		s.nodes++
+		if s.nodes > s.cfg.MaxNodes {
+			s.truncated = true
+			return
+		}
+		s.start[k] = t
+		if !s.feasiblePartial(k, t) {
+			continue
+		}
+		s.assigned[k] = true
+		if !s.pruned(k) {
+			s.search(k + 1)
+		}
+		s.assigned[k] = false
+		if s.truncated {
+			return
+		}
+	}
+}
+
+// bounds derives start-time bounds for task k from constraints whose
+// other endpoint is already assigned (or the anchor).
+func (s *solver) bounds(k int) (lo, hi model.Time) {
+	lo, hi = 0, s.cfg.Horizon
+	name := s.p.Tasks[k].Name
+	for _, c := range s.p.Constraints {
+		from, okFrom := s.endpoint(c.From, k)
+		to, okTo := s.endpoint(c.To, k)
+		if c.To == name && okFrom {
+			if v := from + c.Min; v > lo {
+				lo = v
+			}
+			if c.HasMax {
+				if v := from + c.Max; v < hi {
+					hi = v
+				}
+			}
+		}
+		if c.From == name && okTo {
+			// to >= from + min  =>  from <= to - min.
+			if v := to - c.Min; v < hi {
+				hi = v
+			}
+			if c.HasMax {
+				// to <= from + max  =>  from >= to - max.
+				if v := to - c.Max; v > lo {
+					lo = v
+				}
+			}
+		}
+	}
+	return lo, hi
+}
+
+// endpoint resolves a constraint endpoint to an assigned start time.
+// Tasks assigned so far are 0..k-1 (and the anchor).
+func (s *solver) endpoint(name string, k int) (model.Time, bool) {
+	if name == model.Anchor {
+		return 0, true
+	}
+	i := s.idx[name]
+	if i < k {
+		return s.start[i], true
+	}
+	return 0, false
+}
+
+// feasiblePartial checks resource conflicts and the power budget over
+// tasks 0..k (both monotone: violations can only persist as more tasks
+// are added, so pruning here is sound).
+func (s *solver) feasiblePartial(k int, t model.Time) bool {
+	task := s.p.Tasks[k]
+	end := t + task.Delay
+	for i := 0; i < k; i++ {
+		o := s.p.Tasks[i]
+		if o.Resource != task.Resource {
+			continue
+		}
+		oEnd := s.start[i] + o.Delay
+		if s.start[i] < end && t < oEnd {
+			return false
+		}
+	}
+	if s.p.Pmax > 0 {
+		for tt := t; tt < end; tt++ {
+			sum := s.p.BasePower + task.Power
+			for i := 0; i < k; i++ {
+				if s.start[i] <= tt && tt < s.start[i]+s.p.Tasks[i].Delay {
+					sum += s.p.Tasks[i].Power
+				}
+			}
+			if sum > s.p.Pmax {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pruned applies the objective lower bound to the partial assignment
+// 0..k (inclusive).
+func (s *solver) pruned(k int) bool {
+	if s.bestCost < 0 {
+		return false
+	}
+	switch s.obj {
+	case MinFinish:
+		// Partial makespan only grows.
+		var fin model.Time
+		for i := 0; i <= k; i++ {
+			if end := s.start[i] + s.p.Tasks[i].Delay; end > fin {
+				fin = end
+			}
+		}
+		return float64(fin) >= s.bestCost
+	case MinEnergyCost:
+		// Partial cost only grows as tasks are added (power is
+		// additive and cost is monotone in the profile).
+		return s.partialCost(k) >= s.bestCost
+	}
+	return false
+}
+
+// partialCost integrates max(0, P-Pmin) over the tasks 0..k.
+func (s *solver) partialCost(k int) float64 {
+	if s.p.Pmin <= 0 {
+		return 0
+	}
+	var fin model.Time
+	for i := 0; i <= k; i++ {
+		if end := s.start[i] + s.p.Tasks[i].Delay; end > fin {
+			fin = end
+		}
+	}
+	var cost float64
+	for t := model.Time(0); t < fin; t++ {
+		sum := s.p.BasePower
+		for i := 0; i <= k; i++ {
+			if s.start[i] <= t && t < s.start[i]+s.p.Tasks[i].Delay {
+				sum += s.p.Tasks[i].Power
+			}
+		}
+		if sum > s.p.Pmin {
+			cost += sum - s.p.Pmin
+		}
+	}
+	return cost
+}
+
+// leaf records a complete assignment if it beats the incumbent. All
+// pairwise constraints are fully checked here (bounds only used
+// assigned endpoints, so this is the authoritative check).
+func (s *solver) leaf() {
+	sigma := func(name string) model.Time {
+		if name == model.Anchor {
+			return 0
+		}
+		return s.start[s.idx[name]]
+	}
+	for _, c := range s.p.Constraints {
+		sep := sigma(c.To) - sigma(c.From)
+		if sep < c.Min || (c.HasMax && sep > c.Max) {
+			return
+		}
+	}
+	var fin model.Time
+	for i, t := range s.p.Tasks {
+		if end := s.start[i] + t.Delay; end > fin {
+			fin = end
+		}
+	}
+	if s.obj == MinEnergyCost && fin > s.cfg.TauBound {
+		return
+	}
+	ec := s.partialCost(len(s.p.Tasks) - 1)
+
+	var costVal float64
+	switch s.obj {
+	case MinFinish:
+		costVal = float64(fin)
+	case MinEnergyCost:
+		costVal = ec
+	}
+	if s.bestCost < 0 || costVal < s.bestCost {
+		s.bestCost = costVal
+		s.best = append([]model.Time(nil), s.start...)
+		s.bestFinish = fin
+		s.bestEc = ec
+	}
+}

@@ -1,0 +1,146 @@
+// Package exec is the execution layer under the static schedules: a
+// discrete-event replay of a schedule against live power sources. Where
+// the power metrics of internal/power evaluate a schedule against fixed
+// Pmax/Pmin levels, Execute runs it second by second against a
+// time-varying solar source and a battery, drawing real energy,
+// detecting budget violations at the instant they would occur (for
+// example when the solar output drops mid-schedule), and producing an
+// event trace for inspection or visualization.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// TaskStart marks a task beginning execution.
+	TaskStart EventKind = iota
+	// TaskFinish marks a task completing.
+	TaskFinish
+)
+
+func (k EventKind) String() string {
+	if k == TaskStart {
+		return "start"
+	}
+	return "finish"
+}
+
+// Event is one entry of the execution trace.
+type Event struct {
+	// T is the schedule-relative time of the event.
+	T model.Time
+	// Kind is start or finish.
+	Kind EventKind
+	// Task names the task.
+	Task string
+	// SystemPower is the total demand immediately after the event.
+	SystemPower float64
+}
+
+// Trace derives the ordered start/finish event log of a schedule.
+// Finishes sort before starts at the same instant (the resource is
+// free for the next task), names break remaining ties.
+func Trace(p *model.Problem, s schedule.Schedule) []Event {
+	var evs []Event
+	for i, t := range p.Tasks {
+		evs = append(evs,
+			Event{T: s.Start[i], Kind: TaskStart, Task: t.Name},
+			Event{T: s.Start[i] + t.Delay, Kind: TaskFinish, Task: t.Name},
+		)
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].T != evs[b].T {
+			return evs[a].T < evs[b].T
+		}
+		if evs[a].Kind != evs[b].Kind {
+			return evs[a].Kind == TaskFinish
+		}
+		return evs[a].Task < evs[b].Task
+	})
+	cur := p.BasePower
+	byName := p.TaskIndex()
+	for i := range evs {
+		task := p.Tasks[byName[evs[i].Task]]
+		if evs[i].Kind == TaskStart {
+			cur += task.Power
+		} else {
+			cur -= task.Power
+		}
+		evs[i].SystemPower = cur
+	}
+	return evs
+}
+
+// Report is the outcome of an execution.
+type Report struct {
+	// Events is the trace.
+	Events []Event
+	// Finish is the schedule-relative completion time.
+	Finish model.Time
+	// Energy is total consumption in joules.
+	Energy float64
+	// SolarUsed is the energy served by the free source.
+	SolarUsed float64
+	// BatteryUsed is the energy served by the battery.
+	BatteryUsed float64
+	// SolarWasted is free energy available but not consumed.
+	SolarWasted float64
+	// PeakDemand is the highest instantaneous demand observed.
+	PeakDemand float64
+}
+
+// Execute replays the schedule starting at mission time offset against
+// the supply. Demand beyond the instantaneous solar output is drawn
+// from the battery; demand beyond solar plus the battery's maximum
+// output is a hard failure, as is battery exhaustion. The battery may
+// be nil when only solar accounting is wanted (any over-solar demand
+// then fails).
+func Execute(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power.Battery, offset model.Time) (Report, error) {
+	rep := Report{Events: Trace(p, s), Finish: s.Finish(p.Tasks)}
+	for t := model.Time(0); t < rep.Finish; t++ {
+		demand := p.BasePower
+		for i, task := range p.Tasks {
+			if s.Start[i] <= t && t < s.Start[i]+task.Delay {
+				demand += task.Power
+			}
+		}
+		if demand > rep.PeakDemand {
+			rep.PeakDemand = demand
+		}
+		solar := sup.PminAt(offset + t)
+		budget := solar
+		if bat != nil {
+			budget += bat.MaxPower
+		}
+		if demand > budget+1e-9 {
+			return rep, fmt.Errorf("exec: t=%d (mission %d): demand %.4g W exceeds available %.4g W",
+				t, offset+t, demand, budget)
+		}
+		rep.Energy += demand
+		if demand <= solar {
+			rep.SolarUsed += demand
+			rep.SolarWasted += solar - demand
+			continue
+		}
+		rep.SolarUsed += solar
+		draw := demand - solar
+		if bat == nil {
+			return rep, fmt.Errorf("exec: t=%d: demand %.4g W exceeds solar %.4g W with no battery",
+				t, demand, solar)
+		}
+		if err := bat.Draw(draw); err != nil {
+			return rep, fmt.Errorf("exec: t=%d: %w", t, err)
+		}
+		rep.BatteryUsed += draw
+	}
+	return rep, nil
+}

@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/rover"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+)
+
+func simpleProblem() (*model.Problem, schedule.Schedule) {
+	p := &model.Problem{
+		Name: "ex",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 3, Power: 4},
+			{Name: "b", Resource: "B", Delay: 2, Power: 6},
+		},
+		BasePower: 1,
+	}
+	return p, schedule.Schedule{Start: []model.Time{0, 3}}
+}
+
+func TestTraceOrderAndPower(t *testing.T) {
+	p, s := simpleProblem()
+	evs := Trace(p, s)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	// a starts (5 W), a finishes (1 W), b starts (7 W), b finishes (1 W).
+	want := []struct {
+		t    model.Time
+		kind EventKind
+		task string
+		pw   float64
+	}{
+		{0, TaskStart, "a", 5},
+		{3, TaskFinish, "a", 1},
+		{3, TaskStart, "b", 7},
+		{5, TaskFinish, "b", 1},
+	}
+	for i, w := range want {
+		e := evs[i]
+		if e.T != w.t || e.Kind != w.kind || e.Task != w.task || math.Abs(e.SystemPower-w.pw) > 1e-12 {
+			t.Errorf("event %d = %+v, want %+v", i, e, w)
+		}
+	}
+}
+
+func TestTraceFinishBeforeStartAtSameInstant(t *testing.T) {
+	p, s := simpleProblem()
+	evs := Trace(p, s)
+	// At t=3 the finish of a must precede the start of b.
+	if evs[1].Kind != TaskFinish || evs[2].Kind != TaskStart {
+		t.Fatalf("tie-break wrong: %+v then %+v", evs[1], evs[2])
+	}
+}
+
+func TestExecuteSolarOnly(t *testing.T) {
+	p, s := simpleProblem()
+	sup := power.Supply{Solar: power.NewSolar(10)}
+	rep, err := Execute(p, s, sup, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand: 5 W for [0,3), 7 W for [3,5): energy 15+14 = 29.
+	if math.Abs(rep.Energy-29) > 1e-9 {
+		t.Errorf("energy = %g, want 29", rep.Energy)
+	}
+	if rep.BatteryUsed != 0 || math.Abs(rep.SolarUsed-29) > 1e-9 {
+		t.Errorf("split = solar %g battery %g", rep.SolarUsed, rep.BatteryUsed)
+	}
+	if math.Abs(rep.SolarWasted-(50-29)) > 1e-9 {
+		t.Errorf("wasted = %g, want 21", rep.SolarWasted)
+	}
+	if rep.PeakDemand != 7 {
+		t.Errorf("peak = %g, want 7", rep.PeakDemand)
+	}
+}
+
+func TestExecuteBatteryTopUp(t *testing.T) {
+	p, s := simpleProblem()
+	sup := power.Supply{Solar: power.NewSolar(4)}
+	bat := &power.Battery{MaxPower: 5, Capacity: 100}
+	rep, err := Execute(p, s, sup, bat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,3): demand 5, solar 4 -> battery 1/s; [3,5): demand 7 -> 3/s.
+	if math.Abs(rep.BatteryUsed-(3*1+2*3)) > 1e-9 {
+		t.Errorf("battery used = %g, want 9", rep.BatteryUsed)
+	}
+	if math.Abs(bat.Drawn()-rep.BatteryUsed) > 1e-9 {
+		t.Error("battery ledger disagrees with report")
+	}
+}
+
+func TestExecuteOverBudgetFails(t *testing.T) {
+	p, s := simpleProblem()
+	sup := power.Supply{Solar: power.NewSolar(4)}
+	bat := &power.Battery{MaxPower: 2} // 4+2 = 6 < 7 W demand at t=3
+	_, err := Execute(p, s, sup, bat, 0)
+	if err == nil || !strings.Contains(err.Error(), "exceeds available") {
+		t.Fatalf("err = %v, want over-budget failure", err)
+	}
+}
+
+func TestExecuteNoBatteryOverSolarFails(t *testing.T) {
+	p, s := simpleProblem()
+	sup := power.Supply{Solar: power.NewSolar(6)}
+	if _, err := Execute(p, s, sup, nil, 0); err == nil {
+		t.Fatal("7 W demand on 6 W solar without battery succeeded")
+	}
+}
+
+func TestExecuteBatteryExhaustion(t *testing.T) {
+	p, s := simpleProblem()
+	sup := power.Supply{Solar: power.NewSolar(0)}
+	bat := &power.Battery{MaxPower: 10, Capacity: 10}
+	_, err := Execute(p, s, sup, bat, 0)
+	if err == nil {
+		t.Fatal("exhausted battery not detected")
+	}
+}
+
+// TestExecuteMidSchedulePhaseChange: the solar output drops while the
+// schedule runs; battery draw increases from that instant — something
+// the static Pmin metrics cannot express.
+func TestExecuteMidSchedulePhaseChange(t *testing.T) {
+	p, s := simpleProblem()
+	sol := power.NewSolar(10)
+	sol.AddPhase(2, 3) // drops to 3 W at t=2
+	sup := power.Supply{Solar: sol}
+	bat := &power.Battery{MaxPower: 10, Capacity: 1000}
+	rep, err := Execute(p, s, sup, bat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,2): solar covers 5 W. [2,3): 5-3=2 from battery.
+	// [3,5): 7-3=4 per second from battery. Total 2+8 = 10.
+	if math.Abs(rep.BatteryUsed-10) > 1e-9 {
+		t.Errorf("battery used = %g, want 10", rep.BatteryUsed)
+	}
+}
+
+// TestExecuteOffsetShiftsPhases: executing the same schedule later in
+// mission time sees different solar conditions.
+func TestExecuteOffsetShiftsPhases(t *testing.T) {
+	p, s := simpleProblem()
+	sol := power.NewSolar(10)
+	sol.AddPhase(100, 3)
+	sup := power.Supply{Solar: sol}
+	early, err := Execute(p, s, sup, &power.Battery{MaxPower: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := Execute(p, s, sup, &power.Battery{MaxPower: 10}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.BatteryUsed != 0 {
+		t.Errorf("early battery = %g, want 0", early.BatteryUsed)
+	}
+	if late.BatteryUsed <= early.BatteryUsed {
+		t.Error("late execution should cost battery energy")
+	}
+}
+
+// TestExecuteRoverMatchesStaticCost: under constant solar the
+// executor's battery usage equals the static energy cost Ec(Pmin) of
+// the schedule — the two accounting paths agree.
+func TestExecuteRoverMatchesStaticCost(t *testing.T) {
+	for _, c := range rover.Cases {
+		prob := rover.BuildIteration(c, rover.Cold)
+		r, err := sched.Run(prob, sched.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		par := rover.Table2(c)
+		sup := power.Supply{Solar: power.NewSolar(par.Solar)}
+		bat := &power.Battery{MaxPower: par.BatteryMax}
+		rep, err := Execute(prob, r.Schedule, sup, bat, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if math.Abs(rep.BatteryUsed-r.EnergyCost()) > 1e-9 {
+			t.Errorf("%s: executor battery %g != static cost %g", c, rep.BatteryUsed, r.EnergyCost())
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package gantt renders the power-aware Gantt chart of paper section
+// 4.3: a two-view visualization of a schedule. The time view places
+// task bins on one row per execution resource, with bin length equal to
+// execution delay; the power view collapses all bins onto the time axis,
+// showing the power profile against the min and max power constraints
+// so spikes, gaps, energy cost, and free-power usage can be read
+// directly.
+//
+// Two renderers are provided: a fixed-pitch ASCII renderer for
+// terminals and tests, and an SVG renderer for documents. Both consume
+// the same Chart value.
+package gantt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// Chart is a schedule prepared for rendering.
+type Chart struct {
+	Title   string
+	Tasks   []model.Task
+	Starts  []model.Time
+	Profile power.Profile
+	Pmax    float64
+	Pmin    float64
+	Tau     model.Time
+}
+
+// New builds a chart from a problem and one of its schedules.
+func New(p *model.Problem, s schedule.Schedule) *Chart {
+	return &Chart{
+		Title:   p.Name,
+		Tasks:   p.Tasks,
+		Starts:  append([]model.Time(nil), s.Start...),
+		Profile: power.Build(p.Tasks, s, p.BasePower),
+		Pmax:    p.Pmax,
+		Pmin:    p.Pmin,
+		Tau:     s.Finish(p.Tasks),
+	}
+}
+
+// rows groups task indices by resource, resources sorted by name and
+// tasks within a resource by start time.
+func (c *Chart) rows() [][]int {
+	byRes := make(map[string][]int)
+	for i, t := range c.Tasks {
+		byRes[t.Resource] = append(byRes[t.Resource], i)
+	}
+	names := make([]string, 0, len(byRes))
+	for r := range byRes {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	out := make([][]int, len(names))
+	for k, r := range names {
+		idxs := byRes[r]
+		sort.Slice(idxs, func(a, b int) bool { return c.Starts[idxs[a]] < c.Starts[idxs[b]] })
+		out[k] = idxs
+	}
+	return out
+}
+
+// ASCII renders both views as fixed-pitch text. scale is the number of
+// time units per character column (0 means 1).
+func (c *Chart) ASCII(scale int) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	cols := int(c.Tau)/scale + 1
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (tau=%d s, Pmax=%.4g W, Pmin=%.4g W)\n", c.Title, c.Tau, c.Pmax, c.Pmin)
+
+	// Time view.
+	b.WriteString("time view:\n")
+	label := 0
+	for _, row := range c.rows() {
+		if len(row) == 0 {
+			continue
+		}
+		res := c.Tasks[row[0]].Resource
+		line := make([]byte, cols)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, v := range row {
+			t := c.Tasks[v]
+			from, to := c.Starts[v]/scale, (c.Starts[v]+t.Delay)/scale
+			for x := from; x < to && x < cols; x++ {
+				ch := byte(t.Name[0])
+				if x == from && len(t.Name) > 0 {
+					ch = t.Name[0]
+				}
+				line[x] = ch
+			}
+		}
+		fmt.Fprintf(&b, "  %-8s |%s|\n", res, string(line))
+		label++
+	}
+
+	// Power view: one row per descending power level, using the set of
+	// levels that actually occur plus Pmax and Pmin.
+	b.WriteString("power view:\n")
+	levels := c.levels()
+	for _, lv := range levels {
+		line := make([]byte, cols)
+		for x := 0; x < cols; x++ {
+			p := c.Profile.At(model.Time(x * scale))
+			switch {
+			case p >= lv && p > c.Pmax && c.Pmax > 0:
+				line[x] = '!'
+			case p >= lv:
+				line[x] = '#'
+			default:
+				line[x] = ' '
+			}
+		}
+		mark := "  "
+		if c.Pmax > 0 && lv == c.Pmax {
+			mark = "=x"
+		}
+		if c.Pmin > 0 && lv == c.Pmin {
+			mark = "=n"
+		}
+		fmt.Fprintf(&b, "  %7.4g%s|%s|\n", lv, mark, string(line))
+	}
+	// Time axis.
+	axis := make([]byte, cols)
+	for i := range axis {
+		axis[i] = '-'
+		if (i*scale)%10 == 0 {
+			axis[i] = '+'
+		}
+	}
+	fmt.Fprintf(&b, "  %7s  |%s|\n", "t", string(axis))
+	fmt.Fprintf(&b, "  cost=%.4g J  util=%.2f%%  peak=%.4g W\n",
+		c.Profile.EnergyCost(c.Pmin), 100*c.Profile.Utilization(c.Pmin), c.Profile.Peak())
+	return b.String()
+}
+
+// levels picks the horizontal slices drawn in the ASCII power view:
+// every distinct profile level plus the two constraints, descending,
+// capped to a readable count.
+func (c *Chart) levels() []float64 {
+	set := map[float64]bool{}
+	for _, s := range c.Profile.Segs {
+		if s.P > 0 {
+			set[s.P] = true
+		}
+	}
+	if c.Pmax > 0 {
+		set[c.Pmax] = true
+	}
+	if c.Pmin > 0 {
+		set[c.Pmin] = true
+	}
+	var ls []float64
+	for v := range set {
+		ls = append(ls, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ls)))
+	const maxRows = 16
+	if len(ls) > maxRows {
+		// Keep constraints, thin the rest evenly.
+		kept := ls[:0]
+		stride := (len(ls) + maxRows - 1) / maxRows
+		for i, v := range ls {
+			if v == c.Pmax || v == c.Pmin || i%stride == 0 {
+				kept = append(kept, v)
+			}
+		}
+		ls = kept
+	}
+	return ls
+}

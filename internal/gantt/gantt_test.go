@@ -1,0 +1,144 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+)
+
+func demoChart(t *testing.T) (*model.Problem, *Chart) {
+	t.Helper()
+	p := &model.Problem{
+		Name: "demo",
+		Tasks: []model.Task{
+			{Name: "alpha", Resource: "cpu", Delay: 3, Power: 4},
+			{Name: "beta", Resource: "radio", Delay: 2, Power: 6},
+		},
+		Pmax:      12,
+		Pmin:      3,
+		BasePower: 1,
+	}
+	s := schedule.Schedule{Start: []model.Time{0, 3}}
+	return p, New(p, s)
+}
+
+func TestASCIIStructure(t *testing.T) {
+	_, c := demoChart(t)
+	out := c.ASCII(1)
+	for _, want := range []string{
+		"demo", "time view:", "power view:",
+		"cpu", "radio", // one row per resource
+		"=x", "=n", // Pmax and Pmin markers
+		"cost=", "util=", "peak=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestASCIIBinsPlacement(t *testing.T) {
+	_, c := demoChart(t)
+	out := c.ASCII(1)
+	lines := strings.Split(out, "\n")
+	var cpuLine, radioLine string
+	for _, l := range lines {
+		if strings.Contains(l, "cpu") {
+			cpuLine = l
+		}
+		if strings.Contains(l, "radio") {
+			radioLine = l
+		}
+	}
+	if !strings.Contains(cpuLine, "aaa") {
+		t.Errorf("cpu row missing alpha bin: %q", cpuLine)
+	}
+	if !strings.Contains(radioLine, "...bb") {
+		t.Errorf("radio row misplaces beta bin: %q", radioLine)
+	}
+}
+
+func TestASCIIScale(t *testing.T) {
+	_, c := demoChart(t)
+	wide := c.ASCII(1)
+	narrow := c.ASCII(5)
+	if len(narrow) >= len(wide) {
+		t.Error("scaling did not shrink the chart")
+	}
+}
+
+func TestASCIIMarksSpikes(t *testing.T) {
+	p := &model.Problem{
+		Name: "spiky",
+		Tasks: []model.Task{
+			{Name: "x", Resource: "A", Delay: 2, Power: 9},
+			{Name: "y", Resource: "B", Delay: 2, Power: 9},
+		},
+		Pmax: 10,
+		Pmin: 2,
+	}
+	s := schedule.Schedule{Start: []model.Time{0, 0}}
+	out := New(p, s).ASCII(1)
+	if !strings.Contains(out, "!") {
+		t.Errorf("spike not marked with '!':\n%s", out)
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	_, c := demoChart(t)
+	out := c.SVG()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a closed SVG document")
+	}
+	for _, want := range []string{"Pmax=12", "Pmin=3", "alpha", "beta", "<rect", "cost="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One rect per task bin plus one per profile segment, at minimum.
+	if strings.Count(out, "<rect") < 3 {
+		t.Errorf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	p := &model.Problem{
+		Name:  "a<b>&\"c\"",
+		Tasks: []model.Task{{Name: "t<1>", Resource: "r&d", Delay: 1, Power: 1}},
+	}
+	s := schedule.Schedule{Start: []model.Time{0}}
+	out := New(p, s).SVG()
+	for _, bad := range []string{"a<b>", "t<1>", "r&d\""} {
+		if strings.Contains(out, bad) {
+			t.Errorf("unescaped %q in SVG", bad)
+		}
+	}
+	if !strings.Contains(out, "&lt;") || !strings.Contains(out, "&amp;") {
+		t.Error("expected escaped entities in SVG")
+	}
+}
+
+func TestChartOnScheduledExample(t *testing.T) {
+	p := paperex.Nine()
+	r, err := sched.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p, r.Schedule)
+	ascii := c.ASCII(1)
+	for _, res := range []string{"A", "B", "C"} {
+		if !strings.Contains(ascii, res) {
+			t.Errorf("resource %s row missing", res)
+		}
+	}
+	svg := c.SVG()
+	for _, name := range []string{"a", "i"} {
+		if !strings.Contains(svg, ">"+name+"<") {
+			t.Errorf("task %s label missing from SVG", name)
+		}
+	}
+}

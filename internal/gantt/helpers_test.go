@@ -1,0 +1,92 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+func TestTickStride(t *testing.T) {
+	cases := map[int]int{
+		10:    5,
+		100:   5,
+		150:   10,
+		400:   25,
+		900:   50,
+		1900:  100,
+		4900:  250,
+		20000: 500,
+	}
+	for tau, want := range cases {
+		if got := tickStride(tau); got != want {
+			t.Errorf("tickStride(%d) = %d, want %d", tau, got, want)
+		}
+	}
+}
+
+func TestLevelsIncludeConstraints(t *testing.T) {
+	p := &model.Problem{
+		Name:  "lv",
+		Tasks: []model.Task{{Name: "x", Resource: "R", Delay: 2, Power: 3}},
+		Pmax:  9,
+		Pmin:  2,
+	}
+	c := New(p, schedule.Schedule{Start: []model.Time{0}})
+	ls := c.levels()
+	hasPmax, hasPmin := false, false
+	for _, v := range ls {
+		if v == 9 {
+			hasPmax = true
+		}
+		if v == 2 {
+			hasPmin = true
+		}
+	}
+	if !hasPmax || !hasPmin {
+		t.Fatalf("levels %v missing constraints", ls)
+	}
+	// Descending order.
+	for i := 1; i < len(ls); i++ {
+		if ls[i] >= ls[i-1] {
+			t.Fatalf("levels not descending: %v", ls)
+		}
+	}
+}
+
+func TestLevelsThinning(t *testing.T) {
+	// 30 distinct power levels: the ASCII power view must thin them but
+	// keep the constraint rules.
+	p := &model.Problem{Name: "many", Pmax: 100, Pmin: 1}
+	starts := make([]model.Time, 30)
+	for i := 0; i < 30; i++ {
+		p.AddTask(model.Task{
+			Name:     string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Resource: p.Name + string(rune('a'+i)),
+			Delay:    1,
+			Power:    float64(i + 2),
+		})
+		starts[i] = model.Time(i)
+	}
+	c := New(p, schedule.Schedule{Start: starts})
+	ls := c.levels()
+	if len(ls) > 20 {
+		t.Fatalf("levels not thinned: %d rows", len(ls))
+	}
+	out := c.ASCII(1)
+	if !strings.Contains(out, "=x") || !strings.Contains(out, "=n") {
+		t.Fatal("constraint markers lost in thinning")
+	}
+}
+
+func TestASCIIDefaultsScale(t *testing.T) {
+	p := &model.Problem{
+		Name:  "s",
+		Tasks: []model.Task{{Name: "x", Resource: "R", Delay: 2, Power: 3}},
+	}
+	c := New(p, schedule.Schedule{Start: []model.Time{0}})
+	if c.ASCII(0) != c.ASCII(1) {
+		t.Fatal("scale 0 should default to 1")
+	}
+}

@@ -1,0 +1,133 @@
+package gantt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// svg geometry constants (pixels).
+const (
+	svgPxPerSec   = 12
+	svgRowHeight  = 28
+	svgRowGap     = 6
+	svgMarginL    = 90
+	svgMarginT    = 40
+	svgPowerH     = 180
+	svgViewGap    = 30
+	svgMarginB    = 40
+	svgMarginR    = 20
+	svgWattsScale = 6 // pixels per watt in the power view
+)
+
+// SVG renders the chart as a standalone SVG document with the time view
+// above the power view, sharing the time axis. Task bins in the time
+// view are scaled vertically by power, so bin area is energy, exactly
+// as in the paper's figures.
+func (c *Chart) SVG() string {
+	rows := c.rows()
+	maxPower := c.Profile.Peak()
+	if c.Pmax > maxPower {
+		maxPower = c.Pmax
+	}
+	timeH := len(rows) * (svgRowHeight + svgRowGap)
+	width := svgMarginL + int(c.Tau)*svgPxPerSec + svgMarginR
+	height := svgMarginT + timeH + svgViewGap + svgPowerH + svgMarginB
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s (tau=%d s)</text>`+"\n",
+		svgMarginL, escape(c.Title), c.Tau)
+
+	x := func(t model.Time) int { return svgMarginL + int(t)*svgPxPerSec }
+
+	// Time view: one row per resource; bin height proportional to power.
+	maxTaskPower := 0.0
+	for _, t := range c.Tasks {
+		if t.Power > maxTaskPower {
+			maxTaskPower = t.Power
+		}
+	}
+	for r, row := range rows {
+		y := svgMarginT + r*(svgRowHeight+svgRowGap)
+		res := c.Tasks[row[0]].Resource
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", svgMarginL-8, y+svgRowHeight-8, escape(res))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ccc"/>`+"\n",
+			svgMarginL, y+svgRowHeight, x(c.Tau), y+svgRowHeight)
+		for _, v := range row {
+			t := c.Tasks[v]
+			h := svgRowHeight
+			if maxTaskPower > 0 {
+				h = int(float64(svgRowHeight) * t.Power / maxTaskPower)
+				if h < 4 {
+					h = 4
+				}
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#7aa6d6" stroke="#33547a"/>`+"\n",
+				x(c.Starts[v]), y+svgRowHeight-h, t.Delay*svgPxPerSec, h)
+			fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+				x(c.Starts[v])+2, y+svgRowHeight-h+12, escape(t.Name))
+		}
+	}
+
+	// Power view: filled step function with Pmax/Pmin rules.
+	py := svgMarginT + timeH + svgViewGap
+	baseY := py + svgPowerH
+	wy := func(p float64) int {
+		yy := baseY - int(p*float64(svgWattsScale))
+		if yy < py {
+			yy = py
+		}
+		return yy
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#000"/>`+"\n", svgMarginL, baseY, x(c.Tau), baseY)
+	for _, seg := range c.Profile.Segs {
+		fill := "#9dc183"
+		if c.Pmax > 0 && seg.P > c.Pmax {
+			fill = "#d66a6a" // spike
+		} else if c.Pmin > 0 && seg.P < c.Pmin {
+			fill = "#e8d27a" // gap
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#555" stroke-width="0.5"/>`+"\n",
+			x(seg.T0), wy(seg.P), (seg.T1-seg.T0)*svgPxPerSec, baseY-wy(seg.P), fill)
+	}
+	for _, rule := range []struct {
+		p     float64
+		label string
+		color string
+	}{{c.Pmax, "Pmax", "#b03030"}, {c.Pmin, "Pmin", "#306030"}} {
+		if rule.p <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-dasharray="6,3"/>`+"\n",
+			svgMarginL, wy(rule.p), x(c.Tau), wy(rule.p), rule.color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s">%s=%.4g W</text>`+"\n",
+			x(c.Tau)+4, wy(rule.p)+4, rule.color, rule.label, rule.p)
+	}
+
+	// Time axis ticks every 10 s.
+	ticks := tickStride(int(c.Tau))
+	for t := 0; t <= int(c.Tau); t += ticks {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#000"/>`+"\n", x(model.Time(t)), baseY, x(model.Time(t)), baseY+4)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%d</text>`+"\n", x(model.Time(t)), baseY+16, t)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">cost=%.4g J, util=%.1f%%, peak=%.4g W</text>`+"\n",
+		svgMarginL, baseY+32, c.Profile.EnergyCost(c.Pmin), 100*c.Profile.Utilization(c.Pmin), c.Profile.Peak())
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func tickStride(tau int) int {
+	for _, s := range []int{5, 10, 25, 50, 100, 250} {
+		if tau/s <= 20 {
+			return s
+		}
+	}
+	return 500
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,156 @@
+// Package graph implements the weighted constraint graph underlying the
+// power-aware scheduler.
+//
+// A vertex per task plus one virtual anchor vertex; a directed edge
+// (u -> v, w) encodes the difference constraint sigma(v) >= sigma(u) + w.
+// Max separations sigma(v) <= sigma(u) + m are encoded as the reverse
+// edge (v -> u, -m). The single-source longest path from the anchor
+// yields the ASAP start times; a positive cycle proves the constraint
+// system infeasible.
+//
+// The scheduling algorithms of the paper mutate the graph incrementally
+// (serialization edges, delay edges, lock edges) and must be able to
+// "undo changes to G since step B". The graph therefore journals every
+// added edge and supports checkpoint/rollback in O(edges added).
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NoPath marks a vertex unreachable from the longest-path source.
+const NoPath = math.MinInt / 4
+
+// Edge is a directed, weighted constraint edge.
+type Edge struct {
+	From, To int
+	W        int
+}
+
+// Graph is a journaled weighted digraph over a fixed vertex set.
+// The zero value is unusable; create graphs with New.
+type Graph struct {
+	n       int
+	out     [][]Edge // adjacency by source vertex
+	in      [][]Edge // reverse adjacency by destination vertex
+	journal []Edge   // every edge ever added, in order
+}
+
+// Checkpoint is an opaque marker into the mutation journal.
+type Checkpoint int
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph {
+	return &Graph{
+		n:   n,
+		out: make([][]Edge, n),
+		in:  make([][]Edge, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return len(g.journal) }
+
+// AddEdge appends the constraint edge sigma(to) >= sigma(from) + w.
+// Parallel edges are permitted; the effective constraint is the
+// strongest (largest w), which longest-path relaxation honors naturally.
+func (g *Graph) AddEdge(from, to, w int) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d -> %d) out of range [0,%d)", from, to, g.n))
+	}
+	if from == to {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", from))
+	}
+	e := Edge{From: from, To: to, W: w}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	g.journal = append(g.journal, e)
+}
+
+// Mark returns a checkpoint capturing the current edge set.
+func (g *Graph) Mark() Checkpoint { return Checkpoint(len(g.journal)) }
+
+// Rollback removes, in reverse order, every edge added after the
+// checkpoint was taken.
+func (g *Graph) Rollback(cp Checkpoint) {
+	if int(cp) > len(g.journal) {
+		panic("graph: rollback to a future checkpoint")
+	}
+	for i := len(g.journal) - 1; i >= int(cp); i-- {
+		e := g.journal[i]
+		g.out[e.From] = g.out[e.From][:len(g.out[e.From])-1]
+		g.in[e.To] = g.in[e.To][:len(g.in[e.To])-1]
+	}
+	g.journal = g.journal[:cp]
+}
+
+// Out returns the live outgoing edges of v. The slice is owned by the
+// graph; callers must not modify or retain it across mutations.
+func (g *Graph) Out(v int) []Edge { return g.out[v] }
+
+// In returns the live incoming edges of v, with the same aliasing
+// caveat as Out.
+func (g *Graph) In(v int) []Edge { return g.in[v] }
+
+// Edges returns a copy of all live edges in insertion order.
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.journal...) }
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.journal {
+		c.AddEdge(e.From, e.To, e.W)
+	}
+	return c
+}
+
+// LongestFrom computes single-source longest path distances from src
+// using queue-based relaxation (SPFA). dist[v] is the length of the
+// longest path src->v, or NoPath if v is unreachable. ok is false when
+// a positive cycle is reachable from src, in which case dist is
+// meaningless: the constraint system has no solution.
+func (g *Graph) LongestFrom(src int) (dist []int, ok bool) {
+	dist = make([]int, g.n)
+	for i := range dist {
+		dist[i] = NoPath
+	}
+	dist[src] = 0
+
+	inQueue := make([]bool, g.n)
+	relaxed := make([]int, g.n) // times dequeued; > n implies positive cycle
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	inQueue[src] = true
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		relaxed[u]++
+		if relaxed[u] > g.n {
+			return dist, false
+		}
+		du := dist[u]
+		for _, e := range g.out[u] {
+			if nd := du + e.W; nd > dist[e.To] {
+				dist[e.To] = nd
+				if !inQueue[e.To] {
+					queue = append(queue, e.To)
+					inQueue[e.To] = true
+				}
+			}
+		}
+	}
+	return dist, true
+}
+
+// Feasible reports whether the constraint system rooted at src has a
+// solution (no reachable positive cycle).
+func (g *Graph) Feasible(src int) bool {
+	_, ok := g.LongestFrom(src)
+	return ok
+}

@@ -1,0 +1,45 @@
+package graph
+
+// AddEdgeRelax adds the edge and incrementally updates dist — a valid
+// single-source longest-path solution for the graph *before* the
+// addition — to the solution *after* it, by relaxing outward from the
+// edge's head. This is the scheduler's inner loop: a delay edge
+// typically shifts only a small cone of successors, so relaxing from
+// the change is much cheaper than recomputing from the source.
+//
+// ok is false when the new edge closes a positive cycle; dist is then
+// partially updated and the caller must roll the edge back and discard
+// dist (Rollback restores the graph; the caller re-derives dist from
+// its last good schedule).
+func (g *Graph) AddEdgeRelax(dist []int, from, to, w int) (ok bool) {
+	g.AddEdge(from, to, w)
+	if dist[from] == NoPath || dist[from]+w <= dist[to] {
+		return true
+	}
+	dist[to] = dist[from] + w
+
+	inQueue := make([]bool, g.n)
+	relaxed := make([]int, g.n)
+	queue := []int{to}
+	inQueue[to] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		relaxed[u]++
+		if relaxed[u] > g.n {
+			return false
+		}
+		du := dist[u]
+		for _, e := range g.out[u] {
+			if nd := du + e.W; nd > dist[e.To] {
+				dist[e.To] = nd
+				if !inQueue[e.To] {
+					queue = append(queue, e.To)
+					inQueue[e.To] = true
+				}
+			}
+		}
+	}
+	return true
+}

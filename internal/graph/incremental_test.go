@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeRelaxSimple(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	dist, ok := g.LongestFrom(0)
+	if !ok {
+		t.Fatal("infeasible base")
+	}
+	// New edge 0->2 weight 9 dominates the old path.
+	if !g.AddEdgeRelax(dist, 0, 2, 9) {
+		t.Fatal("relax reported a cycle")
+	}
+	if dist[2] != 9 {
+		t.Fatalf("dist[2] = %d, want 9", dist[2])
+	}
+	// Non-binding edge changes nothing.
+	if !g.AddEdgeRelax(dist, 0, 1, 1) {
+		t.Fatal("relax reported a cycle")
+	}
+	if dist[1] != 2 {
+		t.Fatalf("dist[1] = %d, want 2", dist[1])
+	}
+}
+
+func TestAddEdgeRelaxDetectsCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 5)
+	dist, _ := g.LongestFrom(0)
+	// 1 -> 0 with weight -3 closes a positive cycle (5-3 > 0).
+	if g.AddEdgeRelax(dist, 1, 0, -3) {
+		t.Fatal("positive cycle not detected")
+	}
+}
+
+func TestAddEdgeRelaxPropagates(t *testing.T) {
+	// Chain 0->1->2->3; delaying 1 shifts 2 and 3.
+	g := New(5)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i+1, 3)
+	}
+	dist, _ := g.LongestFrom(0)
+	if !g.AddEdgeRelax(dist, 0, 1, 10) { // push 1 from 3 to 10
+		t.Fatal("cycle reported")
+	}
+	want := []int{0, 10, 13, 16, NoPath}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], w)
+		}
+	}
+}
+
+// TestQuickRelaxMatchesFullRecompute: on random feasible graphs, the
+// incremental update after one random edge equals a full recompute.
+func TestQuickRelaxMatchesFullRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g := New(n)
+		for i := 0; i < n-1; i++ {
+			g.AddEdge(i, i+1, rng.Intn(6))
+		}
+		for k := 0; k < 4; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, rng.Intn(13)-6)
+			}
+		}
+		dist, ok := g.LongestFrom(0)
+		if !ok {
+			return true // infeasible base: nothing to compare
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			return true
+		}
+		w := rng.Intn(17) - 8
+		incr := append([]int(nil), dist...)
+		incOK := g.AddEdgeRelax(incr, u, v, w)
+		full, fullOK := g.LongestFrom(0)
+		if incOK != fullOK {
+			t.Logf("seed %d: ok mismatch inc=%v full=%v", seed, incOK, fullOK)
+			return false
+		}
+		if !incOK {
+			return true // both detected the cycle
+		}
+		for i := range full {
+			if full[i] != incr[i] {
+				t.Logf("seed %d: dist[%d] inc=%d full=%d", seed, i, incr[i], full[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package mission
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/rover"
+)
+
+func TestJPLPolicyFixedIteration(t *testing.T) {
+	p := &JPLPolicy{}
+	if p.Name() != "JPL" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	for _, c := range rover.Cases {
+		it, err := p.Next(Condition{Case: c, Solar: rover.Table2(c).Solar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Duration != rover.JPLIterationSeconds || it.Steps != rover.StepsPerIteration {
+			t.Errorf("%s: iteration %+v, want 75 s / 2 steps", c, it)
+		}
+	}
+	// Cached on second call.
+	a, _ := p.Next(Condition{Case: rover.Best})
+	b, _ := p.Next(Condition{Case: rover.Best})
+	if a != b {
+		t.Error("JPL iterations not cached/stable")
+	}
+}
+
+func TestPowerAwarePolicyWarmup(t *testing.T) {
+	p := &PowerAwarePolicy{}
+	p.Reset()
+	best := Condition{Case: rover.Best, Solar: 14.9}
+
+	first, err := p.Next(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Next(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Name == second.Name {
+		t.Fatalf("first (%s) and second (%s) iterations should differ (cold+preheat then warm)",
+			first.Name, second.Name)
+	}
+	if second.EnergyCost >= first.EnergyCost {
+		t.Errorf("warm iteration cost %.1f not below cold %.1f", second.EnergyCost, first.EnergyCost)
+	}
+
+	// A case change resets warmth for the preheated case.
+	if _, err := p.Next(Condition{Case: rover.Typical, Solar: 12}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := p.Next(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != first.Name {
+		t.Errorf("after case change, best-case iteration = %s, want the cold %s", again.Name, first.Name)
+	}
+
+	// Reset also clears warmth.
+	if _, err := p.Next(best); err != nil { // warm again
+		t.Fatal(err)
+	}
+	p.Reset()
+	cold, err := p.Next(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Name != first.Name {
+		t.Errorf("after Reset, iteration = %s, want cold %s", cold.Name, first.Name)
+	}
+}
+
+func TestPowerAwarePolicyNonPreheatCasesAreCold(t *testing.T) {
+	p := &PowerAwarePolicy{}
+	cond := Condition{Case: rover.Typical, Solar: 12}
+	a, err := p.Next(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Next(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name || a.Duration != 60 {
+		t.Errorf("typical iterations: %+v then %+v, want repeated 60 s cold", a, b)
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	phases := PaperScenario()
+	cases := map[int]int{0: 0, 599: 0, 600: 1, 1199: 1, 1200: 2, 99999: 2}
+	for tt, want := range cases {
+		if got := phaseAt(phases, tt); got != want {
+			t.Errorf("phaseAt(%d) = %d, want %d", tt, got, want)
+		}
+	}
+}
+
+// TestRangePowerAwareTravelsFarther: on a fixed battery, the
+// power-aware rover out-ranges the JPL baseline because it spends free
+// solar energy in the cheap phases and reaches the expensive dusk phase
+// with more charge left.
+func TestRangePowerAwareTravelsFarther(t *testing.T) {
+	phases := PaperScenario()
+	jplRep, err := Range(phases, &JPLPolicy{}, &power.Battery{Capacity: 3000, MaxPower: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paRep, err := Range(phases, &PowerAwarePolicy{}, &power.Battery{Capacity: 3000, MaxPower: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paRep.TotalSteps <= jplRep.TotalSteps {
+		t.Errorf("power-aware range %d steps not beyond JPL's %d", paRep.TotalSteps, jplRep.TotalSteps)
+	}
+	if jplRep.BatteryDrawn > 3000 || paRep.BatteryDrawn > 3000 {
+		t.Error("range overdrew the battery")
+	}
+	t.Logf("3000 J battery: JPL %d steps in %d s, power-aware %d steps in %d s",
+		jplRep.TotalSteps, jplRep.TotalSeconds, paRep.TotalSteps, paRep.TotalSeconds)
+}
+
+func TestRangeValidation(t *testing.T) {
+	if _, err := Range(nil, &JPLPolicy{}, &power.Battery{Capacity: 10}, 0); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := Range(PaperScenario(), &JPLPolicy{}, nil, 0); err == nil {
+		t.Error("nil battery accepted")
+	}
+	if _, err := Range(PaperScenario(), &JPLPolicy{}, &power.Battery{MaxPower: 10}, 0); err == nil {
+		t.Error("untracked battery accepted")
+	}
+	// A free-running policy with an effectively infinite battery trips
+	// the iteration guard rather than spinning forever.
+	if _, err := Range(PaperScenario(), &JPLPolicy{}, &power.Battery{Capacity: 1e12, MaxPower: 10}, 50); err == nil {
+		t.Error("runaway range not stopped")
+	}
+}
+
+func TestMaxIterationsGuard(t *testing.T) {
+	cfg := Config{
+		TargetSteps:   1000000,
+		Phases:        PaperScenario(),
+		Policy:        &JPLPolicy{},
+		MaxIterations: 10,
+	}
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("runaway mission not stopped")
+	}
+}

@@ -1,0 +1,129 @@
+package mission
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/rover"
+)
+
+const paperScenarioText = `
+# Table 4 scenario
+scenario paper
+steps 48
+battery 5000 10
+phase 600 best 14.9
+phase 600 typical 12
+phase 0 worst 9
+`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario(strings.NewReader(paperScenarioText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "paper" || sc.TargetSteps != 48 {
+		t.Fatalf("header: %+v", sc)
+	}
+	if sc.Battery == nil || sc.Battery.Capacity != 5000 || sc.Battery.MaxPower != 10 {
+		t.Fatalf("battery: %+v", sc.Battery)
+	}
+	if len(sc.Phases) != 3 {
+		t.Fatalf("phases: %d", len(sc.Phases))
+	}
+	if sc.Phases[1].Cond.Case != rover.Typical || sc.Phases[1].Cond.Solar != 12 || sc.Phases[1].Duration != 600 {
+		t.Fatalf("phase 2: %+v", sc.Phases[1])
+	}
+	if sc.Phases[2].Duration != 0 {
+		t.Fatalf("final phase should be open-ended: %+v", sc.Phases[2])
+	}
+}
+
+func TestScenarioMatchesPaperScenario(t *testing.T) {
+	sc, err := ParseScenario(strings.NewReader(paperScenarioText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperScenario()
+	for i := range want {
+		if sc.Phases[i] != want[i] {
+			t.Errorf("phase %d = %+v, want %+v", i, sc.Phases[i], want[i])
+		}
+	}
+}
+
+func TestScenarioSimulates(t *testing.T) {
+	sc, err := ParseScenario(strings.NewReader(paperScenarioText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(sc.Config(&JPLPolicy{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSteps != 48 || rep.TotalSeconds != 1800 {
+		t.Fatalf("report: %d steps in %d s", rep.TotalSteps, rep.TotalSeconds)
+	}
+	if rep.BatteryDrawn == 0 {
+		t.Fatal("battery not tracked through scenario config")
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	sc, err := ParseScenario(strings.NewReader(paperScenarioText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseScenario(strings.NewReader(FormatScenario(sc)))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, FormatScenario(sc))
+	}
+	if again.Name != sc.Name || again.TargetSteps != sc.TargetSteps || len(again.Phases) != len(sc.Phases) {
+		t.Fatal("round trip lost data")
+	}
+	for i := range sc.Phases {
+		if again.Phases[i] != sc.Phases[i] {
+			t.Errorf("phase %d differs", i)
+		}
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"no phases":            "steps 4\n",
+		"no steps":             "phase 0 best 14.9\n",
+		"bad steps":            "steps x\nphase 0 best 14.9\n",
+		"bad case":             "steps 4\nphase 0 night 1\n",
+		"bad duration":         "steps 4\nphase x best 14.9\n",
+		"bad solar":            "steps 4\nphase 0 best x\n",
+		"bad battery":          "steps 4\nbattery x 10\nphase 0 best 14.9\n",
+		"unknown directive":    "steps 4\nwarp 9\nphase 0 best 14.9\n",
+		"open-ended mid-phase": "steps 4\nphase 0 best 14.9\nphase 600 worst 9\n",
+		"phase arity":          "steps 4\nphase 0 best\n",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseScenario(strings.NewReader(text)); err == nil {
+				t.Fatalf("accepted %q", text)
+			}
+		})
+	}
+}
+
+func TestParseScenarioFile(t *testing.T) {
+	path := t.TempDir() + "/m.scenario"
+	if err := writeFile(path, paperScenarioText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseScenarioFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseScenarioFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func writeFile(path, text string) error {
+	return os.WriteFile(path, []byte(text), 0o644)
+}

@@ -1,0 +1,60 @@
+package mission
+
+import (
+	"fmt"
+
+	"repro/internal/rover"
+	"repro/internal/runtime"
+)
+
+// SelectorPolicy drives the mission from a precomputed schedule
+// library: at each iteration it asks the runtime selector for the best
+// schedule valid under the current budget (solar + battery output).
+// This is the paper's section 5.3 deployment model — the rover carries
+// statically computed schedules and switches between them as the
+// environment changes, with no on-board scheduling.
+//
+// Caveat, inherited from the paper's own validity-range remark: an
+// entry's validity is judged against the task powers it was built
+// with. Selecting a mild-temperature schedule in a cold phase is valid
+// for that entry's power model but optimistic about the real motors;
+// restrict the library to one case per condition when that fidelity
+// matters.
+type SelectorPolicy struct {
+	// Library holds the precomputed schedules.
+	Library *runtime.Selector
+	// BatteryMax is the battery's maximum output power (10 W for the
+	// rover's pack).
+	BatteryMax float64
+	// StepsPerIteration defaults to the rover's two.
+	StepsPerIteration int
+}
+
+// Name implements Policy.
+func (*SelectorPolicy) Name() string { return "runtime-selector" }
+
+// Reset implements Policy.
+func (p *SelectorPolicy) Reset() {}
+
+// Next implements Policy: select the fastest valid schedule for the
+// condition's budget and charge its cost at the condition's free level.
+func (p *SelectorPolicy) Next(cond Condition) (Iteration, error) {
+	if p.Library == nil {
+		return Iteration{}, fmt.Errorf("mission: selector policy has no library")
+	}
+	e, ok := p.Library.Select(cond.Solar+p.BatteryMax, cond.Solar)
+	if !ok {
+		return Iteration{}, fmt.Errorf("mission: no library schedule fits %.4g W solar + %.4g W battery",
+			cond.Solar, p.BatteryMax)
+	}
+	steps := p.StepsPerIteration
+	if steps == 0 {
+		steps = rover.StepsPerIteration
+	}
+	return Iteration{
+		Name:       e.Name,
+		Duration:   e.Finish,
+		EnergyCost: e.CostAt(cond.Solar),
+		Steps:      steps,
+	}, nil
+}

@@ -1,0 +1,81 @@
+package mission
+
+import (
+	"testing"
+
+	"repro/internal/rover"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+)
+
+func buildLibrary(t *testing.T) *runtime.Selector {
+	t.Helper()
+	var sel runtime.Selector
+	for _, c := range rover.Cases {
+		p := rover.BuildIteration(c, rover.Cold)
+		r, err := sched.Run(p, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.Add(runtime.NewEntry(p.Name, p, r.Schedule))
+	}
+	return &sel
+}
+
+func TestSelectorPolicyPicksPerPhase(t *testing.T) {
+	pol := &SelectorPolicy{Library: buildLibrary(t), BatteryMax: 10}
+	// Best conditions: the 50 s schedule fits the 24.9 W budget.
+	it, err := pol.Next(Condition{Case: rover.Best, Solar: 14.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Duration != 50 {
+		t.Errorf("best-phase iteration = %d s, want 50", it.Duration)
+	}
+	// Worst conditions (19 W): only the serialized 75 s schedule fits
+	// apart from the typical one at 18.8 W; the selector prefers the
+	// faster valid schedule, which is the 60 s typical-structure
+	// schedule evaluated at 9 W solar.
+	it, err = pol.Next(Condition{Case: rover.Worst, Solar: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Duration > 75 {
+		t.Errorf("worst-phase iteration = %d s, want <= 75", it.Duration)
+	}
+}
+
+func TestSelectorPolicyMissionCompletes(t *testing.T) {
+	pol := &SelectorPolicy{Library: buildLibrary(t), BatteryMax: 10}
+	rep, err := Simulate(Config{TargetSteps: 48, Phases: PaperScenario(), Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSteps < 48 {
+		t.Fatalf("mission incomplete: %d steps", rep.TotalSteps)
+	}
+	// The library-driven rover must beat the fixed JPL mission on time.
+	jpl, err := Simulate(Config{TargetSteps: 48, Phases: PaperScenario(), Policy: &JPLPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSeconds >= jpl.TotalSeconds {
+		t.Errorf("selector mission (%d s) not faster than JPL (%d s)",
+			rep.TotalSeconds, jpl.TotalSeconds)
+	}
+}
+
+func TestSelectorPolicyErrors(t *testing.T) {
+	pol := &SelectorPolicy{}
+	if _, err := pol.Next(Condition{Solar: 10}); err == nil {
+		t.Fatal("missing library accepted")
+	}
+	var empty runtime.Selector
+	pol = &SelectorPolicy{Library: &empty, BatteryMax: 10}
+	if _, err := pol.Next(Condition{Solar: 10}); err == nil {
+		t.Fatal("empty library accepted")
+	}
+	if pol.Name() == "" {
+		t.Fatal("no name")
+	}
+}

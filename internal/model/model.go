@@ -1,0 +1,247 @@
+// Package model defines the task, resource, and constraint vocabulary of
+// the power-aware scheduling problem from Liu et al., DAC 2001.
+//
+// A Problem is a constraint graph G(V,E) in source form: the vertices are
+// Tasks, each carrying an execution delay d(v), a power consumption p(v),
+// and an execution resource r(v); the edges are min/max timing separations
+// between task start times. Min/max separations subsume release times,
+// deadlines, and precedence dependencies. The system-level power profile is
+// constrained by a hard max power budget Pmax and a soft min power goal
+// Pmin (the free-power level, e.g. available solar power).
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a point or duration on the schedule's discrete time axis.
+// The paper's examples use integral seconds throughout.
+type Time = int
+
+// Anchor is the reserved name of the virtual task that starts at time 0.
+// Constraints whose From or To field equals Anchor constrain a task
+// against the schedule origin: a release time is a min separation from
+// the anchor, a deadline is a max separation from the anchor.
+const Anchor = "$anchor"
+
+// Task is a vertex of the constraint graph: a non-preemptive unit of work
+// with a bounded execution delay, an exact power consumption, and a
+// resource mapping. Two tasks mapped to the same resource must be
+// serialized by the scheduler.
+type Task struct {
+	// Name identifies the task; it must be unique within a Problem and
+	// must not equal Anchor.
+	Name string
+	// Resource names the execution resource r(v) the task is mapped to.
+	// Resources are not limited to computing elements; mechanical
+	// subsystems and heaters are resources too.
+	Resource string
+	// Delay is the execution delay d(v) in time units; it must be > 0.
+	Delay Time
+	// Power is the power consumption p(v) in watts while the task
+	// executes; it must be >= 0. Energy consumption is Delay*Power.
+	Power float64
+}
+
+// Energy returns the task's total energy expenditure d(v)*p(v) in joules.
+func (t Task) Energy() float64 { return float64(t.Delay) * t.Power }
+
+// Constraint is a timing edge between two task start times:
+//
+//	sigma(To) >= sigma(From) + Min          (always)
+//	sigma(To) <= sigma(From) + Max          (when HasMax)
+//
+// A plain precedence "u before v" is Min = u.Delay. A window such as the
+// rover's "heating at least 5 s, at most 50 s before steering" is
+// Min = 5, Max = 50 on the heat->steer edge.
+type Constraint struct {
+	From   string
+	To     string
+	Min    Time
+	Max    Time
+	HasMax bool
+}
+
+// String renders the constraint in the form used by the spec format.
+func (c Constraint) String() string {
+	if c.HasMax {
+		return fmt.Sprintf("%s -> %s [%d,%d]", c.From, c.To, c.Min, c.Max)
+	}
+	return fmt.Sprintf("%s -> %s [%d,]", c.From, c.To, c.Min)
+}
+
+// Problem is a complete power-aware scheduling problem: a constraint
+// graph plus the system power constraints.
+type Problem struct {
+	// Name labels the problem in reports and rendered charts.
+	Name string
+	// Tasks are the vertices of the constraint graph.
+	Tasks []Task
+	// Constraints are the min/max separation edges.
+	Constraints []Constraint
+	// Pmax is the hard maximum power budget in watts. The power profile
+	// of a valid schedule never exceeds Pmax.
+	Pmax float64
+	// Pmin is the soft minimum power goal in watts, typically the free
+	// (solar) power level. Consumption below Pmin wastes free energy.
+	Pmin float64
+	// BasePower is a constant system load present for the entire
+	// schedule (the rover's CPU in Table 2 is "constant"). It is added
+	// to the power profile but is not a schedulable task.
+	BasePower float64
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := *p
+	q.Tasks = append([]Task(nil), p.Tasks...)
+	q.Constraints = append([]Constraint(nil), p.Constraints...)
+	return &q
+}
+
+// TaskIndex returns a map from task name to its index in Tasks.
+func (p *Problem) TaskIndex() map[string]int {
+	m := make(map[string]int, len(p.Tasks))
+	for i, t := range p.Tasks {
+		m[t.Name] = i
+	}
+	return m
+}
+
+// TaskByName returns the task with the given name.
+func (p *Problem) TaskByName(name string) (Task, bool) {
+	for _, t := range p.Tasks {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+// Resources returns the sorted set of resource names used by the tasks.
+func (p *Problem) Resources() []string {
+	seen := make(map[string]bool)
+	var rs []string
+	for _, t := range p.Tasks {
+		if !seen[t.Resource] {
+			seen[t.Resource] = true
+			rs = append(rs, t.Resource)
+		}
+	}
+	sort.Strings(rs)
+	return rs
+}
+
+// TotalEnergy returns the energy of all tasks, excluding BasePower
+// (which depends on the schedule's finish time).
+func (p *Problem) TotalEnergy() float64 {
+	var e float64
+	for _, t := range p.Tasks {
+		e += t.Energy()
+	}
+	return e
+}
+
+// AddTask appends a task and returns its index.
+func (p *Problem) AddTask(t Task) int {
+	p.Tasks = append(p.Tasks, t)
+	return len(p.Tasks) - 1
+}
+
+// Precede adds the plain precedence constraint "from finishes before to
+// starts": a min separation equal to from's delay.
+func (p *Problem) Precede(from, to string) error {
+	t, ok := p.TaskByName(from)
+	if !ok {
+		return fmt.Errorf("model: precede: unknown task %q", from)
+	}
+	p.Constraints = append(p.Constraints, Constraint{From: from, To: to, Min: t.Delay})
+	return nil
+}
+
+// MinSep adds sigma(to) >= sigma(from) + s.
+func (p *Problem) MinSep(from, to string, s Time) {
+	p.Constraints = append(p.Constraints, Constraint{From: from, To: to, Min: s})
+}
+
+// Window adds min <= sigma(to) - sigma(from) <= max.
+func (p *Problem) Window(from, to string, min, max Time) {
+	p.Constraints = append(p.Constraints, Constraint{From: from, To: to, Min: min, Max: max, HasMax: true})
+}
+
+// Release constrains the task to start no earlier than t.
+func (p *Problem) Release(task string, t Time) {
+	p.Constraints = append(p.Constraints, Constraint{From: Anchor, To: task, Min: t})
+}
+
+// Deadline constrains the task to start no later than t.
+func (p *Problem) Deadline(task string, t Time) {
+	p.Constraints = append(p.Constraints, Constraint{From: Anchor, To: task, Min: 0, Max: t, HasMax: true})
+}
+
+// Validate checks structural well-formedness: unique non-empty task
+// names, positive delays, non-negative powers, constraints referencing
+// known tasks (or the anchor), consistent windows, and sane power
+// constraints. It does not check feasibility; that is the scheduler's
+// job.
+func (p *Problem) Validate() error {
+	if len(p.Tasks) == 0 {
+		return fmt.Errorf("model: problem %q has no tasks", p.Name)
+	}
+	names := make(map[string]bool, len(p.Tasks))
+	for i, t := range p.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("model: task %d has empty name", i)
+		}
+		if t.Name == Anchor {
+			return fmt.Errorf("model: task %d uses reserved name %q", i, Anchor)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("model: duplicate task name %q", t.Name)
+		}
+		names[t.Name] = true
+		if t.Delay <= 0 {
+			return fmt.Errorf("model: task %q has non-positive delay %d", t.Name, t.Delay)
+		}
+		if t.Power < 0 {
+			return fmt.Errorf("model: task %q has negative power %g", t.Name, t.Power)
+		}
+		if t.Resource == "" {
+			return fmt.Errorf("model: task %q has empty resource", t.Name)
+		}
+	}
+	known := func(name string) bool { return name == Anchor || names[name] }
+	for _, c := range p.Constraints {
+		if !known(c.From) {
+			return fmt.Errorf("model: constraint %s references unknown task %q", c, c.From)
+		}
+		if !known(c.To) {
+			return fmt.Errorf("model: constraint %s references unknown task %q", c, c.To)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("model: constraint %s is a self-loop", c)
+		}
+		if c.HasMax && c.Max < c.Min {
+			return fmt.Errorf("model: constraint %s has max < min", c)
+		}
+	}
+	if p.Pmax < 0 || p.Pmin < 0 {
+		return fmt.Errorf("model: negative power constraint (Pmax=%g, Pmin=%g)", p.Pmax, p.Pmin)
+	}
+	if p.Pmax != 0 && p.Pmin > p.Pmax {
+		return fmt.Errorf("model: Pmin %g exceeds Pmax %g", p.Pmin, p.Pmax)
+	}
+	if p.BasePower < 0 {
+		return fmt.Errorf("model: negative base power %g", p.BasePower)
+	}
+	if p.Pmax != 0 {
+		for _, t := range p.Tasks {
+			if t.Power+p.BasePower > p.Pmax {
+				return fmt.Errorf("model: task %q alone (%g W + base %g W) exceeds Pmax %g W",
+					t.Name, t.Power, p.BasePower, p.Pmax)
+			}
+		}
+	}
+	return nil
+}

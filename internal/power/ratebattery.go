@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// RateBattery models a non-rechargeable battery whose usable capacity
+// depends on the draw rate (the Peukert effect): drawing power P for
+// one second depletes the store by P * (P/RefPower)^(Exponent-1) joules
+// when P exceeds RefPower. High-power bursts therefore waste capacity —
+// the quantitative reason the paper gives for controlling power jitter
+// ("to control the jitter in the system-level power curve to improve
+// battery usage"). At Exponent = 1 the model degrades to the ideal
+// Battery.
+type RateBattery struct {
+	// Capacity is the nominal stored energy in joules at the reference
+	// draw rate.
+	Capacity float64
+	// MaxPower is the maximum output power in watts.
+	MaxPower float64
+	// RefPower is the draw rate at which the nominal capacity is
+	// delivered in full.
+	RefPower float64
+	// Exponent is the Peukert exponent, >= 1 (typically 1.1-1.3 for
+	// real chemistries).
+	Exponent float64
+
+	depleted float64 // effective joules removed from Capacity
+	drawn    float64 // actual joules delivered to the load
+}
+
+// effectiveRate returns the joules of capacity consumed per delivered
+// joule at draw power p.
+func (b *RateBattery) effectiveRate(p float64) float64 {
+	if p <= b.RefPower || b.Exponent <= 1 {
+		return 1
+	}
+	return math.Pow(p/b.RefPower, b.Exponent-1)
+}
+
+// DrawAt delivers power p for dt seconds. It returns an error when p
+// exceeds MaxPower or the remaining capacity cannot cover the draw; the
+// store is unchanged on error.
+func (b *RateBattery) DrawAt(p float64, dt float64) error {
+	if p < 0 || dt < 0 {
+		return fmt.Errorf("power: negative draw (%g W for %g s)", p, dt)
+	}
+	if p > b.MaxPower+1e-9 {
+		return fmt.Errorf("power: draw %g W exceeds battery max output %g W", p, b.MaxPower)
+	}
+	cost := p * dt * b.effectiveRate(p)
+	if b.Capacity > 0 && b.depleted+cost > b.Capacity+1e-9 {
+		return fmt.Errorf("power: battery exhausted: draw needs %.4g J of capacity, %.4g J left",
+			cost, b.Capacity-b.depleted)
+	}
+	b.depleted += cost
+	b.drawn += p * dt
+	return nil
+}
+
+// Delivered returns the energy actually supplied to the load.
+func (b *RateBattery) Delivered() float64 { return b.drawn }
+
+// Depleted returns the capacity consumed, including rate losses.
+func (b *RateBattery) Depleted() float64 { return b.depleted }
+
+// Wasted returns the capacity lost to the rate effect: depleted minus
+// delivered.
+func (b *RateBattery) Wasted() float64 { return b.depleted - b.drawn }
+
+// Remaining returns the capacity left (negative sentinel when
+// untracked).
+func (b *RateBattery) Remaining() float64 {
+	if b.Capacity == 0 {
+		return -1
+	}
+	return b.Capacity - b.depleted
+}
+
+// DepleteProfile drains the battery according to a power profile's
+// over-threshold demand: at every second the profile exceeds free,
+// the excess is drawn from the battery at that rate. It returns the
+// capacity consumed, or an error at the first failing second.
+func (b *RateBattery) DepleteProfile(prof Profile, free float64) (float64, error) {
+	before := b.depleted
+	for _, seg := range prof.Segs {
+		if seg.P <= free {
+			continue
+		}
+		draw := seg.P - free
+		for t := seg.T0; t < seg.T1; t++ {
+			if err := b.DrawAt(draw, 1); err != nil {
+				return b.depleted - before, fmt.Errorf("t=%d: %w", t, err)
+			}
+		}
+	}
+	return b.depleted - before, nil
+}

@@ -1,0 +1,109 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+func TestRateBatteryIdealAtExponentOne(t *testing.T) {
+	b := &RateBattery{Capacity: 100, MaxPower: 20, RefPower: 5, Exponent: 1}
+	if err := b.DrawAt(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if b.Depleted() != 40 || b.Delivered() != 40 || b.Wasted() != 0 {
+		t.Fatalf("ideal battery lost energy: depleted=%g delivered=%g", b.Depleted(), b.Delivered())
+	}
+}
+
+func TestRateBatteryPeukertLoss(t *testing.T) {
+	b := &RateBattery{Capacity: 1000, MaxPower: 50, RefPower: 5, Exponent: 1.2}
+	// Below the reference rate: no loss.
+	if err := b.DrawAt(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Wasted() != 0 {
+		t.Fatalf("loss below reference rate: %g", b.Wasted())
+	}
+	// At 4x the reference rate: rate factor 4^0.2 ~ 1.32.
+	if err := b.DrawAt(20, 1); err != nil {
+		t.Fatal(err)
+	}
+	wantFactor := math.Pow(4, 0.2)
+	wantDepleted := 10 + 20*wantFactor
+	if math.Abs(b.Depleted()-wantDepleted) > 1e-9 {
+		t.Fatalf("depleted = %g, want %g", b.Depleted(), wantDepleted)
+	}
+	if b.Wasted() <= 0 {
+		t.Fatal("no rate loss at high draw")
+	}
+}
+
+func TestRateBatteryLimits(t *testing.T) {
+	b := &RateBattery{Capacity: 10, MaxPower: 8, RefPower: 8, Exponent: 1.1}
+	if err := b.DrawAt(9, 1); err == nil {
+		t.Fatal("over-max draw accepted")
+	}
+	if err := b.DrawAt(-1, 1); err == nil {
+		t.Fatal("negative draw accepted")
+	}
+	if err := b.DrawAt(8, 2); err == nil {
+		t.Fatal("over-capacity draw accepted")
+	}
+	if b.Depleted() != 0 {
+		t.Fatal("failed draws mutated the store")
+	}
+	if err := b.DrawAt(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("remaining = %g, want 0", b.Remaining())
+	}
+	unbounded := &RateBattery{MaxPower: 8, RefPower: 8, Exponent: 1.1}
+	if unbounded.Remaining() >= 0 {
+		t.Fatal("untracked capacity not signalled")
+	}
+}
+
+// TestJitterCostsCapacity: two profiles with identical delivered
+// energy — one flat, one bursty — deplete a Peukert battery
+// differently: the bursty one wastes capacity. This is the paper's
+// stated motivation for min-power jitter control, made quantitative.
+func TestJitterCostsCapacity(t *testing.T) {
+	free := 5.0
+	tasks := []model.Task{
+		{Name: "x", Resource: "A", Delay: 4, Power: 4},
+		{Name: "y", Resource: "B", Delay: 4, Power: 4},
+	}
+	flat := Build(tasks, schedule.Schedule{Start: []model.Time{0, 4}}, free)  // 9 W for 8 s
+	burst := Build(tasks, schedule.Schedule{Start: []model.Time{0, 0}}, free) // 13 W for 4 s
+
+	flatBat := &RateBattery{Capacity: 1000, MaxPower: 20, RefPower: 4, Exponent: 1.3}
+	burstBat := &RateBattery{Capacity: 1000, MaxPower: 20, RefPower: 4, Exponent: 1.3}
+	fd, err := flatBat.DepleteProfile(flat, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := burstBat.DepleteProfile(burst, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same delivered energy above the free level (32 J each).
+	if math.Abs(flatBat.Delivered()-burstBat.Delivered()) > 1e-9 {
+		t.Fatalf("delivered differ: %g vs %g", flatBat.Delivered(), burstBat.Delivered())
+	}
+	if bd <= fd {
+		t.Fatalf("bursty depletion %g not worse than flat %g", bd, fd)
+	}
+}
+
+func TestDepleteProfileFailsAtInstant(t *testing.T) {
+	tasks := []model.Task{{Name: "x", Resource: "A", Delay: 4, Power: 12}}
+	prof := Build(tasks, schedule.Schedule{Start: []model.Time{0}}, 0)
+	b := &RateBattery{Capacity: 10, MaxPower: 20, RefPower: 10, Exponent: 1.1}
+	if _, err := b.DepleteProfile(prof, 2); err == nil {
+		t.Fatal("exhaustion not detected")
+	}
+}

@@ -1,0 +1,174 @@
+// Package repl is a line-oriented interactive front-end to the
+// schedule editor: the terminal counterpart of the paper's power-aware
+// Gantt chart tool. It reads commands from any reader (a terminal, a
+// script, a test) and writes renderings and diagnostics to any writer.
+//
+// Commands:
+//
+//	show                 render the power-aware Gantt chart
+//	metrics              print finish/cost/utilization
+//	tasks                list tasks with starts, slacks and locks
+//	move <task> <t>      drag a task to start t (validated)
+//	drag <task> <t>      move with automatic repair of the rest
+//	lock <task>          pin a task at its slot
+//	unlock <task>        release a task
+//	reschedule           re-run the pipeline around the locks
+//	undo / redo          step through the edit history
+//	gaps                 list min-power gaps
+//	help                 this list
+//	quit                 leave the session
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/editor"
+	"repro/internal/model"
+)
+
+// REPL couples an editor session with an input/output stream.
+type REPL struct {
+	S   *editor.Session
+	In  io.Reader
+	Out io.Writer
+	// Prompt is printed before each command read ("" disables it,
+	// which scripts and tests usually want).
+	Prompt string
+}
+
+// Run processes commands until quit or EOF. Command errors are printed
+// and do not stop the loop; only I/O errors are returned.
+func (r *REPL) Run() error {
+	sc := bufio.NewScanner(r.In)
+	for {
+		if r.Prompt != "" {
+			fmt.Fprint(r.Out, r.Prompt)
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := r.exec(line); err != nil {
+			fmt.Fprintf(r.Out, "error: %v\n", err)
+		}
+	}
+}
+
+func (r *REPL) exec(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		fmt.Fprint(r.Out, helpText)
+	case "show":
+		fmt.Fprint(r.Out, r.S.Chart().ASCII(1))
+	case "metrics":
+		m := r.S.Metrics()
+		fmt.Fprintf(r.Out, "finish=%d s  peak=%.4g W  cost=%.4g J  utilization=%.1f%%\n",
+			m.Finish, m.Peak, m.EnergyCost, 100*m.Utilization)
+	case "tasks":
+		r.listTasks()
+	case "gaps":
+		fmt.Fprintf(r.Out, "gaps: %v\n", r.S.Gaps())
+	case "move", "drag":
+		task, at, err := taskTime(fields)
+		if err != nil {
+			return err
+		}
+		if fields[0] == "move" {
+			err = r.S.Move(task, at)
+		} else {
+			err = r.S.MoveAndReschedule(task, at)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "%s now starts at %d\n", task, at)
+	case "lock":
+		if len(fields) != 2 {
+			return fmt.Errorf("lock wants <task>")
+		}
+		if err := r.S.Lock(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "locked %s\n", fields[1])
+	case "unlock":
+		if len(fields) != 2 {
+			return fmt.Errorf("unlock wants <task>")
+		}
+		if err := r.S.Unlock(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(r.Out, "unlocked %s\n", fields[1])
+	case "reschedule":
+		if err := r.S.Reschedule(); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, "rescheduled")
+	case "undo":
+		if !r.S.Undo() {
+			return fmt.Errorf("nothing to undo")
+		}
+		fmt.Fprintln(r.Out, "undone")
+	case "redo":
+		if !r.S.Redo() {
+			return fmt.Errorf("nothing to redo")
+		}
+		fmt.Fprintln(r.Out, "redone")
+	default:
+		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return nil
+}
+
+func taskTime(fields []string) (string, model.Time, error) {
+	if len(fields) != 3 {
+		return "", 0, fmt.Errorf("%s wants <task> <time>", fields[0])
+	}
+	at, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad time %q", fields[2])
+	}
+	return fields[1], at, nil
+}
+
+func (r *REPL) listTasks() {
+	p := r.S.Problem()
+	s := r.S.Schedule()
+	locked := map[string]bool{}
+	for _, n := range r.S.Locked() {
+		locked[n] = true
+	}
+	idxs := make([]int, len(p.Tasks))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.Slice(idxs, func(a, b int) bool { return s.Start[idxs[a]] < s.Start[idxs[b]] })
+	for _, i := range idxs {
+		t := p.Tasks[i]
+		mark := " "
+		if locked[t.Name] {
+			mark = "*"
+		}
+		fmt.Fprintf(r.Out, "%s %-10s %-10s [%3d,%3d)  %.4g W\n",
+			mark, t.Name, t.Resource, s.Start[i], s.Start[i]+t.Delay, t.Power)
+	}
+}
+
+const helpText = `commands:
+  show | metrics | tasks | gaps
+  move <task> <t>    drag a bin (strictly validated)
+  drag <task> <t>    drag with automatic repair
+  lock <task> | unlock <task> | reschedule
+  undo | redo | quit
+`

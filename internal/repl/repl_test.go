@@ -1,0 +1,105 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/editor"
+	"repro/internal/paperex"
+	"repro/internal/sched"
+)
+
+// run feeds a script to a fresh session and returns the output.
+func run(t *testing.T, script string) string {
+	t.Helper()
+	s, err := editor.New(paperex.Nine(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	r := &REPL{S: s, In: strings.NewReader(script), Out: &out}
+	if err := r.Run(); err != nil {
+		t.Fatalf("repl: %v", err)
+	}
+	return out.String()
+}
+
+func TestShowAndMetrics(t *testing.T) {
+	out := run(t, "show\nmetrics\nquit\n")
+	for _, want := range []string{"power view:", "finish=12 s", "utilization="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTasksListing(t *testing.T) {
+	out := run(t, "lock h\ntasks\nquit\n")
+	if !strings.Contains(out, "* h") {
+		t.Errorf("locked task not starred:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "[") {
+		t.Errorf("task rows malformed:\n%s", out)
+	}
+}
+
+func TestMoveAndUndo(t *testing.T) {
+	out := run(t, "drag d 7\nundo\nredo\nquit\n")
+	for _, want := range []string{"d now starts at 7", "undone", "redone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrorsAreReportedNotFatal(t *testing.T) {
+	out := run(t, "move nosuch 3\nmove d -1\nbogus\nundo\nmetrics\nquit\n")
+	if strings.Count(out, "error:") < 3 {
+		t.Errorf("expected several error lines:\n%s", out)
+	}
+	// The loop survived to execute metrics.
+	if !strings.Contains(out, "finish=") {
+		t.Errorf("loop did not continue after errors:\n%s", out)
+	}
+}
+
+func TestLockRescheduleFlow(t *testing.T) {
+	out := run(t, "lock h\nreschedule\nunlock h\ngaps\nquit\n")
+	for _, want := range []string{"locked h", "rescheduled", "unlocked h", "gaps:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	out := run(t, "# a comment\n\nmetrics\nquit\n")
+	if strings.Contains(out, "error") {
+		t.Errorf("comments mishandled:\n%s", out)
+	}
+}
+
+func TestEOFEndsSession(t *testing.T) {
+	out := run(t, "metrics\n") // no quit: EOF ends it
+	if !strings.Contains(out, "finish=") {
+		t.Errorf("command before EOF not executed:\n%s", out)
+	}
+}
+
+func TestHelpAndPrompt(t *testing.T) {
+	s, err := editor.New(paperex.Nine(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	r := &REPL{S: s, In: strings.NewReader("help\nquit\n"), Out: &out, Prompt: "> "}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "commands:") {
+		t.Error("help text missing")
+	}
+	if !strings.Contains(out.String(), "> ") {
+		t.Error("prompt missing")
+	}
+}

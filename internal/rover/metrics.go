@@ -1,0 +1,38 @@
+package rover
+
+import (
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// Metrics are the evaluation quantities of the paper's Table 3 for one
+// schedule of one iteration.
+type Metrics struct {
+	// Finish is the schedule finish time tau in seconds.
+	Finish model.Time
+	// EnergyCost is Ec_sigma(Pmin) in joules: energy drawn from the
+	// non-rechargeable battery.
+	EnergyCost float64
+	// Utilization is rho_sigma(Pmin): the fraction of available free
+	// (solar) energy actually used.
+	Utilization float64
+	// Peak is the maximum of the power profile in watts.
+	Peak float64
+	// Energy is the total energy of the schedule in joules, including
+	// the CPU base load.
+	Energy float64
+}
+
+// Measure computes the metrics of schedule s for problem p using the
+// problem's Pmin and base power.
+func Measure(p *model.Problem, s schedule.Schedule) Metrics {
+	prof := power.Build(p.Tasks, s, p.BasePower)
+	return Metrics{
+		Finish:      s.Finish(p.Tasks),
+		EnergyCost:  prof.EnergyCost(p.Pmin),
+		Utilization: prof.Utilization(p.Pmin),
+		Peak:        prof.Peak(),
+		Energy:      prof.Energy(),
+	}
+}

@@ -1,0 +1,90 @@
+package rover
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// BuildUnrolled constructs one constraint graph covering `iterations`
+// consecutive iterations of the rover loop, as in the paper's Fig. 9
+// ("Fig. 9 gives first two iterations in the best case. To utilize the
+// available free energy, we manually unroll the loop and insert two
+// heating tasks...").
+//
+// Iteration 1 is cold: all five heaters fire before the motors' first
+// use. When preheat is true, every non-final iteration additionally
+// carries the two inserted heating tasks (psh/pwh on heaters H1/H3)
+// whose staleness windows bind directly to the *next* iteration's first
+// steering and driving, so later iterations run warm. Task names carry
+// an iteration suffix: hz1#2 is the first hazard detection of the
+// second iteration.
+func BuildUnrolled(c Case, iterations int, preheat bool) *model.Problem {
+	if iterations < 1 {
+		panic(fmt.Sprintf("rover: BuildUnrolled with %d iterations", iterations))
+	}
+	par := Table2(c)
+	p := &model.Problem{
+		Name:      fmt.Sprintf("rover-%s-unrolled-%d", c, iterations),
+		Pmax:      par.Pmax(),
+		Pmin:      par.Pmin(),
+		BasePower: par.CPU,
+	}
+	name := func(base string, iter int) string { return fmt.Sprintf("%s#%d", base, iter) }
+
+	for iter := 1; iter <= iterations; iter++ {
+		for step := 1; step <= StepsPerIteration; step++ {
+			hz := name(fmt.Sprintf("hz%d", step), iter)
+			st := name(fmt.Sprintf("st%d", step), iter)
+			dr := name(fmt.Sprintf("dr%d", step), iter)
+			p.AddTask(model.Task{Name: hz, Resource: ResLaser, Delay: HazardDelay, Power: par.Hazard})
+			p.AddTask(model.Task{Name: st, Resource: ResSteer, Delay: SteerDelay, Power: par.Steer})
+			p.AddTask(model.Task{Name: dr, Resource: ResWheels, Delay: DriveDelay, Power: par.Drive})
+			p.MinSep(hz, st, HazardSep)
+			p.MinSep(st, dr, SteerSep)
+			if step > 1 {
+				p.MinSep(name(fmt.Sprintf("dr%d", step-1), iter), hz, DriveSep)
+			}
+		}
+		if iter > 1 {
+			p.MinSep(name("dr2", iter-1), name("hz1", iter), DriveSep)
+		}
+
+		if iter == 1 {
+			// Cold start: full heating before first use.
+			for i := 1; i <= 2; i++ {
+				h := name(fmt.Sprintf("sh%d", i), iter)
+				p.AddTask(model.Task{Name: h, Resource: HeaterResource(i), Delay: HeatDelay, Power: par.Heat})
+				p.Window(h, name("st1", iter), HeatMin, HeatMax)
+			}
+			for i := 1; i <= 3; i++ {
+				h := name(fmt.Sprintf("wh%d", i), iter)
+				p.AddTask(model.Task{Name: h, Resource: HeaterResource(2 + i), Delay: HeatDelay, Power: par.Heat})
+				p.Window(h, name("dr1", iter), HeatMin, HeatMax)
+			}
+		} else if !preheat {
+			// No pre-heating: every iteration re-heats cold.
+			for i := 1; i <= 2; i++ {
+				h := name(fmt.Sprintf("sh%d", i), iter)
+				p.AddTask(model.Task{Name: h, Resource: HeaterResource(i), Delay: HeatDelay, Power: par.Heat})
+				p.Window(h, name("st1", iter), HeatMin, HeatMax)
+			}
+			for i := 1; i <= 3; i++ {
+				h := name(fmt.Sprintf("wh%d", i), iter)
+				p.AddTask(model.Task{Name: h, Resource: HeaterResource(2 + i), Delay: HeatDelay, Power: par.Heat})
+				p.Window(h, name("dr1", iter), HeatMin, HeatMax)
+			}
+		}
+
+		// The two inserted heating tasks, warming the next iteration.
+		if preheat && iter < iterations {
+			psh := name("psh", iter)
+			p.AddTask(model.Task{Name: psh, Resource: HeaterResource(1), Delay: HeatDelay, Power: par.Heat})
+			p.Window(psh, name("st1", iter+1), HeatMin, HeatMax)
+			pwh := name("pwh", iter)
+			p.AddTask(model.Task{Name: pwh, Resource: HeaterResource(3), Delay: HeatDelay, Power: par.Heat})
+			p.Window(pwh, name("dr1", iter+1), HeatMin, HeatMax)
+		}
+	}
+	return p
+}

@@ -1,0 +1,134 @@
+package rover
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+func TestBuildUnrolledValidates(t *testing.T) {
+	for _, c := range Cases {
+		for _, k := range []int{1, 2, 4} {
+			for _, pre := range []bool{false, true} {
+				p := BuildUnrolled(c, k, pre)
+				if err := p.Validate(); err != nil {
+					t.Errorf("%s x%d preheat=%v: %v", c, k, pre, err)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildUnrolledTaskCounts(t *testing.T) {
+	// 2 iterations with preheat: iter1 = 6 mech + 5 heat + 2 preheat,
+	// iter2 = 6 mech.
+	if got := len(BuildUnrolled(Best, 2, true).Tasks); got != 19 {
+		t.Errorf("2-iter preheat tasks = %d, want 19", got)
+	}
+	// Without preheat both iterations heat cold: 2*(6+5).
+	if got := len(BuildUnrolled(Best, 2, false).Tasks); got != 22 {
+		t.Errorf("2-iter cold tasks = %d, want 22", got)
+	}
+	if got := len(BuildUnrolled(Best, 1, true).Tasks); got != 11 {
+		t.Errorf("1-iter tasks = %d, want 11 (no preheat on the final iteration)", got)
+	}
+}
+
+func TestBuildUnrolledPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	BuildUnrolled(Best, 0, true)
+}
+
+// TestFig9TwoIterations reproduces Fig. 9: the first two best-case
+// iterations with the inserted pre-heat tasks run in 100 s (50 s each),
+// the second far cheaper than the first because its motors were warmed
+// with free solar power during the first.
+func TestFig9TwoIterations(t *testing.T) {
+	p := BuildUnrolled(Best, 2, true)
+	r, err := sched.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := verify.Check(p, r.Schedule); !rep.OK() {
+		t.Fatalf("invalid: %v", rep.Err())
+	}
+	if got := r.Finish(); got != 100 {
+		t.Errorf("two-iteration finish = %d s, want 100 s (2 x 50)", got)
+	}
+	// Total battery cost close to the paper's 79.5 + 6 = 85.5 J.
+	if cost := r.EnergyCost(); cost > 100 {
+		t.Errorf("total cost = %.1f J, want <= ~85.5 J ballpark", cost)
+	}
+	// Cost attribution: almost everything is spent in the first 50 s.
+	firstHalf, secondHalf := splitCost(r, 50)
+	if secondHalf > firstHalf {
+		t.Errorf("second iteration (%.1f J) costs more than the first (%.1f J)", secondHalf, firstHalf)
+	}
+	if secondHalf > 20 {
+		t.Errorf("second iteration cost = %.1f J, want small (paper: 6 J)", secondHalf)
+	}
+}
+
+// splitCost integrates the over-Pmin energy before and after a split
+// point.
+func splitCost(r *sched.Result, split int) (before, after float64) {
+	pmin := r.Compiled.Prob.Pmin
+	for _, seg := range r.Profile.Segs {
+		if seg.P <= pmin {
+			continue
+		}
+		over := seg.P - pmin
+		for t := seg.T0; t < seg.T1; t++ {
+			if t < split {
+				before += over
+			} else {
+				after += over
+			}
+		}
+	}
+	return before, after
+}
+
+// TestUnrolledPreheatBeatsCold: over two best-case iterations, the
+// pre-heat unrolling must cost less battery energy than re-heating
+// cold, at equal or better performance — the entire point of the
+// paper's manual unroll.
+func TestUnrolledPreheatBeatsCold(t *testing.T) {
+	pre := BuildUnrolled(Best, 2, true)
+	rPre, err := sched.Run(pre, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := BuildUnrolled(Best, 2, false)
+	rCold, err := sched.Run(cold, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPre.Finish() > rCold.Finish() {
+		t.Errorf("preheat finish %d > cold finish %d", rPre.Finish(), rCold.Finish())
+	}
+	if rPre.EnergyCost() >= rCold.EnergyCost() {
+		t.Errorf("preheat cost %.1f >= cold cost %.1f", rPre.EnergyCost(), rCold.EnergyCost())
+	}
+}
+
+// TestUnrolledWorstCaseChains: in the worst case the unrolled schedule
+// is simply the serial iteration repeated: 150 s for two iterations.
+func TestUnrolledWorstCaseChains(t *testing.T) {
+	p := BuildUnrolled(Worst, 2, false)
+	r, err := sched.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Finish(); got != 150 {
+		t.Errorf("worst 2-iteration finish = %d s, want 150 s", got)
+	}
+	if r.Peak() > p.Pmax {
+		t.Errorf("peak %.1f over budget", r.Peak())
+	}
+}

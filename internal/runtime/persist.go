@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/spec"
+	"repro/internal/verify"
+)
+
+// libraryDoc is the on-disk form of a schedule library: each entry
+// carries its problem as spec text (round-trips exactly) and its
+// schedule as name/start pairs. Validity ranges are recomputed on load,
+// so a library cannot lie about its own safety.
+type libraryDoc struct {
+	Entries []entryDoc `json:"entries"`
+}
+
+type entryDoc struct {
+	Name     string          `json:"name"`
+	Spec     string          `json:"spec"`
+	Schedule json.RawMessage `json:"schedule"`
+}
+
+// Save writes the library as JSON.
+func Save(w io.Writer, sel *Selector) error {
+	var doc libraryDoc
+	for _, e := range sel.Entries() {
+		schedJSON, err := spec.FormatScheduleJSON(e.Prob, e.Sched)
+		if err != nil {
+			return fmt.Errorf("runtime: save %s: %w", e.Name, err)
+		}
+		doc.Entries = append(doc.Entries, entryDoc{
+			Name:     e.Name,
+			Spec:     spec.Format(e.Prob),
+			Schedule: schedJSON,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load reads a library saved with Save, re-deriving every entry's
+// validity range and refusing entries whose schedule does not
+// independently verify against its own problem.
+func Load(r io.Reader) (*Selector, error) {
+	var doc libraryDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("runtime: load: %w", err)
+	}
+	sel := &Selector{}
+	for _, ed := range doc.Entries {
+		p, err := spec.ParseString(ed.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: load %s: %w", ed.Name, err)
+		}
+		s, err := spec.ParseScheduleJSON(p, ed.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: load %s: %w", ed.Name, err)
+		}
+		if rep := verify.Check(p, s); !rep.OK() {
+			return nil, fmt.Errorf("runtime: load %s: stored schedule invalid: %w", ed.Name, rep.Err())
+		}
+		sel.Add(NewEntry(ed.Name, p, s))
+	}
+	return sel, nil
+}

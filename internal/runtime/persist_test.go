@@ -1,0 +1,96 @@
+package runtime
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func builtLibrary(t *testing.T) *Selector {
+	t.Helper()
+	sel := &Selector{}
+	for _, c := range rover.Cases {
+		p := rover.BuildIteration(c, rover.Cold)
+		r, err := sched.Run(p, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.Add(NewEntry(p.Name, p, r.Schedule))
+	}
+	return sel
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sel := builtLibrary(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, sel); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, got := sel.Entries(), loaded.Entries()
+	if len(orig) != len(got) {
+		t.Fatalf("entries: %d vs %d", len(orig), len(got))
+	}
+	for i := range orig {
+		if orig[i].Name != got[i].Name {
+			t.Errorf("entry %d name %q vs %q", i, orig[i].Name, got[i].Name)
+		}
+		if orig[i].RequiredPmax != got[i].RequiredPmax ||
+			orig[i].FullUtilPmin != got[i].FullUtilPmin ||
+			orig[i].Finish != got[i].Finish {
+			t.Errorf("entry %d validity range changed: %+v vs %+v", i, orig[i], got[i])
+		}
+	}
+	// Selection behaviour survives the round trip.
+	a, okA := sel.Select(24.9, 14.9)
+	b, okB := loaded.Select(24.9, 14.9)
+	if okA != okB || a.Name != b.Name {
+		t.Fatalf("selection differs after reload: %v/%v", a.Name, b.Name)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{nope")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"entries":[{"name":"x","spec":"bogus directive","schedule":{}}]}`)); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestLoadRejectsTamperedSchedule(t *testing.T) {
+	sel := builtLibrary(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, sel); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a start time: shift the first hz1 onto its steering task.
+	doc := buf.String()
+	tampered := strings.Replace(doc, `"start": 0`, `"start": 9999`, 1)
+	if tampered == doc {
+		t.Fatal("test premise broken: no start to tamper with")
+	}
+	if _, err := Load(strings.NewReader(tampered)); err == nil {
+		t.Fatal("tampered library accepted")
+	}
+}
+
+func TestSaveEmptyLibrary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, &Selector{}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries()) != 0 {
+		t.Fatal("empty library grew entries")
+	}
+}

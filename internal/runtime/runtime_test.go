@@ -1,0 +1,145 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rover"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+)
+
+func entryFor(t *testing.T, c rover.Case) Entry {
+	t.Helper()
+	p := rover.BuildIteration(c, rover.Cold)
+	r, err := sched.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEntry(p.Name, p, r.Schedule)
+}
+
+func TestEntryValidityRange(t *testing.T) {
+	p := &model.Problem{
+		Name: "e",
+		Tasks: []model.Task{
+			{Name: "x", Resource: "A", Delay: 2, Power: 5},
+			{Name: "y", Resource: "B", Delay: 2, Power: 3},
+		},
+		BasePower: 1,
+	}
+	s := schedule.Schedule{Start: []model.Time{0, 2}}
+	e := NewEntry("e", p, s)
+	if e.RequiredPmax != 6 {
+		t.Errorf("RequiredPmax = %g, want 6 (peak)", e.RequiredPmax)
+	}
+	if e.FullUtilPmin != 4 {
+		t.Errorf("FullUtilPmin = %g, want 4 (floor)", e.FullUtilPmin)
+	}
+	if e.Finish != 4 {
+		t.Errorf("Finish = %d, want 4", e.Finish)
+	}
+	if !e.ValidFor(6) || e.ValidFor(5.9) {
+		t.Error("ValidFor threshold wrong")
+	}
+	if !e.FullyUtilizes(4) || e.FullyUtilizes(4.1) {
+		t.Error("FullyUtilizes threshold wrong")
+	}
+	if got := e.CostAt(5); got != 2 { // (6-5)*2 over [0,2)
+		t.Errorf("CostAt(5) = %g, want 2", got)
+	}
+}
+
+func TestSelectorPrefersFasterValidSchedule(t *testing.T) {
+	var sel Selector
+	for _, c := range rover.Cases {
+		sel.Add(entryFor(t, c))
+	}
+	// At a 24.9 W budget every schedule fits; the 50 s one must win.
+	e, ok := sel.Select(24.9, 14.9)
+	if !ok || e.Finish != 50 {
+		t.Fatalf("Select(24.9) = %+v (ok=%v), want the 50 s schedule", e, ok)
+	}
+	// At 18 W only the worst-case schedule (peak 17.5) fits.
+	e, ok = sel.Select(18, 9)
+	if !ok || e.Finish != 75 {
+		t.Fatalf("Select(18) = %+v (ok=%v), want the 75 s schedule", e, ok)
+	}
+}
+
+func TestSelectorNoFit(t *testing.T) {
+	var sel Selector
+	sel.Add(entryFor(t, rover.Worst))
+	if _, ok := sel.Select(5, 5); ok {
+		t.Fatal("Select returned a schedule that exceeds the budget")
+	}
+}
+
+func TestSelectorTieBreaksOnCost(t *testing.T) {
+	p := &model.Problem{
+		Name:  "t",
+		Tasks: []model.Task{{Name: "x", Resource: "A", Delay: 4, Power: 4}},
+	}
+	cheap := NewEntry("cheap", p, schedule.Schedule{Start: []model.Time{0}})
+	// Same finish, same peak, but idle head makes the profile worse...
+	// use a different problem with higher constant power instead.
+	p2 := p.Clone()
+	p2.BasePower = 2
+	costly := NewEntry("costly", p2, schedule.Schedule{Start: []model.Time{0}})
+	var sel Selector
+	sel.Add(costly)
+	sel.Add(cheap)
+	e, ok := sel.Select(10, 3)
+	if !ok || e.Name != "cheap" {
+		t.Fatalf("Select = %q, want cheap (lower cost at pmin)", e.Name)
+	}
+}
+
+func TestSelectorEmpty(t *testing.T) {
+	var sel Selector
+	if _, ok := sel.Select(100, 0); ok {
+		t.Fatal("empty selector returned an entry")
+	}
+}
+
+func TestEntriesCopy(t *testing.T) {
+	var sel Selector
+	sel.Add(entryFor(t, rover.Best))
+	es := sel.Entries()
+	es[0].Name = "mutated"
+	if sel.Entries()[0].Name == "mutated" {
+		t.Fatal("Entries leaked internal storage")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var sel Selector
+	for _, c := range rover.Cases {
+		sel.Add(entryFor(t, c))
+	}
+	tbl := sel.Table()
+	for _, want := range []string{"schedule", "needs Pmax>=", "rover-best-cold", "rover-worst-cold"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// TestPaperValidityRangeClaim reproduces the section 5.3 observation on
+// the nine-task example's final schedule: it applies unchanged to every
+// constraint pair with Pmax >= its peak — scheduling under a looser
+// budget yields a schedule no better, and the entry itself stays valid.
+func TestPaperValidityRangeClaim(t *testing.T) {
+	e := entryFor(t, rover.Typical)
+	for _, pmax := range []float64{e.RequiredPmax, e.RequiredPmax + 1, e.RequiredPmax + 50} {
+		if !e.ValidFor(pmax) {
+			t.Errorf("entry invalid at pmax=%g", pmax)
+		}
+	}
+	for _, pmin := range []float64{0, e.FullUtilPmin / 2, e.FullUtilPmin} {
+		if got := e.Profile.Utilization(pmin); got < 1-1e-12 {
+			t.Errorf("utilization at pmin=%g is %g, want 1", pmin, got)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// compact is the optional left-shift pass between max-power and
+// min-power scheduling (Options.Compact): the spike-elimination
+// heuristics only ever push tasks later, which can strand idle time
+// that a task could legally move back into. Compaction repeatedly
+// pulls each task to its earliest start that keeps every timing
+// constraint (including the serialization order chosen by the timing
+// stage) and the power budget satisfied, until a fixpoint. The finish
+// time can only shrink.
+//
+// After compaction the working graph is rebuilt from the timing-stage
+// edges plus one release edge per task, so the downstream min-power
+// machinery sees a consistent longest-path solution.
+func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
+	if len(st.structEdges) == 0 {
+		return sigma
+	}
+	tasks := st.c.Prob.Tasks
+	pmax := st.c.Prob.Pmax
+	sigma = sigma.Clone()
+
+	const maxPasses = 20
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, v := range byStart(sigma, len(tasks)) {
+			lb := st.compactBound(sigma, v)
+			if lb >= sigma.Start[v] {
+				continue
+			}
+			for s := lb; s < sigma.Start[v]; s++ {
+				trial := sigma.Start[v]
+				sigma.Start[v] = s
+				if pmax == 0 || power.Build(tasks, sigma, st.c.Prob.BasePower).Valid(pmax) {
+					changed = true
+					break
+				}
+				sigma.Start[v] = trial
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Rebuild the working graph: timing-stage edges plus releases
+	// pinning the compacted starts from below.
+	st.g.Rollback(st.timingMark)
+	for v := range sigma.Start {
+		st.g.AddEdge(st.c.Anchor, v, sigma.Start[v])
+	}
+	return sigma
+}
+
+// compactBound returns the earliest start of v permitted by the
+// timing-stage constraint edges, holding every other task fixed.
+// Only incoming edges bound a leftward move: outgoing min edges relax
+// and outgoing max edges (negative weights) stay satisfied as v moves
+// earlier.
+func (st *state) compactBound(sigma schedule.Schedule, v int) model.Time {
+	lb := model.Time(0)
+	for _, e := range st.structEdges {
+		if e.To != v {
+			continue
+		}
+		var from model.Time
+		if e.From != st.c.Anchor {
+			from = sigma.Start[e.From]
+		}
+		if b := from + e.W; b > lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+func byStart(sigma schedule.Schedule, n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sigma.Start[order[a]] != sigma.Start[order[b]] {
+			return sigma.Start[order[a]] < sigma.Start[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

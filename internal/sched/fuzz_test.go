@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/verify"
+)
+
+// FuzzPipeline feeds arbitrary spec text through the parser and, when
+// it yields a valid problem, through the full scheduling pipeline. The
+// pipeline must never panic, and everything it returns must pass the
+// independent oracle. Inputs that are unparsable, oversized, or
+// infeasible are fine; invalid *output* is not.
+func FuzzPipeline(f *testing.F) {
+	seeds := []string{
+		"task a R 2 4\ntask b S 2 4\npmax 10\n",
+		"pmax 16\npmin 14\ntask a A 3 6\ntask d A 4 10\na -> d [3,]\n",
+		"task x R 1 0\nrelease x 5\ndeadline x 5\n",
+		"task p H 5 7.6\ntask s M 5 4.3\np -> s [5,50]\n",
+		"base 2\npmax 9\ntask a A 4 4\ntask b B 4 4\ntask c C 4 4\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 2048 {
+			return
+		}
+		p, err := spec.ParseString(input)
+		if err != nil {
+			return
+		}
+		// Keep the search spaces small so the fuzzer explores inputs,
+		// not scheduler effort.
+		if len(p.Tasks) > 12 {
+			return
+		}
+		total := 0
+		for _, task := range p.Tasks {
+			if task.Delay > 50 {
+				return
+			}
+			total += task.Delay
+		}
+		for _, c := range p.Constraints {
+			if c.Min > 500 || c.Min < -500 || (c.HasMax && c.Max > 500) {
+				return
+			}
+		}
+		opts := Options{MaxBacktracks: 300, MaxSpikeRounds: 500, MaxScans: 2}
+		r, err := Run(p, opts)
+		if err != nil {
+			return // infeasibility and budget exhaustion are legal outcomes
+		}
+		if rep := verify.Check(p, r.Schedule); !rep.OK() {
+			t.Fatalf("pipeline emitted an invalid schedule for:\n%s\n%v", input, rep.Err())
+		}
+	})
+}

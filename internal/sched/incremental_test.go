@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickIncrementalEqualsFullRecompute: the incremental longest-path
+// update inside delay() is an engineering optimization only — with the
+// same seed, the pipeline produces the identical schedule either way.
+func TestQuickIncrementalEqualsFullRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		p := genProblem(seed)
+		inc, err := MinPower(p.Clone(), Options{Seed: 3})
+		if err != nil {
+			return false
+		}
+		full, err := MinPower(p.Clone(), Options{Seed: 3, FullRecompute: true})
+		if err != nil {
+			return false
+		}
+		if !inc.Schedule.Equal(full.Schedule) {
+			t.Logf("seed %d: incremental %v != full %v", seed, inc.Schedule.Start, full.Schedule.Start)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+// maxPower implements the max-power scheduling algorithm of paper
+// Fig. 4. Starting from a time-valid schedule, it scans the power
+// profile for the first power spike, delays active tasks at the spike
+// (largest slack first) until the profile drops under Pmax, and
+// repeats until no spike remains. When a zero-slack task must be
+// delayed (case 2 of the paper's heuristics) the remaining simultaneous
+// tasks are locked at their start times so the rescheduling pass cannot
+// disturb them; if a lock or delay produces an infeasible graph it is
+// rolled back and another choice is tried.
+//
+// A Pmax of 0 means "no power budget": the time-valid schedule is
+// returned unchanged.
+func (st *state) maxPower() (schedule.Schedule, error) {
+	sigma, err := st.timing()
+	if err != nil {
+		return schedule.Schedule{}, err
+	}
+	pmax := st.c.Prob.Pmax
+	if pmax == 0 {
+		return sigma, nil
+	}
+
+	for round := 0; ; round++ {
+		if round > st.opts.MaxSpikeRounds {
+			return schedule.Schedule{}, fmt.Errorf("sched: spike elimination exceeded %d rounds", st.opts.MaxSpikeRounds)
+		}
+		spikes := st.profile(sigma).Spikes(pmax)
+		if len(spikes) == 0 {
+			return sigma, nil
+		}
+		st.st.SpikeRounds++
+		sigma, err = st.fixSpike(sigma, spikes[0].T0)
+		if err != nil {
+			return schedule.Schedule{}, err
+		}
+	}
+}
+
+// fixSpike removes the power spike at time t by delaying simultaneous
+// tasks. Tasks are chosen by descending slack; a chosen task is delayed
+// by at most its own execution delay (the paper's delay-distance upper
+// bound), further bounded by its slack when the slack is positive.
+// Delays are realized as anchor edges followed by a longest-path
+// recomputation, so successors shift consistently; an infeasible delay
+// is rolled back and the task is skipped. The loop re-selects among the
+// (re-sorted) active tasks until P(t) <= Pmax, so a task with a capped
+// delay distance can be delayed again in a later step.
+func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Schedule, error) {
+	pmax := st.c.Prob.Pmax
+	rescheduled := false
+	var lockCandidates []int
+
+	skipped := make(map[int]bool) // tasks whose delay proved infeasible at this spike
+	for iter := 0; st.profile(sigma).At(t) > pmax; iter++ {
+		if iter > st.opts.MaxSpikeRounds {
+			return schedule.Schedule{}, fmt.Errorf("sched: spike at t=%d did not converge after %d delays", t, iter)
+		}
+		act := st.activeBySlack(sigma, t)
+		// Pick the first eligible task: largest slack, not yet proven
+		// infeasible to delay here.
+		v := -1
+		var vSlack model.Time
+		for _, cand := range act {
+			if !skipped[cand.v] {
+				v, vSlack = cand.v, cand.slack
+				break
+			}
+		}
+		if v < 0 {
+			return schedule.Schedule{}, fmt.Errorf("%w: cannot remove power spike at t=%d (%.4g W > Pmax %.4g W)",
+				ErrInfeasible, t, st.profile(sigma).At(t), pmax)
+		}
+
+		// Delay distance heuristic: aim past the end of the profile
+		// segment causing the spike (keeping starts aligned to existing
+		// event boundaries), capped by d(v) (the paper's upper bound);
+		// when v has positive slack, also capped by the slack so the
+		// schedule stays time-valid without rescheduling.
+		need := st.spikeEnd(sigma, t) - sigma.Start[v]
+		dd := st.c.Prob.Tasks[v].Delay
+		if dd > need {
+			dd = need
+		}
+		if vSlack > 0 && dd > vSlack {
+			dd = vSlack
+		}
+		if vSlack <= 0 {
+			rescheduled = true
+		}
+		if dd < 1 {
+			dd = 1
+		}
+
+		newSigma, ok := st.delay(sigma, v, sigma.Start[v]+dd)
+		if !ok {
+			skipped[v] = true
+			st.st.Backtracks++
+			continue
+		}
+		sigma = newSigma
+		// Remaining active tasks at t (after the successful delay) are
+		// the lock candidates of the paper's case (2).
+		lockCandidates = lockCandidates[:0]
+		for _, cand := range st.activeBySlack(sigma, t) {
+			lockCandidates = append(lockCandidates, cand.v)
+		}
+	}
+
+	// Lock the start times of the tasks that stayed at the spike time,
+	// so the subsequent rescheduling cannot push them back into a
+	// spike. Locks that would make the graph infeasible are undone;
+	// they are a heuristic, not a requirement.
+	if rescheduled && !st.opts.DisableLocks {
+		for _, v := range lockCandidates {
+			cp := st.g.Mark()
+			st.lock(v, sigma.Start[v])
+			if !st.g.Feasible(st.c.Anchor) {
+				st.g.Rollback(cp)
+				st.st.Backtracks++
+			}
+		}
+	}
+	return sigma, nil
+}
+
+// spikeEnd returns the end of the maximal over-budget interval
+// containing t (falling back to t+1 when the profile no longer spikes
+// at t).
+func (st *state) spikeEnd(sigma schedule.Schedule, t model.Time) model.Time {
+	for _, iv := range st.profile(sigma).Spikes(st.c.Prob.Pmax) {
+		if iv.T0 <= t && t < iv.T1 {
+			return iv.T1
+		}
+	}
+	return t + 1
+}
+
+type slackedTask struct {
+	v     int
+	slack model.Time
+}
+
+// activeBySlack returns the tasks active at t ordered by decreasing
+// slack (the paper's EXTRACT MAX order). Ties are broken by decreasing
+// power — moving the biggest consumer out of the spike clears it with
+// the fewest delays — then by task index for determinism.
+func (st *state) activeBySlack(sigma schedule.Schedule, t model.Time) []slackedTask {
+	var out []slackedTask
+	for _, v := range sigma.ActiveAt(st.c.Prob.Tasks, t) {
+		out = append(out, slackedTask{v: v, slack: schedule.Slack(st.g, st.c, sigma, v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].slack != out[j].slack {
+			return out[i].slack > out[j].slack
+		}
+		pi, pj := st.c.Prob.Tasks[out[i].v].Power, st.c.Prob.Tasks[out[j].v].Power
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i].v < out[j].v
+	})
+	return out
+}

@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+const utilEps = 1e-9
+
+// minPower implements the min-power scheduling algorithm of paper
+// Fig. 6. Given a valid schedule it repeatedly scans for power gaps
+// (P(t) < Pmin) and delays tasks that finished before the gap so they
+// execute inside it, accepting a move only when the new schedule stays
+// valid, keeps the finish time (same performance), and strictly
+// improves min-power utilization. Scans repeat until a fixpoint; the
+// whole process runs once per heuristic combination (scan order x slot
+// choice, section 5.3) and the best schedule wins. Since the min power
+// constraint is soft, remaining gaps are tolerated.
+func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
+	pmin := st.c.Prob.Pmin
+	if pmin <= 0 {
+		return sigma
+	}
+	best := sigma.Clone()
+	bestU := st.profile(sigma).Utilization(pmin)
+	if bestU >= 1 {
+		return best
+	}
+
+	base := st.g.Mark()
+	for _, order := range st.opts.ScanOrders {
+		for _, slot := range st.opts.SlotChoices {
+			st.g.Rollback(base)
+			got := st.minPowerCombo(sigma.Clone(), order, slot)
+			if u := st.profile(got).Utilization(pmin); u > bestU+utilEps {
+				best, bestU = got.Clone(), u
+			}
+			if bestU >= 1 {
+				break
+			}
+		}
+	}
+	// Re-anchor the working graph on the winning schedule: the per-combo
+	// edges were rolled back, so pin every task at its final start.
+	st.g.Rollback(base)
+	for v := range best.Start {
+		st.lock(v, best.Start[v])
+	}
+	return best
+}
+
+// minPowerCombo runs repeated improvement scans under one heuristic
+// combination until a scan makes no progress or utilization reaches 1.
+func (st *state) minPowerCombo(sigma schedule.Schedule, order ScanOrder, slot SlotChoice) schedule.Schedule {
+	for scan := 0; scan < st.opts.MaxScans; scan++ {
+		st.st.Scans++
+		next, improved := st.scanOnce(sigma, order, slot)
+		sigma = next
+		if !improved || st.profile(sigma).Utilization(st.c.Prob.Pmin) >= 1 {
+			break
+		}
+	}
+	return sigma
+}
+
+// scanOnce performs one pass over the schedule's power gaps in the
+// given order, attempting one accepted move per gap time.
+func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotChoice) (schedule.Schedule, bool) {
+	pmin := st.c.Prob.Pmin
+	// Visit the start of every below-Pmin profile segment (not merely
+	// every maximal gap): a wide gap can require several moves at
+	// different depths, and the profitable insertion point is a segment
+	// boundary, not necessarily the gap's left edge.
+	var times []model.Time
+	for _, seg := range st.profile(sigma).Segs {
+		if seg.P < pmin {
+			times = append(times, seg.T0)
+		}
+	}
+	if len(times) == 0 {
+		return sigma, false
+	}
+	switch order {
+	case ScanReverse:
+		for i, j := 0, len(times)-1; i < j; i, j = i+1, j-1 {
+			times[i], times[j] = times[j], times[i]
+		}
+	case ScanRandom:
+		st.rng.Shuffle(len(times), func(i, j int) { times[i], times[j] = times[j], times[i] })
+	}
+
+	improved := false
+	for _, t := range times {
+		// Earlier moves may have already filled (or shifted) this gap.
+		if st.profile(sigma).At(t) >= pmin {
+			continue
+		}
+		if next, ok := st.fillGapAt(sigma, t, slot); ok {
+			sigma = next
+			improved = true
+			if st.profile(sigma).Utilization(pmin) >= 1 {
+				return sigma, true
+			}
+		}
+	}
+	return sigma, improved
+}
+
+// fillGapAt tries to delay one task that finished before t so it is
+// active at t. Candidates must have enough slack to reach t (the
+// paper's condition Delta(v) >= t - sigma(v) - d(v), strict activity).
+// A move is accepted when the delayed schedule is time-valid (by
+// construction of the slack bound and the longest-path recomputation),
+// power-valid, finishes no later, and strictly improves utilization.
+func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoice) (schedule.Schedule, bool) {
+	prob := st.c.Prob
+	prof := st.profile(sigma)
+	curU := prof.Utilization(prob.Pmin)
+	tau := sigma.Finish(prob.Tasks)
+
+	// End of the gap beginning at t, for the finish-at-gap-end slot.
+	gapEnd := t + 1
+	for _, g := range prof.Gaps(prob.Pmin) {
+		if g.T0 <= t && t < g.T1 {
+			gapEnd = g.T1
+			break
+		}
+	}
+
+	for _, v := range st.gapCandidates(sigma, t) {
+		d := prob.Tasks[v].Delay
+		sl := schedule.Slack(st.g, st.c, sigma, v)
+		// Latest start keeping the task active at t, clipped by slack.
+		latest := t
+		if m := sigma.Start[v] + sl; m < latest {
+			latest = m
+		}
+		earliest := t - d + 1 // earliest start that is active at t
+		if latest < earliest {
+			continue
+		}
+		var newStart model.Time
+		switch slot {
+		case SlotFinishAtGapEnd:
+			newStart = gapEnd - d
+		case SlotRandom:
+			newStart = earliest + model.Time(st.rng.Intn(latest-earliest+1))
+		default: // SlotStartAtGap
+			newStart = t
+		}
+		if newStart > latest {
+			newStart = latest
+		}
+		if newStart < earliest {
+			newStart = earliest
+		}
+		if newStart <= sigma.Start[v] {
+			continue
+		}
+
+		cp := st.g.Mark()
+		next, ok := st.delay(sigma, v, newStart)
+		if ok {
+			np := st.profile(next)
+			if np.Valid(prob.Pmax) &&
+				next.Finish(prob.Tasks) <= tau &&
+				np.Utilization(prob.Pmin) > curU+utilEps &&
+				schedule.CheckTimeValid(st.g, st.c, next) == nil {
+				st.st.Moves++
+				return next, true
+			}
+		}
+		st.g.Rollback(cp)
+		st.st.Rejected++
+	}
+	return sigma, false
+}
+
+// gapCandidates returns tasks that finish at or before t and have
+// enough slack to be delayed into activity at t, most powerful first
+// (a bigger consumer fills more of the gap), ties broken by later
+// finish then index.
+func (st *state) gapCandidates(sigma schedule.Schedule, t model.Time) []int {
+	prob := st.c.Prob
+	type cand struct {
+		v      int
+		power  float64
+		finish model.Time
+	}
+	var cs []cand
+	for v, task := range prob.Tasks {
+		fin := sigma.Start[v] + task.Delay
+		if fin > t {
+			continue // still running at or after t; delaying cannot help
+		}
+		sl := schedule.Slack(st.g, st.c, sigma, v)
+		if sl < t-sigma.Start[v]-task.Delay+1 {
+			continue // cannot reach t
+		}
+		cs = append(cs, cand{v: v, power: task.Power, finish: fin})
+	}
+	// Selection order: descending power, then latest finish, then index.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cs[j-1], cs[j]
+			if b.power > a.power || (b.power == a.power && b.finish > a.finish) {
+				cs[j-1], cs[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.v
+	}
+	return out
+}

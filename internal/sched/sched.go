@@ -1,0 +1,370 @@
+// Package sched implements the paper's three power-aware scheduling
+// algorithms as an incremental pipeline (paper section 5):
+//
+//  1. TimingScheduler (Fig. 3): a backtracking serialization search over
+//     topological orderings of the constraint graph that produces a
+//     time-valid schedule whenever one exists.
+//  2. MaxPowerScheduler (Fig. 4): removes power spikes from a time-valid
+//     schedule with slack-based task delaying, lock edges, and
+//     backtracking, yielding a (power-)valid schedule.
+//  3. MinPowerScheduler (Fig. 6): best-effort fills power gaps by
+//     reordering tasks within their slacks, scanning the schedule
+//     repeatedly under multiple heuristic orders and keeping the best
+//     result, to maximize min-power utilization (equivalently, minimize
+//     the energy cost drawn from non-free sources) at unchanged
+//     performance.
+//
+// All graph mutation is journaled: every heuristic step that fails is
+// rolled back exactly, mirroring the pseudocode's "undo changes to G
+// since step B".
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// ErrInfeasible is wrapped by errors reporting that no schedule can
+// satisfy the constraints (a positive cycle, or an unremovable spike).
+var ErrInfeasible = errors.New("sched: infeasible")
+
+// ScanOrder selects the order in which the min-power scheduler visits
+// power gaps during one scan (paper section 5.3: "incremental order,
+// reverse order, or random order").
+type ScanOrder int
+
+const (
+	// ScanForward visits gaps in increasing time order.
+	ScanForward ScanOrder = iota
+	// ScanReverse visits gaps in decreasing time order.
+	ScanReverse
+	// ScanRandom visits gaps in a seeded-random order.
+	ScanRandom
+)
+
+func (o ScanOrder) String() string {
+	switch o {
+	case ScanForward:
+		return "forward"
+	case ScanReverse:
+		return "reverse"
+	case ScanRandom:
+		return "random"
+	}
+	return fmt.Sprintf("ScanOrder(%d)", int(o))
+}
+
+// SlotChoice selects the alternative time slot tried when moving a task
+// into a power gap (paper section 5.3: "starting v at t, finishing v at
+// the end of the power gap beginning at t, or a randomly chosen slot").
+type SlotChoice int
+
+const (
+	// SlotStartAtGap starts the moved task exactly at the gap time t.
+	SlotStartAtGap SlotChoice = iota
+	// SlotFinishAtGapEnd finishes the moved task at the end of the gap.
+	SlotFinishAtGapEnd
+	// SlotRandom picks a seeded-random slot keeping the task active at t.
+	SlotRandom
+)
+
+func (o SlotChoice) String() string {
+	switch o {
+	case SlotStartAtGap:
+		return "start-at-gap"
+	case SlotFinishAtGapEnd:
+		return "finish-at-gap-end"
+	case SlotRandom:
+		return "random-slot"
+	}
+	return fmt.Sprintf("SlotChoice(%d)", int(o))
+}
+
+// Options tunes the schedulers. The zero value selects sensible
+// defaults via (Options).withDefaults.
+type Options struct {
+	// Seed feeds the deterministic RNG used by random heuristics.
+	Seed int64
+	// MaxBacktracks bounds the timing scheduler's search (default 20000).
+	MaxBacktracks int
+	// MaxSpikeRounds bounds spike-elimination iterations (default 10000).
+	MaxSpikeRounds int
+	// MaxScans bounds min-power scans per heuristic combination
+	// (default 10).
+	MaxScans int
+	// ScanOrders lists the gap-visit orders tried; the best outcome
+	// wins (default: forward, reverse, random).
+	ScanOrders []ScanOrder
+	// SlotChoices lists the slot heuristics tried per scan order
+	// (default: start-at-gap, finish-at-gap-end).
+	SlotChoices []SlotChoice
+	// DisableLocks turns off the lock-the-remaining-tasks heuristic of
+	// the max-power scheduler (for ablation).
+	DisableLocks bool
+	// FullRecompute makes every delay re-run the full longest-path
+	// computation instead of relaxing incrementally from the new edge
+	// (for ablation; results are identical, only speed differs).
+	FullRecompute bool
+	// Restarts runs the whole pipeline this many times with perturbed
+	// timing-candidate orders and keeps the best outcome (shortest
+	// finish, then lowest energy cost). Different serialization orders
+	// explore different regions of the partial-order space the paper's
+	// single greedy pass cannot reach. Default 1 (no restarts).
+	Restarts int
+	// Compact enables the left-shift pass between max-power and
+	// min-power scheduling: spike elimination only pushes tasks later,
+	// and compaction reclaims idle time it strands, shrinking the
+	// finish time when possible (an extension beyond the paper).
+	Compact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBacktracks == 0 {
+		o.MaxBacktracks = 20000
+	}
+	if o.MaxSpikeRounds == 0 {
+		o.MaxSpikeRounds = 10000
+	}
+	if o.MaxScans == 0 {
+		o.MaxScans = 10
+	}
+	if len(o.ScanOrders) == 0 {
+		o.ScanOrders = []ScanOrder{ScanForward, ScanReverse, ScanRandom}
+	}
+	if len(o.SlotChoices) == 0 {
+		o.SlotChoices = []SlotChoice{SlotStartAtGap, SlotFinishAtGapEnd}
+	}
+	return o
+}
+
+// Stats counts the work the heuristics performed.
+type Stats struct {
+	Backtracks  int // timing-search and spike-fix rollbacks
+	SpikeRounds int // spike-elimination iterations
+	Scans       int // min-power scans across all heuristic combos
+	Moves       int // accepted gap-filling moves
+	Rejected    int // attempted gap-filling moves rolled back
+}
+
+// Result is the outcome of a scheduling stage.
+type Result struct {
+	// Compiled is the lowered problem the schedule refers to.
+	Compiled *schedule.Compiled
+	// Schedule holds the computed start times.
+	Schedule schedule.Schedule
+	// Graph is the final working constraint graph, including
+	// serialization, delay, and lock edges.
+	Graph *graph.Graph
+	// Profile is the schedule's power profile (including base power).
+	Profile power.Profile
+	// Stats describes the heuristic effort expended.
+	Stats Stats
+}
+
+// Finish returns the schedule's finish time tau.
+func (r *Result) Finish() model.Time { return r.Schedule.Finish(r.Compiled.Prob.Tasks) }
+
+// EnergyCost returns Ec_sigma(Pmin) for the problem's Pmin.
+func (r *Result) EnergyCost() float64 { return r.Profile.EnergyCost(r.Compiled.Prob.Pmin) }
+
+// Utilization returns rho_sigma(Pmin) for the problem's Pmin.
+func (r *Result) Utilization() float64 { return r.Profile.Utilization(r.Compiled.Prob.Pmin) }
+
+// Peak returns the maximum of the power profile.
+func (r *Result) Peak() float64 { return r.Profile.Peak() }
+
+// stage selects how much of the pipeline to run.
+type stage int
+
+const (
+	stageTiming stage = iota
+	stageMaxPower
+	stageMinPower
+)
+
+// Timing runs only the timing scheduler, returning a time-valid
+// schedule that ignores power constraints (paper Fig. 3).
+func Timing(p *model.Problem, opts Options) (*Result, error) {
+	return runPipeline(p, opts, stageTiming)
+}
+
+// MaxPower runs the timing scheduler followed by max-power spike
+// elimination, returning a valid schedule (paper Fig. 4).
+func MaxPower(p *model.Problem, opts Options) (*Result, error) {
+	return runPipeline(p, opts, stageMaxPower)
+}
+
+// MinPower runs the full pipeline: timing, max-power, then best-effort
+// min-power gap filling (paper Fig. 6). This is the power-aware
+// scheduler's main entry point.
+func MinPower(p *model.Problem, opts Options) (*Result, error) {
+	return runPipeline(p, opts, stageMinPower)
+}
+
+// runPipeline executes the pipeline up to the requested stage, once per
+// restart, and keeps the best successful outcome: shortest finish time
+// first, then lowest energy cost. A restart that fails is skipped; the
+// call fails only when every restart does.
+func runPipeline(p *model.Problem, opts Options, upTo stage) (*Result, error) {
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *Result
+	var firstErr error
+	for r := 0; r < restarts; r++ {
+		st, err := newState(p, opts)
+		if err != nil {
+			return nil, err // structural problem error: no restart helps
+		}
+		st.perturb(r)
+		res, err := st.runTo(upTo)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || better(res, best) {
+			best = res
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+func better(a, b *Result) bool {
+	af, bf := a.Finish(), b.Finish()
+	if af != bf {
+		return af < bf
+	}
+	return a.EnergyCost() < b.EnergyCost()
+}
+
+func (st *state) runTo(upTo stage) (*Result, error) {
+	var sigma schedule.Schedule
+	var err error
+	switch upTo {
+	case stageTiming:
+		sigma, err = st.timing()
+	case stageMaxPower:
+		sigma, err = st.maxPower()
+	default:
+		sigma, err = st.maxPower()
+		if err == nil {
+			if st.opts.Compact {
+				sigma = st.compact(sigma)
+			}
+			sigma = st.minPower(sigma)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return st.result(sigma), nil
+}
+
+// Run is an alias for MinPower, the complete power-aware scheduler.
+func Run(p *model.Problem, opts Options) (*Result, error) { return MinPower(p, opts) }
+
+// state is the mutable working context shared by the three stages.
+type state struct {
+	c    *schedule.Compiled
+	g    *graph.Graph // working graph: base + serialization + delays + locks
+	opts Options
+	rng  *rand.Rand
+	st   Stats
+	prio []int // candidate tie-break priority (identity unless perturbed)
+
+	// timingMark and structEdges snapshot the graph at the end of the
+	// timing stage (base constraints + serialization edges); the
+	// compaction pass validates leftward moves against exactly these.
+	timingMark  graph.Checkpoint
+	structEdges []graph.Edge
+}
+
+func newState(p *model.Problem, opts Options) (*state, error) {
+	c, err := schedule.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	st := &state{
+		c:    c,
+		g:    c.Base.Clone(),
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	st.prio = make([]int, c.NumTasks())
+	for i := range st.prio {
+		st.prio[i] = i
+	}
+	return st, nil
+}
+
+// perturb shuffles the candidate tie-break priority for restart r.
+// Restart 0 keeps the deterministic index order, so a single run
+// reproduces the paper's greedy behaviour exactly.
+func (st *state) perturb(r int) {
+	if r == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(st.opts.Seed + int64(r)*0x9e3779b9))
+	rng.Shuffle(len(st.prio), func(i, j int) { st.prio[i], st.prio[j] = st.prio[j], st.prio[i] })
+}
+
+func (st *state) result(sigma schedule.Schedule) *Result {
+	return &Result{
+		Compiled: st.c,
+		Schedule: sigma,
+		Graph:    st.g,
+		Profile:  power.Build(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower),
+		Stats:    st.st,
+	}
+}
+
+// delay constrains task v to start no earlier than newStart by adding
+// an anchor edge, then updates the schedule. sigma must be the current
+// longest-path solution of the working graph; by default the update
+// relaxes incrementally from the new edge (see graph.AddEdgeRelax), so
+// only the shifted cone of successors is touched. ok is false (and the
+// edge rolled back) when the delay creates a positive cycle.
+func (st *state) delay(sigma schedule.Schedule, v int, newStart model.Time) (schedule.Schedule, bool) {
+	cp := st.g.Mark()
+	if st.opts.FullRecompute {
+		st.g.AddEdge(st.c.Anchor, v, newStart)
+		dist, ok := st.g.LongestFrom(st.c.Anchor)
+		if !ok {
+			st.g.Rollback(cp)
+			return schedule.Schedule{}, false
+		}
+		return schedule.FromDist(dist, st.c.NumTasks()), true
+	}
+	dist := make([]int, st.g.N())
+	copy(dist, sigma.Start)
+	dist[st.c.Anchor] = 0
+	if !st.g.AddEdgeRelax(dist, st.c.Anchor, v, newStart) {
+		st.g.Rollback(cp)
+		return schedule.Schedule{}, false
+	}
+	return schedule.FromDist(dist, st.c.NumTasks()), true
+}
+
+// lock pins task v at start t with a pair of edges (sigma(v) >= t and
+// sigma(v) <= t).
+func (st *state) lock(v int, t model.Time) {
+	st.g.AddEdge(st.c.Anchor, v, t)
+	st.g.AddEdge(v, st.c.Anchor, -t)
+}
+
+func (st *state) profile(sigma schedule.Schedule) power.Profile {
+	return power.Build(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower)
+}

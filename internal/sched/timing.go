@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schedule"
+)
+
+// timing implements the time-constrained scheduling algorithm of paper
+// Fig. 3. It traverses the constraint graph topologically, visiting one
+// candidate task at a time; visiting a candidate c serializes every
+// not-yet-visited task sharing c's resource after c (edge c -> u with
+// weight d(c)). If the added edges create a positive cycle the choice
+// is undone and another topological ordering is attempted, so the
+// search finds a time-valid schedule whenever one exists (within the
+// MaxBacktracks budget). Start times are the longest-path distances
+// from the anchor over the final graph.
+func (st *state) timing() (schedule.Schedule, error) {
+	n := st.c.NumTasks()
+	if _, ok := st.g.LongestFrom(st.c.Anchor); !ok {
+		return schedule.Schedule{}, fmt.Errorf("%w: timing constraints contain a positive cycle", ErrInfeasible)
+	}
+
+	visited := make([]bool, n)
+	budget := st.opts.MaxBacktracks
+
+	var visit func(count int) bool
+	visit = func(count int) bool {
+		if count == n {
+			return true
+		}
+		for _, c := range st.candidates(visited) {
+			cp := st.g.Mark()
+			// Serialize every untraversed same-resource task after c.
+			res := st.c.Prob.Tasks[c].Resource
+			for u := 0; u < n; u++ {
+				if u != c && !visited[u] && st.c.Prob.Tasks[u].Resource == res {
+					st.g.AddEdge(c, u, st.c.Prob.Tasks[c].Delay)
+				}
+			}
+			if st.g.Feasible(st.c.Anchor) {
+				visited[c] = true
+				if visit(count + 1) {
+					return true
+				}
+				visited[c] = false
+			}
+			st.g.Rollback(cp)
+			st.st.Backtracks++
+			if st.st.Backtracks > budget {
+				return false
+			}
+		}
+		return false
+	}
+
+	if !visit(0) {
+		if st.st.Backtracks > budget {
+			return schedule.Schedule{}, fmt.Errorf("sched: timing search exceeded %d backtracks", budget)
+		}
+		return schedule.Schedule{}, fmt.Errorf("%w: no serialization order yields a time-valid schedule", ErrInfeasible)
+	}
+
+	dist, ok := st.g.LongestFrom(st.c.Anchor)
+	if !ok {
+		// Unreachable: every visited step checked feasibility.
+		return schedule.Schedule{}, fmt.Errorf("%w: final graph has a positive cycle", ErrInfeasible)
+	}
+	st.timingMark = st.g.Mark()
+	st.structEdges = st.g.Edges()
+	return schedule.FromDist(dist, st.c.NumTasks()), nil
+}
+
+// candidates returns the unvisited tasks in the order the search should
+// try them: earliest current ASAP start first (the task the paper's
+// traversal would reach next), ties broken by the state's priority
+// permutation (the task index on the first restart, a seeded shuffle on
+// later restarts). Every unvisited task is a legal candidate; ordering
+// only steers the search toward reasonable schedules first.
+func (st *state) candidates(visited []bool) []int {
+	dist, ok := st.g.LongestFrom(st.c.Anchor)
+	if !ok {
+		return nil
+	}
+	var cand []int
+	for v := 0; v < st.c.NumTasks(); v++ {
+		if !visited[v] {
+			cand = append(cand, v)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if dist[cand[i]] != dist[cand[j]] {
+			return dist[cand[i]] < dist[cand[j]]
+		}
+		return st.prio[cand[i]] < st.prio[cand[j]]
+	})
+	return cand
+}

@@ -1,0 +1,103 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// ALAP computes the as-late-as-possible start times under the given
+// constraint graph: the maximum start of each task such that all
+// difference constraints hold and every task finishes by the horizon.
+// Combined with ASAP times (the anchor's longest-path distances) this
+// yields each task's global slack — the total scheduling freedom the
+// constraint system leaves, as opposed to Slack, which holds the rest
+// of a particular schedule fixed.
+func ALAP(g *graph.Graph, c *Compiled, horizon model.Time) ([]model.Time, error) {
+	n := c.NumTasks()
+	up := make([]model.Time, g.N())
+	for v := 0; v < n; v++ {
+		up[v] = horizon - c.Prob.Tasks[v].Delay
+		if up[v] < 0 {
+			return nil, fmt.Errorf("schedule: task %q cannot finish by horizon %d",
+				c.Prob.Tasks[v].Name, horizon)
+		}
+	}
+	up[c.Anchor] = 0 // the anchor is fixed at time zero
+
+	// Downward relaxation: for each edge (u -> v, w), sigma(u) <=
+	// sigma(v) - w. Queue-based, mirroring the longest-path routine.
+	inQueue := make([]bool, g.N())
+	relaxed := make([]int, g.N())
+	queue := make([]int, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		queue = append(queue, v)
+		inQueue[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		relaxed[v]++
+		if relaxed[v] > g.N()+1 {
+			return nil, fmt.Errorf("schedule: ALAP did not converge (infeasible constraints)")
+		}
+		for _, e := range g.In(v) {
+			if nu := up[v] - e.W; nu < up[e.From] {
+				up[e.From] = nu
+				if up[e.From] < 0 && e.From != c.Anchor {
+					return nil, fmt.Errorf("schedule: task %q has no feasible start under horizon %d",
+						name(c, e.From), horizon)
+				}
+				if e.From == c.Anchor && nu < 0 {
+					return nil, fmt.Errorf("schedule: horizon %d is infeasible", horizon)
+				}
+				if !inQueue[e.From] {
+					queue = append(queue, e.From)
+					inQueue[e.From] = true
+				}
+			}
+		}
+	}
+	return up[:n], nil
+}
+
+// GlobalSlacks returns ALAP minus ASAP per task: the total freedom each
+// task has within the constraint system under the horizon.
+func GlobalSlacks(g *graph.Graph, c *Compiled, horizon model.Time) ([]model.Time, error) {
+	dist, ok := g.LongestFrom(c.Anchor)
+	if !ok {
+		return nil, fmt.Errorf("schedule: constraints contain a positive cycle")
+	}
+	alap, err := ALAP(g, c, horizon)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]model.Time, c.NumTasks())
+	for v := range out {
+		out[v] = alap[v] - dist[v]
+		if out[v] < 0 {
+			return nil, fmt.Errorf("schedule: task %q has negative global slack %d (horizon too tight)",
+				c.Prob.Tasks[v].Name, out[v])
+		}
+	}
+	return out, nil
+}
+
+// CriticalTasks returns the names of tasks with zero global slack under
+// the horizon: the timing-critical chain that determines the finish
+// time.
+func CriticalTasks(g *graph.Graph, c *Compiled, horizon model.Time) ([]string, error) {
+	slacks, err := GlobalSlacks(g, c, horizon)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for v, s := range slacks {
+		if s == 0 {
+			out = append(out, c.Prob.Tasks[v].Name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func chainProblem() *model.Problem {
+	p := &model.Problem{
+		Name: "chain3",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 2, Power: 1},
+			{Name: "b", Resource: "B", Delay: 3, Power: 1},
+			{Name: "c", Resource: "C", Delay: 1, Power: 1},
+		},
+	}
+	p.MinSep("a", "b", 2)
+	p.MinSep("b", "c", 3)
+	return p
+}
+
+func TestALAPChain(t *testing.T) {
+	c, err := Compile(chainProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon 10: c can start as late as 9; b <= 9-3 = 6 (also <= 10-3 = 7);
+	// a <= 6-2 = 4.
+	alap, err := ALAP(c.Base, c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Time{4, 6, 9}
+	for i, w := range want {
+		if alap[i] != w {
+			t.Errorf("ALAP[%s] = %d, want %d", c.Prob.Tasks[i].Name, alap[i], w)
+		}
+	}
+}
+
+func TestALAPTightHorizonIsExactChain(t *testing.T) {
+	c, err := Compile(chainProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path is 2+3+1 = 6: at horizon 6 everything is critical.
+	slacks, err := GlobalSlacks(c.Base, c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range slacks {
+		if s != 0 {
+			t.Errorf("slack[%s] = %d, want 0 at the tight horizon", c.Prob.Tasks[i].Name, s)
+		}
+	}
+	crit, err := CriticalTasks(c.Base, c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crit) != 3 {
+		t.Errorf("critical = %v, want all three", crit)
+	}
+}
+
+func TestALAPInfeasibleHorizon(t *testing.T) {
+	c, err := Compile(chainProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ALAP(c.Base, c, 5); err == nil {
+		t.Fatal("horizon below the critical path accepted")
+	}
+	if _, err := GlobalSlacks(c.Base, c, 5); err == nil {
+		t.Fatal("GlobalSlacks accepted an infeasible horizon")
+	}
+}
+
+func TestALAPContradictoryWindowFails(t *testing.T) {
+	p := chainProblem()
+	p.Window("a", "c", 0, 4) // contradicts c >= a+5 from the chain
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err) // structural validation passes; infeasibility is semantic
+	}
+	if _, err := ALAP(c.Base, c, 20); err == nil {
+		t.Fatal("ALAP accepted a contradictory constraint system")
+	}
+}
+
+func TestALAPRespectsMaxSeparationFeasible(t *testing.T) {
+	p := chainProblem()
+	p.Window("a", "c", 0, 6) // c at most 6 after a
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alap, err := ALAP(c.Base, c, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c bounded by a's latest + 6; a is bounded transitively by c.
+	if alap[2]-alap[0] > 6 {
+		t.Errorf("ALAP violates window: c-a = %d > 6", alap[2]-alap[0])
+	}
+	// Every ALAP assignment must itself be time-valid.
+	s := Schedule{Start: alap}
+	if err := CheckTimeValid(c.Base, c, s); err != nil {
+		t.Errorf("ALAP schedule invalid: %v", err)
+	}
+}
+
+func TestGlobalSlackVsLocalSlack(t *testing.T) {
+	p := chainProblem()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, ok := c.Base.LongestFrom(c.Anchor)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	asap := FromDist(dist, c.NumTasks())
+	global, err := GlobalSlacks(c.Base, c, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local slack holds successors fixed, so it is never more than the
+	// global freedom for the last task, and the first task's local
+	// slack (b fixed) is <= its global slack.
+	if local := Slack(c.Base, c, asap, 0); local > global[0] {
+		t.Errorf("local slack %d exceeds global %d for a", local, global[0])
+	}
+}

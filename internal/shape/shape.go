@@ -1,0 +1,192 @@
+// Package shape extends task power models from a single exact value to
+// a function over the task's execution, the second generalization the
+// paper names in section 4.1 ("the power consumption can be either in
+// the form of (min, typical, max), or a function over time"). A Shape
+// is a piecewise-constant power curve relative to the task's start —
+// for example a motor's inrush surge followed by its steady draw.
+//
+// Scheduling proceeds conservatively: each shaped task is lowered to
+// its peak power, so a schedule that respects Pmax under the lowered
+// problem respects it under the true shapes pointwise. Metrics are then
+// evaluated against the true shaped profile, which is never worse.
+package shape
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+)
+
+// Phase is one piece of a power shape: Power watts for Dur seconds.
+type Phase struct {
+	Dur   model.Time
+	Power float64
+}
+
+// Shape is a piecewise-constant power curve over a task's execution.
+// The phase durations must sum to the task's delay.
+type Shape []Phase
+
+// Duration returns the shape's total extent.
+func (s Shape) Duration() model.Time {
+	var d model.Time
+	for _, ph := range s {
+		d += ph.Dur
+	}
+	return d
+}
+
+// Peak returns the shape's maximum power.
+func (s Shape) Peak() float64 {
+	var m float64
+	for _, ph := range s {
+		if ph.Power > m {
+			m = ph.Power
+		}
+	}
+	return m
+}
+
+// Energy returns the shape's total energy.
+func (s Shape) Energy() float64 {
+	var e float64
+	for _, ph := range s {
+		e += ph.Power * float64(ph.Dur)
+	}
+	return e
+}
+
+// At returns the power at the given offset from the task's start
+// (0 outside [0, Duration)).
+func (s Shape) At(offset model.Time) float64 {
+	if offset < 0 {
+		return 0
+	}
+	for _, ph := range s {
+		if offset < ph.Dur {
+			return ph.Power
+		}
+		offset -= ph.Dur
+	}
+	return 0
+}
+
+// Constant builds a flat shape.
+func Constant(d model.Time, p float64) Shape { return Shape{{Dur: d, Power: p}} }
+
+// Inrush builds the classic motor shape: a surge of inrushPower for
+// inrushDur seconds, then steady for the remainder of d.
+func Inrush(d, inrushDur model.Time, inrushPower, steady float64) Shape {
+	if inrushDur >= d {
+		return Constant(d, inrushPower)
+	}
+	return Shape{{Dur: inrushDur, Power: inrushPower}, {Dur: d - inrushDur, Power: steady}}
+}
+
+// Problem pairs a base problem with per-task shapes. Tasks without a
+// shape keep their constant Power.
+type Problem struct {
+	Base   *model.Problem
+	Shapes map[string]Shape
+}
+
+// Validate checks that every shape matches its task's delay and has
+// non-negative phases.
+func (sp *Problem) Validate() error {
+	if err := sp.Base.Validate(); err != nil {
+		return err
+	}
+	for name, sh := range sp.Shapes {
+		task, ok := sp.Base.TaskByName(name)
+		if !ok {
+			return fmt.Errorf("shape: shape for unknown task %q", name)
+		}
+		if sh.Duration() != task.Delay {
+			return fmt.Errorf("shape: task %q shape lasts %d, delay is %d",
+				name, sh.Duration(), task.Delay)
+		}
+		if len(sh) == 0 {
+			return fmt.Errorf("shape: task %q has an empty shape", name)
+		}
+		for _, ph := range sh {
+			if ph.Dur <= 0 || ph.Power < 0 {
+				return fmt.Errorf("shape: task %q has invalid phase %+v", name, ph)
+			}
+		}
+	}
+	return nil
+}
+
+// Lower returns the conservative constant-power problem: every shaped
+// task's power is replaced by its shape's peak.
+func (sp *Problem) Lower() *model.Problem {
+	q := sp.Base.Clone()
+	for i := range q.Tasks {
+		if sh, ok := sp.Shapes[q.Tasks[i].Name]; ok {
+			q.Tasks[i].Power = sh.Peak()
+		}
+	}
+	return q
+}
+
+// Profile computes the true shaped power profile of a schedule: each
+// shaped task contributes its curve, others their constant power, plus
+// the base load.
+func (sp *Problem) Profile(s schedule.Schedule) power.Profile {
+	tau := s.Finish(sp.Base.Tasks)
+	if tau == 0 {
+		return power.Profile{}
+	}
+	// Build per-second and re-segment; shapes make event-sweeping
+	// fiddly and tau is small in this domain.
+	var segs []power.Segment
+	for t := model.Time(0); t < tau; t++ {
+		pw := sp.Base.BasePower
+		for i, task := range sp.Base.Tasks {
+			if s.Start[i] <= t && t < s.Start[i]+task.Delay {
+				if sh, ok := sp.Shapes[task.Name]; ok {
+					pw += sh.At(t - s.Start[i])
+				} else {
+					pw += task.Power
+				}
+			}
+		}
+		if n := len(segs); n > 0 && segs[n-1].P == pw {
+			segs[n-1].T1 = t + 1
+		} else {
+			segs = append(segs, power.Segment{T0: t, T1: t + 1, P: pw})
+		}
+	}
+	return power.Profile{Segs: segs}
+}
+
+// Result is a shaped scheduling outcome.
+type Result struct {
+	// Result is the pipeline's outcome on the lowered (peak-power)
+	// problem.
+	Sched *sched.Result
+	// Profile is the true shaped profile of the returned schedule.
+	Profile power.Profile
+}
+
+// EnergyCost returns the true cost at the base problem's Pmin.
+func (r *Result) EnergyCost() float64 { return r.Profile.EnergyCost(r.Sched.Compiled.Prob.Pmin) }
+
+// Utilization returns the true utilization at the base problem's Pmin.
+func (r *Result) Utilization() float64 { return r.Profile.Utilization(r.Sched.Compiled.Prob.Pmin) }
+
+// Run schedules the lowered problem with the full pipeline and
+// evaluates the schedule under the true shapes.
+func Run(sp *Problem, opts sched.Options) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := sched.Run(sp.Lower(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sched: r, Profile: sp.Profile(r.Schedule)}, nil
+}

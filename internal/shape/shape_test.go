@@ -1,0 +1,191 @@
+package shape
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/model"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{{Dur: 2, Power: 10}, {Dur: 3, Power: 4}}
+	if s.Duration() != 5 {
+		t.Errorf("Duration = %d", s.Duration())
+	}
+	if s.Peak() != 10 {
+		t.Errorf("Peak = %g", s.Peak())
+	}
+	if s.Energy() != 32 {
+		t.Errorf("Energy = %g", s.Energy())
+	}
+	at := map[model.Time]float64{-1: 0, 0: 10, 1: 10, 2: 4, 4: 4, 5: 0, 9: 0}
+	for off, want := range at {
+		if got := s.At(off); got != want {
+			t.Errorf("At(%d) = %g, want %g", off, got, want)
+		}
+	}
+}
+
+func TestConstantAndInrush(t *testing.T) {
+	c := Constant(4, 3)
+	if c.Duration() != 4 || c.Peak() != 3 || c.Energy() != 12 {
+		t.Fatalf("Constant wrong: %+v", c)
+	}
+	in := Inrush(10, 2, 18, 13.8)
+	if in.Duration() != 10 || in.Peak() != 18 || in.At(1) != 18 || in.At(2) != 13.8 {
+		t.Fatalf("Inrush wrong: %+v", in)
+	}
+	// Degenerate: inrush as long as the task.
+	full := Inrush(3, 5, 9, 1)
+	if full.Duration() != 3 || full.At(2) != 9 {
+		t.Fatalf("degenerate inrush wrong: %+v", full)
+	}
+}
+
+func shapedProblem() *Problem {
+	p := &model.Problem{
+		Name: "shaped",
+		Tasks: []model.Task{
+			{Name: "motor", Resource: "M", Delay: 6, Power: 5}, // shaped below
+			{Name: "cpu", Resource: "C", Delay: 6, Power: 2},
+		},
+		Pmax:      14,
+		Pmin:      4,
+		BasePower: 1,
+	}
+	return &Problem{
+		Base:   p,
+		Shapes: map[string]Shape{"motor": {{Dur: 2, Power: 9}, {Dur: 4, Power: 3}}},
+	}
+}
+
+func TestValidateShapes(t *testing.T) {
+	sp := shapedProblem()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := shapedProblem()
+	bad.Shapes["motor"] = Shape{{Dur: 3, Power: 9}} // wrong duration
+	if err := bad.Validate(); err == nil {
+		t.Error("duration mismatch accepted")
+	}
+	bad2 := shapedProblem()
+	bad2.Shapes["ghost"] = Constant(2, 1)
+	if err := bad2.Validate(); err == nil {
+		t.Error("unknown task shape accepted")
+	}
+	bad3 := shapedProblem()
+	bad3.Shapes["motor"] = Shape{{Dur: 6, Power: -1}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative phase accepted")
+	}
+	bad4 := shapedProblem()
+	bad4.Shapes["motor"] = Shape{}
+	if err := bad4.Validate(); err == nil {
+		t.Error("empty shape accepted")
+	}
+}
+
+func TestLowerUsesPeaks(t *testing.T) {
+	sp := shapedProblem()
+	low := sp.Lower()
+	m, _ := low.TaskByName("motor")
+	if m.Power != 9 {
+		t.Errorf("lowered motor power = %g, want peak 9", m.Power)
+	}
+	c, _ := low.TaskByName("cpu")
+	if c.Power != 2 {
+		t.Errorf("unshaped task power changed: %g", c.Power)
+	}
+	if sp.Base.Tasks[0].Power != 5 {
+		t.Error("Lower mutated the base problem")
+	}
+}
+
+func TestShapedProfile(t *testing.T) {
+	sp := shapedProblem()
+	r, err := Run(sp, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Sched.Schedule
+	idx := sp.Base.TaskIndex()
+	mStart := s.Start[idx["motor"]]
+	// During the inrush the true profile includes 9 W, afterwards 3 W.
+	if got := r.Profile.At(mStart); got < 9 {
+		t.Errorf("profile at inrush = %g, want >= 9", got)
+	}
+	if got := r.Profile.At(mStart + 3); got >= 9 {
+		t.Errorf("profile after inrush = %g, want < 9", got)
+	}
+	// Energy identity: profile energy = shape energies + constants.
+	want := sp.Shapes["motor"].Energy() + 2*6 + float64(r.Sched.Finish())*1
+	if math.Abs(r.Profile.Energy()-want) > 1e-9 {
+		t.Errorf("energy = %g, want %g", r.Profile.Energy(), want)
+	}
+}
+
+// TestConservativeSoundness: the true shaped profile never exceeds the
+// lowered profile, so a valid lowered schedule is valid under shapes.
+func TestConservativeSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		base := analysis.Generate(analysis.GenConfig{Tasks: 8, Seed: seed})
+		sp := &Problem{Base: base, Shapes: map[string]Shape{}}
+		// Shape every second task as inrush at 120% of its power.
+		for i, task := range base.Tasks {
+			if i%2 == 0 && task.Delay >= 2 {
+				sp.Shapes[task.Name] = Inrush(task.Delay, 1, task.Power*1.2, task.Power*0.8)
+			}
+		}
+		// Loosen Pmax for the raised peaks.
+		sp.Base.Pmax *= 1.3
+		r, err := Run(sp, sched.Options{})
+		if err != nil {
+			return false
+		}
+		lowered := r.Sched.Profile
+		for _, seg := range r.Profile.Segs {
+			for t := seg.T0; t < seg.T1; t++ {
+				if seg.P > lowered.At(t)+1e-9 {
+					return false
+				}
+			}
+		}
+		return r.Profile.Valid(sp.Base.Pmax)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoverInrushScenario: give the rover's driving tasks a 2 s inrush
+// at ~130% of steady draw. The conservative pipeline still produces a
+// valid schedule, and the true cost is at most the lowered cost.
+func TestRoverInrushScenario(t *testing.T) {
+	base := rover.BuildIteration(rover.Typical, rover.Cold)
+	par := rover.Table2(rover.Typical)
+	sp := &Problem{
+		Base: base,
+		Shapes: map[string]Shape{
+			"dr1": Inrush(rover.DriveDelay, 2, par.Drive*1.3, par.Drive*0.9),
+			"dr2": Inrush(rover.DriveDelay, 2, par.Drive*1.3, par.Drive*0.9),
+		},
+	}
+	r, err := Run(sp, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Profile.Valid(base.Pmax) {
+		t.Fatalf("true profile spikes: %v", r.Profile.Spikes(base.Pmax))
+	}
+	if r.EnergyCost() > r.Sched.EnergyCost()+1e-9 {
+		t.Errorf("true cost %.1f exceeds lowered cost %.1f", r.EnergyCost(), r.Sched.EnergyCost())
+	}
+	if r.Utilization() < 0 || r.Utilization() > 1 {
+		t.Errorf("utilization out of range: %g", r.Utilization())
+	}
+}

@@ -1,0 +1,43 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the specification parser with arbitrary input:
+// it must never panic, and any problem it accepts must round-trip
+// through Format and validate.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"problem x\ntask a R 1 2\n",
+		"task a R 1 2\ntask b S 3 4\na -> b [1,9]\n",
+		"pmax 10\npmin 5\nbase 1\ntask t r 1 0\nrelease t 3\ndeadline t 9\n",
+		"# comment only\n",
+		"task a R 1 2\nprecede a a\n",
+		"task a R -1 2\n",
+		"a -> b [,]\n",
+		"task a R 1 1e308\n",
+		strings.Repeat("task t R 1 1\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseString(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted problem fails validation: %v", err)
+		}
+		q, err := ParseString(Format(p))
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, Format(p))
+		}
+		if !problemsEqual(p, q) {
+			t.Fatalf("round-trip changed the problem:\n%s", Format(p))
+		}
+	})
+}

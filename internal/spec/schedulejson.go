@@ -1,0 +1,61 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+// scheduleDoc matches the JSON emitted by `impacct -format json`: only
+// the task names and start times are consumed; other fields are
+// ignored.
+type scheduleDoc struct {
+	Tasks []struct {
+		Name  string     `json:"name"`
+		Start model.Time `json:"start"`
+	} `json:"tasks"`
+}
+
+// ParseScheduleJSON decodes a schedule for problem p from the JSON
+// document format of the impacct tool. Every task of the problem must
+// appear exactly once.
+func ParseScheduleJSON(p *model.Problem, data []byte) (schedule.Schedule, error) {
+	var doc scheduleDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return schedule.Schedule{}, fmt.Errorf("spec: schedule json: %w", err)
+	}
+	starts := make(map[string]model.Time, len(doc.Tasks))
+	for _, t := range doc.Tasks {
+		if _, dup := starts[t.Name]; dup {
+			return schedule.Schedule{}, fmt.Errorf("spec: schedule json: duplicate task %q", t.Name)
+		}
+		starts[t.Name] = t.Start
+	}
+	s := schedule.Schedule{Start: make([]model.Time, len(p.Tasks))}
+	for i, t := range p.Tasks {
+		at, ok := starts[t.Name]
+		if !ok {
+			return schedule.Schedule{}, fmt.Errorf("spec: schedule json: missing task %q", t.Name)
+		}
+		s.Start[i] = at
+	}
+	if len(starts) != len(p.Tasks) {
+		return schedule.Schedule{}, fmt.Errorf("spec: schedule json: %d tasks for a %d-task problem",
+			len(starts), len(p.Tasks))
+	}
+	return s, nil
+}
+
+// FormatScheduleJSON encodes a schedule in the same document format.
+func FormatScheduleJSON(p *model.Problem, s schedule.Schedule) ([]byte, error) {
+	var doc scheduleDoc
+	for i, t := range p.Tasks {
+		doc.Tasks = append(doc.Tasks, struct {
+			Name  string     `json:"name"`
+			Start model.Time `json:"start"`
+		}{Name: t.Name, Start: s.Start[i]})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,78 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+func jsonProblem() *model.Problem {
+	return &model.Problem{
+		Name: "j",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "R", Delay: 2, Power: 1},
+			{Name: "b", Resource: "S", Delay: 3, Power: 1},
+		},
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	p := jsonProblem()
+	s := schedule.Schedule{Start: []model.Time{4, 9}}
+	data, err := FormatScheduleJSON(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseScheduleJSON(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip = %v, want %v", got.Start, s.Start)
+	}
+}
+
+func TestScheduleJSONAcceptsImpacctToolOutput(t *testing.T) {
+	// The impacct tool emits extra fields; they must be ignored.
+	doc := `{
+	  "problem": "j",
+	  "finish": 12,
+	  "tasks": [
+	    {"name": "b", "resource": "S", "start": 7, "end": 10, "power": 1},
+	    {"name": "a", "resource": "R", "start": 0, "end": 2, "power": 1}
+	  ]
+	}`
+	got, err := ParseScheduleJSON(jsonProblem(), []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Start[0] != 0 || got.Start[1] != 7 {
+		t.Fatalf("starts = %v", got.Start)
+	}
+}
+
+func TestScheduleJSONErrors(t *testing.T) {
+	p := jsonProblem()
+	cases := map[string]string{
+		"syntax":    `{nope`,
+		"missing":   `{"tasks":[{"name":"a","start":0}]}`,
+		"duplicate": `{"tasks":[{"name":"a","start":0},{"name":"a","start":1},{"name":"b","start":2}]}`,
+		"unknown":   `{"tasks":[{"name":"a","start":0},{"name":"zz","start":1}]}`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseScheduleJSON(p, []byte(doc)); err == nil {
+				t.Fatalf("accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestScheduleJSONMentionsTaskInError(t *testing.T) {
+	_, err := ParseScheduleJSON(jsonProblem(), []byte(`{"tasks":[{"name":"a","start":0}]}`))
+	if err == nil || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("err = %v, want mention of missing task b", err)
+	}
+}

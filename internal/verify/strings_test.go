@@ -1,0 +1,54 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: KindSpike, Detail: "P > 10 W during [3,5)"}
+	s := v.String()
+	if !strings.Contains(s, "power-spike") || !strings.Contains(s, "[3,5)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestErrListsEveryViolation(t *testing.T) {
+	p := &model.Problem{
+		Name: "multi",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "R", Delay: 2, Power: 1},
+			{Name: "b", Resource: "R", Delay: 2, Power: 1},
+		},
+	}
+	p.MinSep("a", "b", 10)
+	rep := Check(p, schedule.Schedule{Start: []model.Time{-1, 0}})
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("no error for invalid schedule")
+	}
+	for _, want := range []string{"negative-start", "timing-constraint", "resource-conflict"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestMetricsOnEmptyProblemSchedule(t *testing.T) {
+	// A zero-delay-free problem cannot exist (Validate requires tasks),
+	// but Check must behave on the smallest legal one.
+	p := &model.Problem{
+		Name:  "one",
+		Tasks: []model.Task{{Name: "t", Resource: "R", Delay: 1, Power: 0}},
+	}
+	rep := Check(p, schedule.Schedule{Start: []model.Time{0}})
+	if !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+	if rep.Metrics.Utilization != 1 {
+		t.Fatalf("utilization with Pmin=0 = %g, want 1", rep.Metrics.Utilization)
+	}
+}

@@ -1,0 +1,219 @@
+// Package verify is an independent schedule checker: it re-derives
+// every property a power-aware schedule must satisfy directly from the
+// problem statement, using deliberately different algorithms from the
+// scheduler's own machinery (pairwise scans instead of graph edges,
+// per-second sampling instead of segment sweeps). It serves as a
+// cross-validation oracle in tests and as a certificate generator for
+// downstream consumers of a schedule.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+// Kind classifies a violation.
+type Kind string
+
+// Violation kinds.
+const (
+	KindStart      Kind = "negative-start"    // task starts before time 0
+	KindConstraint Kind = "timing-constraint" // min/max separation violated
+	KindResource   Kind = "resource-conflict" // same-resource overlap
+	KindSpike      Kind = "power-spike"       // P(t) > Pmax
+)
+
+// Violation is one independently detected problem with a schedule.
+type Violation struct {
+	Kind   Kind
+	Detail string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Kind, v.Detail) }
+
+// Metrics are the re-derived evaluation quantities, computed by
+// per-second integration rather than segment arithmetic.
+type Metrics struct {
+	Finish      model.Time
+	Peak        float64
+	Floor       float64
+	Energy      float64
+	EnergyCost  float64
+	FreeUsed    float64
+	Utilization float64
+}
+
+// Report is the outcome of a full independent check.
+type Report struct {
+	Violations []Violation
+	Metrics    Metrics
+	// GapSeconds counts the seconds where P(t) < Pmin (soft; not a
+	// violation, reported for completeness).
+	GapSeconds int
+}
+
+// OK reports whether the schedule is valid (time-valid and under the
+// power budget). Power gaps are soft and do not affect OK.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a valid schedule, or an error summarizing every
+// violation.
+func (r Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	msgs := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("verify: %d violation(s): %s", len(r.Violations), strings.Join(msgs, "; "))
+}
+
+// Check independently validates schedule s against problem p and
+// recomputes its metrics. It never consults the scheduler's constraint
+// graph or profile code.
+func Check(p *model.Problem, s schedule.Schedule) Report {
+	var rep Report
+	if len(s.Start) != len(p.Tasks) {
+		rep.Violations = append(rep.Violations, Violation{
+			Kind:   KindStart,
+			Detail: fmt.Sprintf("schedule has %d starts for %d tasks", len(s.Start), len(p.Tasks)),
+		})
+		return rep
+	}
+
+	start := make(map[string]model.Time, len(p.Tasks))
+	for i, t := range p.Tasks {
+		start[t.Name] = s.Start[i]
+		if s.Start[i] < 0 {
+			rep.Violations = append(rep.Violations, Violation{
+				Kind:   KindStart,
+				Detail: fmt.Sprintf("task %q starts at %d", t.Name, s.Start[i]),
+			})
+		}
+	}
+	sigma := func(name string) model.Time {
+		if name == model.Anchor {
+			return 0
+		}
+		return start[name]
+	}
+
+	// Timing constraints, straight from the problem statement.
+	for _, c := range p.Constraints {
+		sep := sigma(c.To) - sigma(c.From)
+		if sep < c.Min {
+			rep.Violations = append(rep.Violations, Violation{
+				Kind:   KindConstraint,
+				Detail: fmt.Sprintf("%s: separation %d < min %d", c, sep, c.Min),
+			})
+		}
+		if c.HasMax && sep > c.Max {
+			rep.Violations = append(rep.Violations, Violation{
+				Kind:   KindConstraint,
+				Detail: fmt.Sprintf("%s: separation %d > max %d", c, sep, c.Max),
+			})
+		}
+	}
+
+	// Resource serialization by pairwise overlap scan.
+	for i := range p.Tasks {
+		for j := i + 1; j < len(p.Tasks); j++ {
+			a, b := p.Tasks[i], p.Tasks[j]
+			if a.Resource != b.Resource {
+				continue
+			}
+			aEnd := s.Start[i] + a.Delay
+			bEnd := s.Start[j] + b.Delay
+			if s.Start[i] < bEnd && s.Start[j] < aEnd {
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: KindResource,
+					Detail: fmt.Sprintf("%q [%d,%d) overlaps %q [%d,%d) on %s",
+						a.Name, s.Start[i], aEnd, b.Name, s.Start[j], bEnd, a.Resource),
+				})
+			}
+		}
+	}
+
+	// Power by per-second sampling.
+	rep.Metrics = sampleMetrics(p, s)
+	if p.Pmax > 0 {
+		tau := rep.Metrics.Finish
+		inSpike := false
+		spikeFrom := model.Time(0)
+		for t := model.Time(0); t <= tau; t++ {
+			over := t < tau && powerAt(p, s, t) > p.Pmax
+			switch {
+			case over && !inSpike:
+				inSpike, spikeFrom = true, t
+			case !over && inSpike:
+				inSpike = false
+				rep.Violations = append(rep.Violations, Violation{
+					Kind:   KindSpike,
+					Detail: fmt.Sprintf("P > %.4g W during [%d,%d)", p.Pmax, spikeFrom, t),
+				})
+			}
+		}
+	}
+	if p.Pmin > 0 {
+		for t := model.Time(0); t < rep.Metrics.Finish; t++ {
+			if powerAt(p, s, t) < p.Pmin {
+				rep.GapSeconds++
+			}
+		}
+	}
+	return rep
+}
+
+// powerAt sums the power of tasks active at second t plus base power.
+func powerAt(p *model.Problem, s schedule.Schedule, t model.Time) float64 {
+	sum := p.BasePower
+	for i, task := range p.Tasks {
+		if s.Start[i] <= t && t < s.Start[i]+task.Delay {
+			sum += task.Power
+		}
+	}
+	return sum
+}
+
+// sampleMetrics integrates the power curve one second at a time.
+func sampleMetrics(p *model.Problem, s schedule.Schedule) Metrics {
+	var m Metrics
+	for i, t := range p.Tasks {
+		if end := s.Start[i] + t.Delay; end > m.Finish {
+			m.Finish = end
+		}
+	}
+	if m.Finish == 0 {
+		m.Utilization = 1
+		return m
+	}
+	m.Floor = powerAt(p, s, 0)
+	for t := model.Time(0); t < m.Finish; t++ {
+		pw := powerAt(p, s, t)
+		m.Energy += pw
+		if pw > m.Peak {
+			m.Peak = pw
+		}
+		if pw < m.Floor {
+			m.Floor = pw
+		}
+		if p.Pmin > 0 {
+			if pw > p.Pmin {
+				m.EnergyCost += pw - p.Pmin
+				m.FreeUsed += p.Pmin
+			} else {
+				m.FreeUsed += pw
+			}
+		}
+	}
+	if p.Pmin > 0 {
+		m.Utilization = m.FreeUsed / (p.Pmin * float64(m.Finish))
+	} else {
+		m.Utilization = 1
+	}
+	return m
+}

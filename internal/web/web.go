@@ -1,0 +1,196 @@
+// Package web serves power-aware schedules over HTTP: a browsable
+// library of problems rendered as power-aware Gantt charts (SVG or
+// ASCII), with stage-by-stage views of the pipeline. It is the
+// read-only web counterpart of the paper's interactive design tool.
+package web
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/dot"
+	"repro/internal/gantt"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/verify"
+)
+
+// Server hosts a library of named problems.
+type Server struct {
+	mu       sync.RWMutex
+	problems map[string]*model.Problem
+	opts     sched.Options
+}
+
+// NewServer creates an empty server with the given scheduler options.
+func NewServer(opts sched.Options) *Server {
+	return &Server{problems: make(map[string]*model.Problem), opts: opts}
+}
+
+// Add registers a problem under its own name.
+func (s *Server) Add(p *model.Problem) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.problems[p.Name] = p
+}
+
+// Names lists registered problem names, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.problems))
+	for n := range s.problems {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the HTTP handler:
+//
+//	GET /                      problem index (HTML)
+//	GET /schedule?problem=X    rendered schedule; optional stage=
+//	                           timing|maxpower|minpower (default
+//	                           minpower), format=svg|ascii|json|dot
+//	                           (default svg), seed=N, restarts=N
+//	POST /problems             register a problem from a spec document
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.index)
+	mux.HandleFunc("GET /schedule", s.schedule)
+	mux.HandleFunc("POST /problems", s.upload)
+	return mux
+}
+
+func (s *Server) index(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<html><head><title>impacct</title></head><body><h1>Power-aware schedules</h1><ul>")
+	for _, n := range s.Names() {
+		e := html.EscapeString(n)
+		fmt.Fprintf(w, `<li>%s — <a href="/schedule?problem=%s">svg</a> | <a href="/schedule?problem=%s&format=ascii">ascii</a> | <a href="/schedule?problem=%s&format=dot">dot</a></li>`,
+			e, e, e, e)
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+func (s *Server) lookup(name string) (*model.Problem, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.problems[name]
+	return p, ok
+}
+
+func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p, ok := s.lookup(q.Get("problem"))
+	if !ok {
+		http.Error(w, "unknown problem", http.StatusNotFound)
+		return
+	}
+	opts := s.opts
+	if seed := q.Get("seed"); seed != "" {
+		v, err := strconv.ParseInt(seed, 10, 64)
+		if err != nil {
+			http.Error(w, "bad seed", http.StatusBadRequest)
+			return
+		}
+		opts.Seed = v
+	}
+	if rs := q.Get("restarts"); rs != "" {
+		v, err := strconv.Atoi(rs)
+		if err != nil || v < 0 {
+			http.Error(w, "bad restarts", http.StatusBadRequest)
+			return
+		}
+		opts.Restarts = v
+	}
+
+	var res *sched.Result
+	var err error
+	switch q.Get("stage") {
+	case "", "minpower":
+		res, err = sched.Run(p, opts)
+	case "maxpower":
+		res, err = sched.MaxPower(p, opts)
+	case "timing":
+		res, err = sched.Timing(p, opts)
+	default:
+		http.Error(w, "bad stage", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("scheduling failed: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+
+	switch q.Get("format") {
+	case "", "svg":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, gantt.New(p, res.Schedule).SVG())
+	case "ascii":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, gantt.New(p, res.Schedule).ASCII(1))
+	case "dot":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, dot.Scheduled(p, res.Schedule))
+	case "json":
+		data, err := spec.FormatScheduleJSON(p, res.Schedule)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	default:
+		http.Error(w, "bad format", http.StatusBadRequest)
+	}
+}
+
+func (s *Server) upload(w http.ResponseWriter, r *http.Request) {
+	p, err := spec.Parse(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if p.Name == "" {
+		http.Error(w, "spec must carry a problem name", http.StatusBadRequest)
+		return
+	}
+	// Reject specs whose schedules would be unverifiable garbage early:
+	// a quick feasibility probe.
+	if _, err := sched.Timing(p, s.opts); err != nil {
+		http.Error(w, fmt.Sprintf("problem is not schedulable: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+	s.Add(p)
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, "registered %s (%d tasks)\n", p.Name, len(p.Tasks))
+}
+
+// VerifyHandlerFunc is a standalone endpoint: POST a spec, get the
+// scheduled-and-verified metrics as plain text. Useful for quick
+// curl-based checks without registering anything.
+func (s *Server) VerifyHandlerFunc(w http.ResponseWriter, r *http.Request) {
+	p, err := spec.Parse(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := sched.Run(p, s.opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	rep := verify.Check(p, res.Schedule)
+	if !rep.OK() {
+		http.Error(w, rep.Err().Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintf(w, "finish=%d peak=%.4g cost=%.4g util=%.4f\n",
+		rep.Metrics.Finish, rep.Metrics.Peak, rep.Metrics.EnergyCost, rep.Metrics.Utilization)
+}

@@ -1,0 +1,163 @@
+package web
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/rover"
+	"repro/internal/sched"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(sched.Options{})
+	s.Add(paperex.Nine())
+	s.Add(rover.BuildIteration(rover.Best, rover.Cold))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestIndexListsProblems(t *testing.T) {
+	_, ts := testServer(t)
+	code, body, _ := get(t, ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"nine-task-example", "rover-best-cold", "/schedule?problem="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestScheduleSVG(t *testing.T) {
+	_, ts := testServer(t)
+	code, body, hdr := get(t, ts.URL+"/schedule?problem=nine-task-example")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "svg") {
+		t.Errorf("content type = %q", hdr.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(body, "<svg") {
+		t.Error("not an SVG document")
+	}
+}
+
+func TestScheduleFormatsAndStages(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		query string
+		want  string
+	}{
+		{"problem=nine-task-example&format=ascii", "power view:"},
+		{"problem=nine-task-example&format=dot", "digraph"},
+		{"problem=nine-task-example&format=json", `"tasks"`},
+		{"problem=nine-task-example&stage=timing&format=ascii", "power view:"},
+		{"problem=nine-task-example&stage=maxpower&format=ascii", "power view:"},
+		{"problem=rover-best-cold&format=ascii&seed=3&restarts=2", "wheels"},
+	}
+	for _, tc := range cases {
+		code, body, _ := get(t, ts.URL+"/schedule?"+tc.query)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d: %s", tc.query, code, body)
+			continue
+		}
+		if !strings.Contains(body, tc.want) {
+			t.Errorf("%s: body missing %q", tc.query, tc.want)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := map[string]int{
+		"problem=nope":                                  http.StatusNotFound,
+		"problem=nine-task-example&stage=bogus":         http.StatusBadRequest,
+		"problem=nine-task-example&format=bogus":        http.StatusBadRequest,
+		"problem=nine-task-example&seed=xx":             http.StatusBadRequest,
+		"problem=nine-task-example&restarts=-1":         http.StatusBadRequest,
+		"problem=nine-task-example&restarts=notanumber": http.StatusBadRequest,
+	}
+	for q, want := range cases {
+		code, _, _ := get(t, ts.URL+"/schedule?"+q)
+		if code != want {
+			t.Errorf("%s: status = %d, want %d", q, code, want)
+		}
+	}
+}
+
+func TestUploadThenSchedule(t *testing.T) {
+	_, ts := testServer(t)
+	specText := "problem uploaded\npmax 10\ntask a R 2 4\ntask b S 2 4\n"
+	resp, err := http.Post(ts.URL+"/problems", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+	code, body, _ := get(t, ts.URL+"/schedule?problem=uploaded&format=ascii")
+	if code != http.StatusOK || !strings.Contains(body, "uploaded") {
+		t.Fatalf("scheduling uploaded problem failed: %d %s", code, body)
+	}
+}
+
+func TestUploadRejectsBadSpecs(t *testing.T) {
+	_, ts := testServer(t)
+	cases := map[string]int{
+		"task a R 0 1\n": http.StatusBadRequest, // invalid delay
+		"# no tasks\n":   http.StatusBadRequest,
+		"task a R 2 1\n": http.StatusBadRequest, // no problem name
+		"problem x\ntask a R 2 1\ntask b S 2 1\na -> b [9,]\nb -> a [9,]\n": http.StatusUnprocessableEntity,
+	}
+	for text, want := range cases {
+		resp, err := http.Post(ts.URL+"/problems", "text/plain", strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("upload %q: status = %d, want %d", text, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	s := NewServer(sched.Options{})
+	ts := httptest.NewServer(http.HandlerFunc(s.VerifyHandlerFunc))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "text/plain",
+		strings.NewReader("problem v\npmax 10\npmin 4\ntask a R 2 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "finish=2") {
+		t.Errorf("unexpected body: %s", body)
+	}
+}
