@@ -18,6 +18,7 @@ import (
 	"repro/internal/rover"
 	"repro/internal/sched"
 	"repro/internal/schedule"
+	"repro/internal/service"
 )
 
 func reportResult(b *testing.B, r *impacct.Result) {
@@ -258,6 +259,44 @@ func BenchmarkScaling(b *testing.B) {
 			reportResult(b, r)
 		})
 	}
+}
+
+// BenchmarkServiceCached measures a /schedule-shaped request served
+// from the scheduling service's content-addressed cache on the rover
+// problem. Compare against BenchmarkServiceUncached (the same request
+// recomputed from scratch): the cached path is a hash plus a map
+// lookup, several orders of magnitude faster.
+func BenchmarkServiceCached(b *testing.B) {
+	svc := service.New(service.Config{})
+	p := rover.BuildIteration(rover.Typical, rover.Cold)
+	r, err := svc.Schedule(p, sched.Options{}, service.StageMinPower)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = svc.Schedule(p, sched.Options{}, service.StageMinPower)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportResult(b, r)
+	b.ReportMetric(float64(svc.Stats().Hits), "cache_hits")
+}
+
+// BenchmarkServiceUncached is the baseline for BenchmarkServiceCached:
+// every iteration runs the full pipeline on the same rover problem.
+func BenchmarkServiceUncached(b *testing.B) {
+	p := rover.BuildIteration(rover.Typical, rover.Cold)
+	var r *impacct.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = sched.Run(p, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportResult(b, r)
 }
 
 // BenchmarkProfileBuild measures the power-profile sweep on a large

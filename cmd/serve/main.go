@@ -8,9 +8,14 @@
 // Then open http://localhost:8080/ — each problem links to SVG, ASCII,
 // and DOT renderings; stage= and format= query parameters select
 // pipeline stages. POST a spec document to /problems to register more.
+//
+// All scheduling runs through a shared service layer with a
+// content-addressed result cache; its metrics are served as JSON at
+// /stats and as expvar at /debug/vars (under "sched_service").
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -20,17 +25,22 @@ import (
 	"repro/internal/paperex"
 	"repro/internal/rover"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/web"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		seed = flag.Int64("seed", 0, "random seed for the heuristics")
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Int64("seed", 0, "random seed for the heuristics")
+		cacheSize = flag.Int("cache", 1024, "schedule cache capacity in entries (negative disables)")
+		workers   = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	srv := web.NewServer(sched.Options{Seed: *seed})
+	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	svc.Publish("sched_service")
+	srv := web.NewServerWith(sched.Options{Seed: *seed}, svc)
 	srv.Add(paperex.Nine())
 	for _, c := range rover.Cases {
 		srv.Add(rover.BuildIteration(c, rover.Cold))
@@ -46,7 +56,8 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.HandleFunc("POST /verify", srv.VerifyHandlerFunc)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 
-	fmt.Printf("serving %d problems on %s\n", len(srv.Names()), *addr)
+	fmt.Printf("serving %d problems on %s (metrics: /stats, /debug/vars)\n", len(srv.Names()), *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }

@@ -3,9 +3,15 @@
 // prints every design point, and marks the Pareto front of the
 // finish-time versus energy-cost trade-off. This is the exploration
 // loop the IMPACCT framework was built to enable.
+//
+// Design points are submitted as a batch to the scheduling service:
+// they evaluate concurrently on a bounded worker pool, and every
+// schedule lands in the content-addressed result cache (pass -stats to
+// see the cache counters after the sweep).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,13 +20,16 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/service"
 )
 
 func main() {
 	var (
-		budgets = flag.String("pmax", "", "comma-separated max-power budgets to sweep (default: 10 points around the spec's Pmax)")
-		seed    = flag.Int64("seed", 0, "random seed for the heuristics")
-		pareto  = flag.Bool("pareto", true, "also print the time/energy Pareto front")
+		budgets   = flag.String("pmax", "", "comma-separated max-power budgets to sweep (default: 10 points around the spec's Pmax)")
+		seed      = flag.Int64("seed", 0, "random seed for the heuristics")
+		pareto    = flag.Bool("pareto", true, "also print the time/energy Pareto front")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		showStats = flag.Bool("stats", false, "print scheduling-service metrics after the sweep")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,13 +55,21 @@ func main() {
 		list = defaultBudgets(prob)
 	}
 
-	pts := impacct.SweepPmax(prob, list, impacct.Options{Seed: *seed})
+	svc := service.New(service.Config{Workers: *workers})
+	pts := analysis.SweepPmaxParallel(prob, list, impacct.Options{Seed: *seed}, svc)
 	fmt.Printf("design points for %s:\n", prob.Name)
 	fmt.Print(analysis.FormatPoints(pts))
 
 	if *pareto {
 		fmt.Println("\npareto front (finish time vs energy cost):")
 		fmt.Print(analysis.FormatPoints(impacct.Pareto(pts)))
+	}
+	if *showStats {
+		data, err := json.MarshalIndent(svc.Stats(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nservice stats:\n%s\n", data)
 	}
 }
 

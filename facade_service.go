@@ -1,0 +1,48 @@
+package impacct
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/service"
+)
+
+// Scheduling service layer (see internal/service): a concurrency-safe
+// front for the pipeline with a content-addressed result cache,
+// singleflight deduplication, a bounded worker pool, and expvar
+// metrics.
+type (
+	// SchedulingService caches and deduplicates pipeline runs.
+	SchedulingService = service.Service
+	// ServiceConfig tunes cache capacity and pool size.
+	ServiceConfig = service.Config
+	// ServiceStats is a metrics snapshot (the /stats JSON shape).
+	ServiceStats = service.Stats
+	// PipelineStage selects how much of the pipeline a request runs.
+	PipelineStage = service.Stage
+	// WorkerPool is a bounded worker pool for batch evaluation.
+	WorkerPool = service.Pool
+)
+
+// Pipeline stages for SchedulingService requests.
+const (
+	StageTiming   = service.StageTiming
+	StageMaxPower = service.StageMaxPower
+	StageMinPower = service.StageMinPower
+)
+
+// NewService creates a scheduling service.
+func NewService(cfg ServiceConfig) *SchedulingService { return service.New(cfg) }
+
+// SharedService returns the process-wide default scheduling service.
+func SharedService() *SchedulingService { return service.Shared() }
+
+// NewWorkerPool creates a pool running at most workers tasks at once
+// (<= 0 selects GOMAXPROCS).
+func NewWorkerPool(workers int) *WorkerPool { return service.NewPool(workers) }
+
+// SweepPmaxParallel is SweepPmax evaluated concurrently through a
+// scheduling service (nil selects SharedService): points run on the
+// service's worker pool and their schedules are cached
+// content-addressed, so overlapping re-sweeps only compute new points.
+func SweepPmaxParallel(p *Problem, budgets []float64, opts Options, svc *SchedulingService) []DesignPoint {
+	return analysis.SweepPmaxParallel(p, budgets, opts, svc)
+}

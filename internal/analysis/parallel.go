@@ -1,20 +1,17 @@
 package analysis
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/service"
 )
 
-// SweepGridParallel evaluates the same design points as SweepGrid using
-// a worker pool (every scheduler run is independent, so exploration
-// parallelizes trivially). Results are returned in the same order as
-// the sequential sweep. workers <= 0 selects GOMAXPROCS.
+// SweepGridParallel evaluates the same design points as SweepGrid on a
+// bounded worker pool (every scheduler run is independent, so
+// exploration parallelizes trivially). Results are returned in the
+// same order as the sequential sweep. workers <= 0 selects GOMAXPROCS.
 func SweepGridParallel(p *model.Problem, pmaxs, pmins []float64, opts sched.Options, workers int) []Point {
 	type job struct {
-		idx        int
 		pmax, pmin float64
 	}
 	var jobs []job
@@ -23,37 +20,50 @@ func SweepGridParallel(p *model.Problem, pmaxs, pmins []float64, opts sched.Opti
 			if pn > pm {
 				continue
 			}
-			jobs = append(jobs, job{idx: len(jobs), pmax: pm, pmin: pn})
+			jobs = append(jobs, job{pmax: pm, pmin: pn})
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	out := make([]Point, len(jobs))
-	if len(jobs) == 0 {
-		return out
-	}
-
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				q := p.Clone()
-				q.Pmax, q.Pmin = j.pmax, j.pmin
-				out[j.idx] = run(q, opts)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
+	service.NewPool(workers).ForEach(len(jobs), func(i int) {
+		q := p.Clone()
+		q.Pmax, q.Pmin = jobs[i].pmax, jobs[i].pmin
+		out[i] = run(q, opts)
+	})
 	return out
+}
+
+// SweepPmaxParallel is SweepPmax submitted through a scheduling
+// service: design points are evaluated concurrently on the service's
+// worker pool, and each point's schedule lands in (or is served from)
+// the content-addressed cache, so re-sweeping overlapping budget lists
+// only computes the new points. A nil svc selects service.Shared().
+func SweepPmaxParallel(p *model.Problem, budgets []float64, opts sched.Options, svc *service.Service) []Point {
+	if svc == nil {
+		svc = service.Shared()
+	}
+	reqs := make([]service.Request, len(budgets))
+	probs := make([]*model.Problem, len(budgets))
+	for i, pm := range budgets {
+		q := p.Clone()
+		q.Pmax = pm
+		if q.Pmin > pm {
+			q.Pmin = pm
+		}
+		probs[i] = q
+		reqs[i] = service.Request{Problem: q, Opts: opts, Stage: service.StageMinPower}
+	}
+	resps := svc.ScheduleBatch(reqs)
+	pts := make([]Point, len(budgets))
+	for i, resp := range resps {
+		pt := Point{Pmax: probs[i].Pmax, Pmin: probs[i].Pmin}
+		if resp.Err != nil {
+			pt.Err = resp.Err
+		} else {
+			pt.Finish = resp.Result.Finish()
+			pt.EnergyCost = resp.Result.EnergyCost()
+			pt.Utilization = resp.Result.Utilization()
+		}
+		pts[i] = pt
+	}
+	return pts
 }

@@ -1,0 +1,130 @@
+package exact_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+// genSmall builds a random problem small enough (<= 6 tasks) for the
+// branch-and-bound solver to exhaust, in the style of the sched
+// package's property-test generator.
+func genSmall(seed int64) *model.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(4)
+	p := &model.Problem{Name: fmt.Sprintf("diff-%d", seed)}
+	for i := 0; i < n; i++ {
+		p.AddTask(model.Task{
+			Name:     fmt.Sprintf("t%d", i),
+			Resource: fmt.Sprintf("R%d", rng.Intn(2)),
+			Delay:    1 + rng.Intn(4),
+			Power:    1 + rng.Float64()*7,
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() >= 0.3 {
+				continue
+			}
+			min := p.Tasks[i].Delay
+			if rng.Float64() < 0.2 {
+				p.Window(p.Tasks[i].Name, p.Tasks[j].Name, min, min+30)
+			} else {
+				p.MinSep(p.Tasks[i].Name, p.Tasks[j].Name, min)
+			}
+		}
+	}
+	first, second := 0.0, 0.0
+	for _, t := range p.Tasks {
+		if t.Power > first {
+			first, second = t.Power, first
+		} else if t.Power > second {
+			second = t.Power
+		}
+	}
+	p.Pmax = (first + second) * 1.2
+	p.Pmin = p.Pmax / 2
+	return p
+}
+
+// TestDifferentialHeuristicVsExact cross-checks the heuristic pipeline
+// against the branch-and-bound reference on small random problems, in
+// both directions:
+//
+//   - the heuristic's schedule must be time- and power-valid, and its
+//     finish time can never beat the provably optimal finish (a
+//     "better than optimal" heuristic means the oracle or the exact
+//     search is wrong);
+//   - the exact optimum must itself pass the independent validity
+//     oracle (a fast-but-invalid optimum means the enumeration or its
+//     pruning is wrong).
+func TestDifferentialHeuristicVsExact(t *testing.T) {
+	const seeds = 60
+	solved := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		p := genSmall(seed)
+
+		r, err := sched.Run(p.Clone(), sched.Options{})
+		if err != nil {
+			// The heuristic may legitimately fail on a tight instance;
+			// the success-rate check below keeps this path honest.
+			continue
+		}
+		if rep := verify.Check(p, r.Schedule); !rep.OK() {
+			t.Fatalf("seed %d: heuristic schedule invalid: %v", seed, rep.Err())
+		}
+
+		sol, err := exact.Solve(p.Clone(), exact.MinFinish, exact.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: exact solver failed on a heuristically schedulable problem: %v", seed, err)
+		}
+		if !sol.Optimal {
+			continue // truncated search proves nothing either way
+		}
+		solved++
+
+		if rep := verify.Check(p, sol.Schedule); !rep.OK() {
+			t.Fatalf("seed %d: exact optimum invalid: %v", seed, rep.Err())
+		}
+		if r.Finish() < sol.Finish {
+			t.Fatalf("seed %d: heuristic finish %d beats proven optimum %d",
+				seed, r.Finish(), sol.Finish)
+		}
+	}
+	if solved < seeds/2 {
+		t.Fatalf("only %d/%d instances fully cross-checked; generator or budgets drifted", solved, seeds)
+	}
+}
+
+// TestDifferentialEnergyCost cross-checks the min-power stage's energy
+// cost against the exact minimum-energy schedule at the heuristic's
+// achieved finish time: the heuristic can never pay less than the
+// optimum allows.
+func TestDifferentialEnergyCost(t *testing.T) {
+	const seeds = 25
+	solved := 0
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		p := genSmall(seed)
+		r, err := sched.Run(p.Clone(), sched.Options{})
+		if err != nil {
+			continue
+		}
+		sol, err := exact.Solve(p.Clone(), exact.MinEnergyCost, exact.Config{TauBound: r.Finish()})
+		if err != nil || !sol.Optimal {
+			continue
+		}
+		solved++
+		if r.EnergyCost() < sol.EnergyCost-1e-9 {
+			t.Fatalf("seed %d: heuristic cost %.4f beats optimal %.4f at tau <= %d",
+				seed, r.EnergyCost(), sol.EnergyCost, r.Finish())
+		}
+	}
+	if solved < seeds/3 {
+		t.Fatalf("only %d/%d instances fully cross-checked; generator or budgets drifted", solved, seeds)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/rover"
 	"repro/internal/sched"
+	"repro/internal/service"
 )
 
 // Condition is the environment at an instant of mission time.
@@ -235,7 +236,9 @@ func Range(phases []Phase, policy Policy, bat *power.Battery, maxIterations int)
 // regardless of conditions: 75 s and two steps per iteration, with the
 // energy cost that schedule incurs under the current case's powers.
 type JPLPolicy struct {
-	cache map[rover.Case]Iteration
+	// Svc memoizes the per-case iteration summary; nil selects the
+	// process-wide service.Shared().
+	Svc *service.Service
 }
 
 // Name implements Policy.
@@ -246,22 +249,25 @@ func (p *JPLPolicy) Reset() {}
 
 // Next implements Policy.
 func (p *JPLPolicy) Next(cond Condition) (Iteration, error) {
-	if p.cache == nil {
-		p.cache = make(map[rover.Case]Iteration)
+	svc := p.Svc
+	if svc == nil {
+		svc = service.Shared()
 	}
-	if it, ok := p.cache[cond.Case]; ok {
-		return it, nil
+	key := fmt.Sprintf("mission/jpl/%s", cond.Case)
+	v, err := svc.Memo(key, func() (any, error) {
+		prob, s := rover.JPL(cond.Case)
+		m := rover.Measure(prob, s)
+		return Iteration{
+			Name:       fmt.Sprintf("jpl-%s", cond.Case),
+			Duration:   m.Finish,
+			EnergyCost: m.EnergyCost,
+			Steps:      rover.StepsPerIteration,
+		}, nil
+	})
+	if err != nil {
+		return Iteration{}, err
 	}
-	prob, s := rover.JPL(cond.Case)
-	m := rover.Measure(prob, s)
-	it := Iteration{
-		Name:       fmt.Sprintf("jpl-%s", cond.Case),
-		Duration:   m.Finish,
-		EnergyCost: m.EnergyCost,
-		Steps:      rover.StepsPerIteration,
-	}
-	p.cache[cond.Case] = it
-	return it, nil
+	return v.(Iteration), nil
 }
 
 // PowerAwarePolicy runs the paper's power-aware schedules: per case, a
@@ -277,8 +283,12 @@ type PowerAwarePolicy struct {
 	Preheat map[rover.Case]bool
 	// Opts tunes the underlying scheduler.
 	Opts sched.Options
+	// Svc is the scheduling service the policy computes through; nil
+	// selects the process-wide service.Shared(). Schedules are cached
+	// content-addressed, so repeated missions (and any other component
+	// scheduling the same iterations) compute each schedule once.
+	Svc *service.Service
 
-	cache    map[string]Iteration
 	warmCase rover.Case
 	warm     bool
 }
@@ -294,8 +304,9 @@ func (p *PowerAwarePolicy) Next(cond Condition) (Iteration, error) {
 	if p.Preheat == nil {
 		p.Preheat = map[rover.Case]bool{rover.Best: true}
 	}
-	if p.cache == nil {
-		p.cache = make(map[string]Iteration)
+	svc := p.Svc
+	if svc == nil {
+		svc = service.Shared()
 	}
 	kind := rover.Cold
 	if p.Preheat[cond.Case] {
@@ -306,20 +317,16 @@ func (p *PowerAwarePolicy) Next(cond Condition) (Iteration, error) {
 		}
 	}
 	key := fmt.Sprintf("%s/%s", cond.Case, kind)
-	it, ok := p.cache[key]
-	if !ok {
-		prob := rover.BuildIteration(cond.Case, kind)
-		r, err := sched.Run(prob, p.Opts)
-		if err != nil {
-			return Iteration{}, fmt.Errorf("scheduling %s: %w", key, err)
-		}
-		it = Iteration{
-			Name:       key,
-			Duration:   r.Finish(),
-			EnergyCost: r.EnergyCost(),
-			Steps:      rover.StepsPerIteration,
-		}
-		p.cache[key] = it
+	prob := rover.BuildIteration(cond.Case, kind)
+	r, err := svc.Schedule(prob, p.Opts, service.StageMinPower)
+	if err != nil {
+		return Iteration{}, fmt.Errorf("scheduling %s: %w", key, err)
+	}
+	it := Iteration{
+		Name:       key,
+		Duration:   r.Finish(),
+		EnergyCost: r.EnergyCost(),
+		Steps:      rover.StepsPerIteration,
 	}
 	// An iteration that inserts pre-heat tasks leaves the motors warm
 	// for the next iteration of the same condition.

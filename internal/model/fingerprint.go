@@ -1,0 +1,69 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Fingerprint returns a stable, content-addressed hash of the problem:
+// two problems with identical field values (in identical order) always
+// produce the same fingerprint, and any differing field produces a
+// different one with cryptographic probability. Task and constraint
+// order is part of the identity on purpose — the schedulers break ties
+// by task index, so reordered problems can legitimately schedule
+// differently.
+//
+// The encoding is canonical and self-delimiting: every string is
+// length-prefixed, every number is fixed-width little-endian, and each
+// section is preceded by its element count, so no two distinct
+// problems share an encoding. The result is the hex form of the first
+// 16 bytes of a SHA-256 digest, suitable as a cache key.
+func (p *Problem) Fingerprint() string {
+	h := sha256.New()
+	hashString(h, p.Name)
+	hashFloat(h, p.Pmax)
+	hashFloat(h, p.Pmin)
+	hashFloat(h, p.BasePower)
+	hashInt(h, int64(len(p.Tasks)))
+	for _, t := range p.Tasks {
+		hashString(h, t.Name)
+		hashString(h, t.Resource)
+		hashInt(h, int64(t.Delay))
+		hashFloat(h, t.Power)
+	}
+	hashInt(h, int64(len(p.Constraints)))
+	for _, c := range p.Constraints {
+		hashString(h, c.From)
+		hashString(h, c.To)
+		hashInt(h, int64(c.Min))
+		hashInt(h, int64(c.Max))
+		if c.HasMax {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// hashString writes a length-prefixed string, making the stream
+// self-delimiting ("ab"+"c" hashes differently from "a"+"bc").
+func hashString(h hash.Hash, s string) {
+	hashInt(h, int64(len(s)))
+	h.Write([]byte(s))
+}
+
+func hashInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func hashFloat(h hash.Hash, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.Write(buf[:])
+}

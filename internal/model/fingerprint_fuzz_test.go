@@ -1,0 +1,54 @@
+package model
+
+import "testing"
+
+// FuzzFingerprint checks the two cache-key invariants over
+// fuzzer-chosen problems and mutations: equal problems hash equal, and
+// mutating any single field changes the hash. `which` selects the
+// mutated field, `delta` perturbs its value (forced non-zero so the
+// mutation is a real change).
+func FuzzFingerprint(f *testing.F) {
+	f.Add(int64(0), uint8(0), int64(1))
+	f.Add(int64(3), uint8(4), int64(-2))
+	f.Add(int64(9), uint8(7), int64(40))
+	f.Add(int64(17), uint8(11), int64(7))
+	f.Fuzz(func(t *testing.T, seed int64, which uint8, delta int64) {
+		if delta == 0 {
+			delta = 1
+		}
+		p := genFingerprintProblem(seed)
+		q := p.Clone()
+		if p.Fingerprint() != q.Fingerprint() {
+			t.Fatalf("seed %d: equal problems hash differently", seed)
+		}
+
+		fd := float64(delta)
+		ti := int(uint64(delta) % uint64(len(q.Tasks)))
+		switch which % 10 {
+		case 0:
+			q.Name += "m"
+		case 1:
+			q.Pmax += fd
+		case 2:
+			q.Pmin += fd
+		case 3:
+			q.BasePower += fd
+		case 4:
+			q.Tasks[ti].Name += "m"
+		case 5:
+			q.Tasks[ti].Resource += "m"
+		case 6:
+			q.Tasks[ti].Delay += int(delta)
+		case 7:
+			q.Tasks[ti].Power += fd
+		case 8:
+			q.AddTask(Task{Name: "fuzz-extra", Resource: "Z", Delay: 1, Power: 1})
+		case 9:
+			q.MinSep(q.Tasks[0].Name, q.Tasks[len(q.Tasks)-1].Name, int(delta))
+		}
+		if p.Fingerprint() == q.Fingerprint() {
+			t.Fatalf("seed %d: mutation %d (delta %d) did not change the fingerprint",
+				seed, which%10, delta)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genFingerprintProblem builds a small deterministic-random problem;
+// shared by the table tests and FuzzFingerprint.
+func genFingerprintProblem(seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(5)
+	p := &Problem{
+		Name:      fmt.Sprintf("fp-%d", seed),
+		Pmax:      10 + rng.Float64()*10,
+		Pmin:      rng.Float64() * 10,
+		BasePower: rng.Float64() * 3,
+	}
+	for i := 0; i < n; i++ {
+		p.AddTask(Task{
+			Name:     fmt.Sprintf("t%d", i),
+			Resource: fmt.Sprintf("R%d", rng.Intn(3)),
+			Delay:    1 + rng.Intn(9),
+			Power:    rng.Float64() * 8,
+		})
+	}
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.6 {
+			from, to := p.Tasks[rng.Intn(i)].Name, p.Tasks[i].Name
+			if rng.Float64() < 0.3 {
+				p.Window(from, to, rng.Intn(5), 5+rng.Intn(50))
+			} else {
+				p.MinSep(from, to, rng.Intn(10))
+			}
+		}
+	}
+	return p
+}
+
+func TestFingerprintStableAcrossClones(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := genFingerprintProblem(seed)
+		if got, want := p.Clone().Fingerprint(), p.Fingerprint(); got != want {
+			t.Fatalf("seed %d: clone fingerprint %s != %s", seed, got, want)
+		}
+	}
+}
+
+func TestFingerprintGolden(t *testing.T) {
+	// Pin the encoding: a changed fingerprint silently invalidates
+	// every deployed cache, so changing it must be a conscious act.
+	p := &Problem{Name: "golden", Pmax: 16, Pmin: 14}
+	p.AddTask(Task{Name: "a", Resource: "A", Delay: 3, Power: 6})
+	p.AddTask(Task{Name: "b", Resource: "B", Delay: 4, Power: 4})
+	p.MinSep("a", "b", 3)
+	const want = "23c0c7585f88571a3ab55fe259f01499"
+	if got := p.Fingerprint(); got != want {
+		t.Errorf("Fingerprint() = %s, want %s (encoding changed?)", got, want)
+	}
+}
+
+func TestFingerprintFieldSensitivity(t *testing.T) {
+	base := genFingerprintProblem(7)
+	mutations := map[string]func(*Problem){
+		"name":              func(p *Problem) { p.Name += "x" },
+		"pmax":              func(p *Problem) { p.Pmax++ },
+		"pmin":              func(p *Problem) { p.Pmin++ },
+		"base-power":        func(p *Problem) { p.BasePower++ },
+		"task-name":         func(p *Problem) { p.Tasks[0].Name += "x" },
+		"task-resource":     func(p *Problem) { p.Tasks[0].Resource += "x" },
+		"task-delay":        func(p *Problem) { p.Tasks[0].Delay++ },
+		"task-power":        func(p *Problem) { p.Tasks[0].Power++ },
+		"task-order":        func(p *Problem) { p.Tasks[0], p.Tasks[1] = p.Tasks[1], p.Tasks[0] },
+		"task-appended":     func(p *Problem) { p.AddTask(Task{Name: "zz", Resource: "Z", Delay: 1}) },
+		"constraint-added":  func(p *Problem) { p.MinSep(p.Tasks[0].Name, p.Tasks[1].Name, 99) },
+		"constraint-window": func(p *Problem) { p.Window(p.Tasks[1].Name, p.Tasks[0].Name, 0, 7) },
+	}
+	want := base.Fingerprint()
+	for label, mutate := range mutations {
+		q := base.Clone()
+		mutate(q)
+		if q.Fingerprint() == want {
+			t.Errorf("%s: mutation did not change the fingerprint", label)
+		}
+	}
+}
+
+// TestFingerprintSelfDelimiting guards the classic concatenation
+// ambiguity: moving a character between adjacent strings must change
+// the hash.
+func TestFingerprintSelfDelimiting(t *testing.T) {
+	mk := func(name, res string) *Problem {
+		p := &Problem{Name: "sd"}
+		p.AddTask(Task{Name: name, Resource: res, Delay: 1, Power: 1})
+		return p
+	}
+	if mk("ab", "c").Fingerprint() == mk("a", "bc").Fingerprint() {
+		t.Error(`("ab","c") and ("a","bc") collide: encoding is not self-delimiting`)
+	}
+}

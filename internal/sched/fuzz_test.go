@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/spec"
@@ -23,6 +25,23 @@ func FuzzPipeline(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	// Seed the corpus with the repository's real spec documents (the
+	// nine-task example, the satellite pass, ...): realistic structure
+	// the synthetic seeds above don't reach.
+	docs, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.spec"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(docs) == 0 {
+		f.Fatal("no testdata spec documents found for the corpus")
+	}
+	for _, path := range docs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		if len(input) > 2048 {
 			return
@@ -38,7 +57,7 @@ func FuzzPipeline(f *testing.F) {
 		}
 		total := 0
 		for _, task := range p.Tasks {
-			if task.Delay > 50 {
+			if task.Delay > 100 {
 				return
 			}
 			total += task.Delay

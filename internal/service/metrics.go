@@ -1,0 +1,112 @@
+package service
+
+import (
+	"expvar"
+	"sync"
+)
+
+// metrics is the service's counter set. The counters are expvar values
+// so they can be wired straight into /debug/vars, but they are not
+// auto-published: tests create many Services, and expvar.Publish
+// panics on duplicate names. Publish exports one service explicitly.
+type metrics struct {
+	hits      expvar.Int // cache hits
+	misses    expvar.Int // computes (cache misses that started a flight)
+	joins     expvar.Int // singleflight joins onto an in-flight compute
+	evictions expvar.Int // LRU evictions
+	inflight  expvar.Int // currently computing flights (gauge)
+
+	mu      sync.Mutex
+	compute map[string]*expvar.Int // compute nanoseconds per stage bucket
+}
+
+// computeNS returns the compute-time counter for a stage bucket
+// ("timing", "maxpower", "minpower", "memo"), creating it on first use.
+func (m *metrics) computeNS(bucket string) *expvar.Int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.compute == nil {
+		m.compute = make(map[string]*expvar.Int)
+	}
+	v, ok := m.compute[bucket]
+	if !ok {
+		v = new(expvar.Int)
+		m.compute[bucket] = v
+	}
+	return v
+}
+
+// computeSnapshot copies the per-bucket compute counters.
+func (m *metrics) computeSnapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.compute))
+	for k, v := range m.compute {
+		out[k] = v.Value()
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the service's metrics, shaped
+// for JSON (the /stats endpoint).
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Joins     int64 `json:"joins"`
+	Evictions int64 `json:"evictions"`
+	Inflight  int64 `json:"inflight"`
+	Entries   int   `json:"entries"`
+	// ComputeNS is the cumulative compute time per stage bucket in
+	// nanoseconds.
+	ComputeNS map[string]int64 `json:"compute_ns"`
+}
+
+// Stats snapshots the metrics.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.met.hits.Value(),
+		Misses:    s.met.misses.Value(),
+		Joins:     s.met.joins.Value(),
+		Evictions: s.met.evictions.Value(),
+		Inflight:  s.met.inflight.Value(),
+		Entries:   entries,
+		ComputeNS: s.met.computeSnapshot(),
+	}
+}
+
+// Vars assembles the live metrics into an expvar.Map. The map shares
+// the underlying counters, so a single Vars call wired into an expvar
+// page stays current. Metric names: hits, misses, joins, evictions,
+// inflight, cache_entries, and compute_ns_<stage> per stage bucket.
+func (s *Service) Vars() *expvar.Map {
+	m := new(expvar.Map)
+	m.Set("hits", &s.met.hits)
+	m.Set("misses", &s.met.misses)
+	m.Set("joins", &s.met.joins)
+	m.Set("evictions", &s.met.evictions)
+	m.Set("inflight", &s.met.inflight)
+	m.Set("cache_entries", expvar.Func(func() any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.cache.len()
+	}))
+	for _, bucket := range []string{"timing", "maxpower", "minpower", "memo"} {
+		m.Set("compute_ns_"+bucket, s.met.computeNS(bucket))
+	}
+	return m
+}
+
+// Publish exports the service's metrics under the given expvar name
+// (visible at /debug/vars). It reports false when the name is already
+// taken — expvar registration is process-global and permanent, so only
+// the first service under a name wins.
+func (s *Service) Publish(name string) bool {
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, s.Vars())
+	return true
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool: at most `workers` submitted functions
+// run at any instant, regardless of how many goroutines submit. It
+// exists so batch entry points (sweeps, grids, bulk schedule requests)
+// share one concurrency budget instead of each spawning their own
+// unbounded goroutine herds.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool creates a pool running at most workers tasks concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Go runs fn on the pool, blocking until a worker slot is free. The
+// returned function blocks until fn completes (a per-task join).
+func (p *Pool) Go(fn func()) (wait func()) {
+	done := make(chan struct{})
+	p.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-p.sem
+			close(done)
+		}()
+		fn()
+	}()
+	return func() { <-done }
+}
+
+// ForEach runs fn(0) .. fn(n-1) on the pool and blocks until all
+// complete. Iterations may run in any order but at most Workers() at
+// once.
+func (p *Pool) ForEach(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.sem <- struct{}{}
+		go func() {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

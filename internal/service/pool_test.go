@@ -1,0 +1,60 @@
+package service
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachRunsAll(t *testing.T) {
+	p := NewPool(3)
+	const n = 50
+	var ran [n]atomic.Int32
+	p.ForEach(n, func(i int) { ran[i].Add(1) })
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Errorf("iteration %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	if p.Workers() != workers {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	var active, peak atomic.Int32
+	p.ForEach(64, func(int) {
+		cur := active.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		active.Add(-1)
+	})
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds bound %d", got, workers)
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestPoolGoWait(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Bool
+	wait := p.Go(func() { done.Store(true) })
+	wait()
+	if !done.Load() {
+		t.Error("Go's wait returned before fn completed")
+	}
+	// ForEach(0, ...) must not deadlock or run anything.
+	p.ForEach(0, func(int) { t.Error("ForEach(0) ran an iteration") })
+}

@@ -1,0 +1,244 @@
+// Package service is the shared scheduling service layer: a
+// concurrency-safe front for the sched pipeline that every entry point
+// (web handlers, CLI sweeps, the mission simulator) routes through.
+//
+// The pipeline is deterministic for a given (problem, options, stage)
+// triple, so results are content-addressed: the cache key is a
+// canonical hash of the problem (model.Problem.Fingerprint), the
+// scheduler options, and the pipeline stage. Around that key the
+// service layers
+//
+//   - an LRU result cache, so repeated queries cost a map lookup;
+//   - singleflight deduplication, so concurrent identical requests
+//     compute once and share the result; and
+//   - a bounded worker pool for batch submission (sweeps, grids).
+//
+// Everything observable is counted in expvar-backed metrics (hits,
+// misses, singleflight joins, evictions, inflight computes, and
+// compute nanoseconds per pipeline stage), exportable at /debug/vars
+// and as a /stats JSON snapshot.
+//
+// Cached *sched.Result values are shared between callers and must be
+// treated as immutable.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Stage selects how much of the scheduling pipeline a request runs.
+type Stage int
+
+const (
+	// StageTiming runs only the timing scheduler (paper Fig. 3).
+	StageTiming Stage = iota
+	// StageMaxPower adds max-power spike elimination (Fig. 4).
+	StageMaxPower
+	// StageMinPower runs the full pipeline (Fig. 6).
+	StageMinPower
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageTiming:
+		return "timing"
+	case StageMaxPower:
+		return "maxpower"
+	case StageMinPower:
+		return "minpower"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// ParseStage maps the web API's stage names onto Stage values. The
+// empty string selects the full pipeline, matching the /schedule
+// endpoint's historical default.
+func ParseStage(s string) (Stage, error) {
+	switch s {
+	case "", "minpower":
+		return StageMinPower, nil
+	case "maxpower":
+		return StageMaxPower, nil
+	case "timing":
+		return StageTiming, nil
+	}
+	return 0, fmt.Errorf("service: unknown stage %q", s)
+}
+
+// Config tunes a Service. The zero value selects sensible defaults.
+type Config struct {
+	// CacheSize bounds the number of cached results (default 1024).
+	// Negative disables caching (singleflight still applies).
+	CacheSize int
+	// Workers bounds the batch worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+// Service fronts the scheduling pipeline with a content-addressed
+// cache, singleflight deduplication, and a batch worker pool. Create
+// one with New; the zero value is not usable.
+type Service struct {
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[string]*call
+	pool     *Pool
+	met      metrics
+}
+
+// call is one in-flight computation; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New creates a Service.
+func New(cfg Config) *Service {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.CacheSize < 0 {
+		cfg.CacheSize = 0
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{
+		inflight: make(map[string]*call),
+		pool:     NewPool(cfg.Workers),
+	}
+	s.cache = newLRU(cfg.CacheSize, &s.met.evictions)
+	return s
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Service
+)
+
+// Shared returns the process-wide default service, created on first
+// use. Components that are not handed an explicit Service (mission
+// policies, facade helpers) route through it so their results are
+// deduplicated with everyone else's.
+func Shared() *Service {
+	sharedOnce.Do(func() { shared = New(Config{}) })
+	return shared
+}
+
+// Key derives the content-addressed cache key for a request. Two
+// requests with equal problems (field-for-field, in order), equal
+// options, and the same stage always collide; any difference
+// separates them. Options are hashed before default-filling, so the
+// zero Options and an explicitly spelled-out default produce distinct
+// keys (both deterministic, so at worst one redundant compute).
+func Key(p *model.Problem, opts sched.Options, stage Stage) string {
+	return fmt.Sprintf("%s/%s/%x", p.Fingerprint(), stage, optsDigest(opts))
+}
+
+// Schedule runs the pipeline up to stage for the problem under opts,
+// serving from the cache when possible and deduplicating concurrent
+// identical requests. The returned result is shared: do not mutate it.
+//
+// The problem is cloned before computing, so later caller-side
+// mutation of p cannot corrupt cached results.
+func (s *Service) Schedule(p *model.Problem, opts sched.Options, stage Stage) (*sched.Result, error) {
+	v, err := s.do(Key(p, opts, stage), stage.String(), func() (any, error) {
+		q := p.Clone()
+		switch stage {
+		case StageTiming:
+			return sched.Timing(q, opts)
+		case StageMaxPower:
+			return sched.MaxPower(q, opts)
+		case StageMinPower:
+			return sched.MinPower(q, opts)
+		}
+		return nil, fmt.Errorf("service: unknown stage %d", int(stage))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sched.Result), nil
+}
+
+// Memo runs fn at most once per key, caching its value alongside
+// scheduling results (same LRU, same singleflight, metrics bucketed
+// under "memo"). It exists for derived computations that are
+// deterministic in some content-addressed key but are not a bare
+// pipeline run — e.g. the mission policies' per-condition iteration
+// summaries. Keys are namespaced apart from Schedule's internally.
+func (s *Service) Memo(key string, fn func() (any, error)) (any, error) {
+	return s.do("memo:"+key, "memo", fn)
+}
+
+// do is the shared cache + singleflight core. Errors are returned to
+// every waiter of the computing flight but are not cached: a later
+// request retries.
+func (s *Service) do(key, bucket string, fn func() (any, error)) (any, error) {
+	s.mu.Lock()
+	if v, ok := s.cache.get(key); ok {
+		s.met.hits.Add(1)
+		s.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.met.joins.Add(1)
+		s.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.met.misses.Add(1)
+	s.met.inflight.Add(1)
+	s.mu.Unlock()
+
+	start := time.Now()
+	c.val, c.err = fn()
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.met.inflight.Add(-1)
+	s.met.computeNS(bucket).Add(int64(elapsed))
+	if c.err == nil {
+		s.cache.add(key, c.val)
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// Request is one entry of a batch submission.
+type Request struct {
+	Problem *model.Problem
+	Opts    sched.Options
+	Stage   Stage
+}
+
+// Response pairs a batch entry's result with its error.
+type Response struct {
+	Result *sched.Result
+	Err    error
+}
+
+// ScheduleBatch evaluates all requests on the service's bounded worker
+// pool and returns responses in request order. Identical requests
+// (within the batch or across callers) are deduplicated by the cache
+// and singleflight exactly like sequential calls.
+func (s *Service) ScheduleBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	s.pool.ForEach(len(reqs), func(i int) {
+		out[i].Result, out[i].Err = s.Schedule(reqs[i].Problem, reqs[i].Opts, reqs[i].Stage)
+	})
+	return out
+}
+
+// Pool exposes the service's worker pool for callers that batch
+// non-scheduling work (e.g. evaluating design points).
+func (s *Service) Pool() *Pool { return s.pool }

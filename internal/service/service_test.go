@@ -1,0 +1,330 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// twoTask builds a minimal feasible problem whose content varies with
+// the tag, so each tag is a distinct cache key.
+func twoTask(tag int) *model.Problem {
+	p := &model.Problem{Name: fmt.Sprintf("p%d", tag), Pmax: 10, Pmin: 4}
+	p.AddTask(model.Task{Name: "a", Resource: "R", Delay: 2 + tag%3, Power: 4})
+	p.AddTask(model.Task{Name: "b", Resource: "S", Delay: 2, Power: 4})
+	p.MinSep("a", "b", 1)
+	return p
+}
+
+func infeasible() *model.Problem {
+	p := &model.Problem{Name: "cycle", Pmax: 10}
+	p.AddTask(model.Task{Name: "a", Resource: "R", Delay: 2, Power: 1})
+	p.AddTask(model.Task{Name: "b", Resource: "S", Delay: 2, Power: 1})
+	p.MinSep("a", "b", 9)
+	p.MinSep("b", "a", 9)
+	return p
+}
+
+func TestScheduleCacheMissThenHit(t *testing.T) {
+	svc := New(Config{})
+	p := paperex.Nine()
+	r1, err := svc.Schedule(p, sched.Options{}, StageMinPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc.Schedule(p, sched.Options{}, StageMinPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("second call did not return the cached result")
+	}
+	st := svc.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+	if st.ComputeNS["minpower"] <= 0 {
+		t.Errorf("compute_ns[minpower] = %d, want > 0", st.ComputeNS["minpower"])
+	}
+}
+
+func TestScheduleStagesAreDistinctKeys(t *testing.T) {
+	svc := New(Config{})
+	p := paperex.Nine()
+	for _, st := range []Stage{StageTiming, StageMaxPower, StageMinPower} {
+		if _, err := svc.Schedule(p, sched.Options{}, st); err != nil {
+			t.Fatalf("%s: %v", st, err)
+		}
+	}
+	if st := svc.Stats(); st.Misses != 3 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 3 misses across stages", st)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	p := twoTask(0)
+	base := Key(p, sched.Options{}, StageMinPower)
+	if Key(p, sched.Options{}, StageMinPower) != base {
+		t.Error("key is not deterministic")
+	}
+	if Key(p, sched.Options{}, StageTiming) == base {
+		t.Error("stage not part of the key")
+	}
+	if Key(p, sched.Options{Seed: 1}, StageMinPower) == base {
+		t.Error("options not part of the key")
+	}
+	q := p.Clone()
+	q.Pmax++
+	if Key(q, sched.Options{}, StageMinPower) == base {
+		t.Error("problem content not part of the key")
+	}
+}
+
+// TestScheduleSingleflight hammers one service from GOMAXPROCS*4
+// goroutines with overlapping keys and asserts that (a) every unique
+// key computed exactly once and (b) all callers of a key observed
+// byte-identical schedules. Run under -race this is also the data-race
+// certification for the cache.
+func TestScheduleSingleflight(t *testing.T) {
+	const uniqueKeys = 3
+	goroutines := runtime.GOMAXPROCS(0) * 4
+	if goroutines < 8 {
+		goroutines = 8
+	}
+	const perG = 6 // requests per goroutine, cycling over the keys
+
+	svc := New(Config{})
+	probs := make([]*model.Problem, uniqueKeys)
+	for i := range probs {
+		probs[i] = twoTask(i)
+	}
+
+	got := make([][][]byte, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		got[g] = make([][]byte, perG)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				p := probs[(g+i)%uniqueKeys]
+				r, err := svc.Schedule(p, sched.Options{}, StageMinPower)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				data, err := spec.FormatScheduleJSON(r.Compiled.Prob, r.Schedule)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				got[g][i] = data
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	st := svc.Stats()
+	if st.Misses != uniqueKeys {
+		t.Errorf("misses = %d, want exactly %d (one compute per unique key)", st.Misses, uniqueKeys)
+	}
+	total := int64(goroutines * perG)
+	if st.Hits+st.Joins+st.Misses != total {
+		t.Errorf("hits(%d)+joins(%d)+misses(%d) != %d requests", st.Hits, st.Joins, st.Misses, total)
+	}
+	// Byte-identical results per key, across all goroutines.
+	want := make([][]byte, uniqueKeys)
+	for g := range got {
+		for i, data := range got[g] {
+			k := (g + i) % uniqueKeys
+			if want[k] == nil {
+				want[k] = data
+			} else if !bytes.Equal(want[k], data) {
+				t.Fatalf("key %d: divergent schedules:\n%s\nvs\n%s", k, want[k], data)
+			}
+		}
+	}
+}
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	svc := New(Config{})
+	var computes atomic.Int64
+	goroutines := runtime.GOMAXPROCS(0) * 4
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 4; i++ {
+				v, err := svc.Memo("answer", func() (any, error) {
+					computes.Add(1)
+					return 42, nil
+				})
+				if err != nil || v.(int) != 42 {
+					t.Errorf("memo = %v, %v", v, err)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("memo fn ran %d times, want 1", n)
+	}
+}
+
+func TestMemoKeysDoNotCollideWithSchedule(t *testing.T) {
+	svc := New(Config{})
+	p := paperex.Nine()
+	if _, err := svc.Schedule(p, sched.Options{}, StageMinPower); err != nil {
+		t.Fatal(err)
+	}
+	key := Key(p, sched.Options{}, StageMinPower)
+	v, err := svc.Memo(key, func() (any, error) { return "memo-value", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(string); !ok {
+		t.Fatalf("memo under a schedule-shaped key returned %T (namespace collision)", v)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	svc := New(Config{})
+	p := infeasible()
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Schedule(p, sched.Options{}, StageMinPower); err == nil {
+			t.Fatal("infeasible problem scheduled")
+		}
+	}
+	st := svc.Stats()
+	if st.Misses != 2 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 2 misses and 0 entries (errors uncached)", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	svc := New(Config{CacheSize: 2})
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Schedule(twoTask(i), sched.Options{}, StageTiming); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	// Key 0 is the LRU victim: requesting it again recomputes.
+	if _, err := svc.Schedule(twoTask(0), sched.Options{}, StageTiming); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Misses != 4 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want evicted key to recompute", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	svc := New(Config{CacheSize: -1})
+	p := twoTask(0)
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Schedule(p, sched.Options{}, StageTiming); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := svc.Stats(); st.Misses != 2 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want caching disabled", st)
+	}
+}
+
+func TestScheduleBatchOrderAndDedup(t *testing.T) {
+	svc := New(Config{Workers: 4})
+	reqs := make([]Request, 12)
+	for i := range reqs {
+		reqs[i] = Request{Problem: twoTask(i % 3), Stage: StageMinPower}
+	}
+	resps := svc.ScheduleBatch(reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if want := 2 + i%3; r.Result.Compiled.Prob.Tasks[0].Delay != want {
+			t.Errorf("request %d: response out of order", i)
+		}
+	}
+	if st := svc.Stats(); st.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (batch dedup through cache)", st.Misses)
+	}
+}
+
+func TestParseStage(t *testing.T) {
+	for in, want := range map[string]Stage{
+		"": StageMinPower, "minpower": StageMinPower,
+		"maxpower": StageMaxPower, "timing": StageTiming,
+	} {
+		got, err := ParseStage(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStage(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseStage("bogus"); err == nil {
+		t.Error("ParseStage accepted garbage")
+	}
+}
+
+func TestVarsAndPublish(t *testing.T) {
+	svc := New(Config{})
+	if _, err := svc.Schedule(paperex.Nine(), sched.Options{}, StageMinPower); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Vars()
+	if m.Get("misses").String() != "1" {
+		t.Errorf("vars misses = %s, want 1", m.Get("misses"))
+	}
+	if !svc.Publish("svc_test_metrics") {
+		t.Error("first publish failed")
+	}
+	if svc.Publish("svc_test_metrics") {
+		t.Error("duplicate publish did not report the collision")
+	}
+}
+
+// TestOptionsDigestCoversAllFields pins the sched.Options field set:
+// when a field is added, this fails as a reminder to extend optsDigest
+// (a silently uncovered field would alias distinct cache keys).
+func TestOptionsDigestCoversAllFields(t *testing.T) {
+	want := map[string]bool{
+		"Seed": true, "MaxBacktracks": true, "MaxSpikeRounds": true,
+		"MaxScans": true, "ScanOrders": true, "SlotChoices": true,
+		"DisableLocks": true, "FullRecompute": true, "Restarts": true,
+		"Compact": true,
+	}
+	typ := reflect.TypeOf(sched.Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if !want[name] {
+			t.Errorf("sched.Options gained field %q: update optsDigest and this list", name)
+		}
+		delete(want, name)
+	}
+	for name := range want {
+		t.Errorf("sched.Options lost field %q: update optsDigest and this list", name)
+	}
+}

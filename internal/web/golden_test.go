@@ -1,0 +1,67 @@
+package web
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/sched"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// computeNS scrubs the one nondeterministic field of /stats (elapsed
+// compute time) so the rest of the document can be compared exactly.
+var computeNS = regexp.MustCompile(`"compute_ns": \{[^{}]*\}`)
+
+// TestGolden locks the /schedule JSON representation across all three
+// pipeline stages, plus the /stats counters after exactly that request
+// sequence (three misses, zero hits — then one hit from the repeated
+// minpower request). Regenerate with `go test ./internal/web -update`.
+func TestGolden(t *testing.T) {
+	s := NewServer(sched.Options{})
+	s.Add(paperex.Nine())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	cases := []struct {
+		golden string
+		path   string
+	}{
+		{"schedule-timing.json", "/schedule?problem=nine-task-example&stage=timing&format=json"},
+		{"schedule-maxpower.json", "/schedule?problem=nine-task-example&stage=maxpower&format=json"},
+		{"schedule-minpower.json", "/schedule?problem=nine-task-example&stage=minpower&format=json"},
+		// Repeat the default stage: must serve from the cache and show
+		// up as the single hit in the stats golden below.
+		{"schedule-minpower.json", "/schedule?problem=nine-task-example&format=json"},
+		{"stats.json", "/stats"},
+	}
+	for _, tc := range cases {
+		code, body, _ := get(t, ts.URL+tc.path)
+		if code != 200 {
+			t.Fatalf("%s: status %d: %s", tc.path, code, body)
+		}
+		got := computeNS.ReplaceAllString(body, `"compute_ns": {}`)
+		path := filepath.Join("testdata", tc.golden)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test ./internal/web -update`)", tc.path, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: response differs from %s:\ngot:\n%s\nwant:\n%s", tc.path, path, got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package web
 
 import (
+	"encoding/json"
 	"fmt"
 	"html"
 	"net/http"
@@ -16,21 +17,35 @@ import (
 	"repro/internal/gantt"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/spec"
 	"repro/internal/verify"
 )
 
-// Server hosts a library of named problems.
+// Server hosts a library of named problems. All scheduling goes
+// through a service.Service, so repeated and concurrent requests for
+// the same schedule are served from the content-addressed cache.
 type Server struct {
 	mu       sync.RWMutex
 	problems map[string]*model.Problem
 	opts     sched.Options
+	svc      *service.Service
 }
 
-// NewServer creates an empty server with the given scheduler options.
+// NewServer creates an empty server with the given scheduler options
+// and its own private scheduling service.
 func NewServer(opts sched.Options) *Server {
-	return &Server{problems: make(map[string]*model.Problem), opts: opts}
+	return NewServerWith(opts, service.New(service.Config{}))
 }
+
+// NewServerWith creates a server on an existing scheduling service,
+// for deployments that share one cache between components.
+func NewServerWith(opts sched.Options, svc *service.Service) *Server {
+	return &Server{problems: make(map[string]*model.Problem), opts: opts, svc: svc}
+}
+
+// Service returns the scheduling service backing the server.
+func (s *Server) Service() *service.Service { return s.svc }
 
 // Add registers a problem under its own name.
 func (s *Server) Add(p *model.Problem) {
@@ -59,12 +74,25 @@ func (s *Server) Names() []string {
 //	                           minpower), format=svg|ascii|json|dot
 //	                           (default svg), seed=N, restarts=N
 //	POST /problems             register a problem from a spec document
+//	GET /stats                 scheduling-service metrics (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.index)
 	mux.HandleFunc("GET /schedule", s.schedule)
 	mux.HandleFunc("POST /problems", s.upload)
+	mux.HandleFunc("GET /stats", s.stats)
 	return mux
+}
+
+// stats serves the scheduling service's metrics snapshot as JSON.
+func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(s.svc.Stats(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data)
 }
 
 func (s *Server) index(w http.ResponseWriter, _ *http.Request) {
@@ -110,19 +138,12 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
 		opts.Restarts = v
 	}
 
-	var res *sched.Result
-	var err error
-	switch q.Get("stage") {
-	case "", "minpower":
-		res, err = sched.Run(p, opts)
-	case "maxpower":
-		res, err = sched.MaxPower(p, opts)
-	case "timing":
-		res, err = sched.Timing(p, opts)
-	default:
+	stage, err := service.ParseStage(q.Get("stage"))
+	if err != nil {
 		http.Error(w, "bad stage", http.StatusBadRequest)
 		return
 	}
+	res, err := s.svc.Schedule(p, opts, stage)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("scheduling failed: %v", err), http.StatusUnprocessableEntity)
 		return
@@ -162,8 +183,9 @@ func (s *Server) upload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Reject specs whose schedules would be unverifiable garbage early:
-	// a quick feasibility probe.
-	if _, err := sched.Timing(p, s.opts); err != nil {
+	// a quick feasibility probe (through the service, so the result is
+	// already cached when the problem is first rendered).
+	if _, err := s.svc.Schedule(p, s.opts, service.StageTiming); err != nil {
 		http.Error(w, fmt.Sprintf("problem is not schedulable: %v", err), http.StatusUnprocessableEntity)
 		return
 	}
@@ -181,7 +203,7 @@ func (s *Server) VerifyHandlerFunc(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := sched.Run(p, s.opts)
+	res, err := s.svc.Schedule(p, s.opts, service.StageMinPower)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
