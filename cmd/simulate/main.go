@@ -1,0 +1,129 @@
+// Command simulate runs Monte-Carlo fault-injection campaigns over a
+// mission: N seeded runs, each perturbing task durations, solar
+// output, and battery capacity, with online contingency rescheduling
+// through the shared scheduling service whenever the replay detects a
+// violation. The default mission is the paper's Table 4 rover
+// staircase; -scenario loads a scenario file (including scripted
+// fault windows), -spec simulates an arbitrary problem under its own
+// Pmax/Pmin.
+//
+// The summary is deterministic: the same -n and -seed produce
+// byte-identical JSON regardless of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mission"
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		scenario    = flag.String("scenario", "", "scenario file with phases, battery, and scripted faults (default: built-in Table 4 staircase)")
+		specFile    = flag.String("spec", "", "simulate a problem spec instead of the rover mission")
+		n           = flag.Int("n", 100, "number of seeded runs")
+		seed        = flag.Int64("seed", 1, "campaign master seed")
+		faults      = flag.String("faults", "", "fault model: comma-separated key=value overrides, or \"none\" (see internal/sim.ParseFaults)")
+		workers     = flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS); does not affect results")
+		jsonOut     = flag.Bool("json", false, "emit the JSON summary instead of the text report")
+		deadline    = flag.Int("deadline", 0, "mission deadline in seconds (0 = 8x the nominal finish)")
+		schedSeed   = flag.Int64("sched-seed", 0, "random seed for the scheduling heuristics")
+		minSurvival = flag.Float64("min-survival", -1, "exit nonzero when the survival rate falls below this (for CI gates)")
+	)
+	flag.Parse()
+
+	m, err := buildMission(*scenario, *specFile)
+	if err != nil {
+		fatal(err)
+	}
+	m.Deadline = *deadline
+	fm, err := sim.ParseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
+
+	c := sim.Campaign{
+		Mission: m,
+		Faults:  fm,
+		Runs:    *n,
+		Seed:    *seed,
+		Opts:    sched.Options{Seed: *schedSeed},
+		Svc:     service.New(service.Config{Workers: *workers}),
+	}
+	sum, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		data, err := sum.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		printSummary(sum)
+	}
+	if *minSurvival >= 0 && sum.SurvivalRate < *minSurvival {
+		fmt.Fprintf(os.Stderr, "simulate: survival rate %.3f below required %.3f\n", sum.SurvivalRate, *minSurvival)
+		os.Exit(1)
+	}
+}
+
+func buildMission(scenario, specFile string) (sim.Mission, error) {
+	switch {
+	case scenario != "" && specFile != "":
+		return sim.Mission{}, fmt.Errorf("use -scenario or -spec, not both")
+	case specFile != "":
+		p, err := spec.ParseFile(specFile)
+		if err != nil {
+			return sim.Mission{}, err
+		}
+		if p.Pmax <= 0 {
+			return sim.Mission{}, fmt.Errorf("%s: spec needs a positive pmax to simulate against", specFile)
+		}
+		return sim.ProblemMission(p), nil
+	case scenario != "":
+		sc, err := mission.ParseScenarioFile(scenario)
+		if err != nil {
+			return sim.Mission{}, err
+		}
+		return sim.RoverMission(sc), nil
+	default:
+		return sim.PaperMission(), nil
+	}
+}
+
+func printSummary(s sim.Summary) {
+	fmt.Printf("campaign: %d runs, seed %d\n", s.Runs, s.Seed)
+	fmt.Printf("  survived        %4d (%.1f%%)\n", s.Survived, 100*s.SurvivalRate)
+	fmt.Printf("  deadline misses %4d (%.1f%%)\n", s.DeadlineMisses, 100*s.DeadlineMissRate)
+	fmt.Printf("  reschedules     %4d   fallbacks %d   waits %d\n", s.Reschedules, s.Fallbacks, s.Waits)
+	fmt.Printf("  verify rejects  %4d   constraint drops %d\n", s.VerifyRejects, s.ConstraintDrops)
+	if len(s.Failures) > 0 {
+		fmt.Printf("  failures:")
+		for _, k := range []string{sim.FailTask, sim.FailBattery, sim.FailInfeasible, sim.FailUnschedulable, sim.FailRescheduleLimit} {
+			if n := s.Failures[k]; n > 0 {
+				fmt.Printf(" %s=%d", k, n)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  battery energy  mean %.4g J  p50 %.4g  p95 %.4g  max %.4g\n",
+		s.EnergyCost.Mean, s.EnergyCost.P50, s.EnergyCost.P95, s.EnergyCost.Max)
+	if s.Survived > 0 {
+		fmt.Printf("  finish time     mean %.4g s  p50 %.4g  p95 %.4g  max %.4g\n",
+			s.Finish.Mean, s.Finish.P50, s.Finish.P95, s.Finish.Max)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

@@ -96,6 +96,64 @@ type Report struct {
 	SolarWasted float64
 	// PeakDemand is the highest instantaneous demand observed.
 	PeakDemand float64
+
+	// Violated reports whether the replay stopped on a violation
+	// (over-budget demand or battery exhaustion) rather than running
+	// to its horizon.
+	Violated bool
+	// ViolationAt is the schedule-relative instant of the violation.
+	// Seconds [0, ViolationAt) executed and were accounted (energy,
+	// battery draw); second ViolationAt itself did not happen. Only
+	// meaningful when Violated is true.
+	ViolationAt model.Time
+	// StoppedAt is the instant the replay stopped: ViolationAt on a
+	// violation, min(until, Finish) otherwise. NotStarted and
+	// InFlight describe the residual state at this instant.
+	StoppedAt model.Time
+	// NotStarted lists the tasks whose start time is at or after
+	// StoppedAt — the residual set an online rescheduler plans over.
+	// Ordered by scheduled start, then name.
+	NotStarted []string
+	// InFlight lists the tasks that started before StoppedAt but had
+	// not finished — work a contingency must restart (tasks are
+	// non-preemptive; partial progress is lost). Ordered by scheduled
+	// start, then name.
+	InFlight []string
+}
+
+// residual fills the NotStarted/InFlight sets of the report for the
+// instant the replay stopped.
+func (rep *Report) residual(p *model.Problem, s schedule.Schedule, stop model.Time) {
+	rep.StoppedAt = stop
+	type at struct {
+		start model.Time
+		name  string
+	}
+	var pending []at
+	var inflight []at
+	for i, t := range p.Tasks {
+		switch {
+		case s.Start[i] >= stop:
+			pending = append(pending, at{s.Start[i], t.Name})
+		case s.Start[i]+t.Delay > stop:
+			inflight = append(inflight, at{s.Start[i], t.Name})
+		}
+	}
+	order := func(xs []at) []string {
+		sort.Slice(xs, func(a, b int) bool {
+			if xs[a].start != xs[b].start {
+				return xs[a].start < xs[b].start
+			}
+			return xs[a].name < xs[b].name
+		})
+		names := make([]string, len(xs))
+		for i, x := range xs {
+			names[i] = x.name
+		}
+		return names
+	}
+	rep.NotStarted = order(pending)
+	rep.InFlight = order(inflight)
 }
 
 // Execute replays the schedule starting at mission time offset against
@@ -105,8 +163,29 @@ type Report struct {
 // be nil when only solar accounting is wanted (any over-solar demand
 // then fails).
 func Execute(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power.Battery, offset model.Time) (Report, error) {
+	return ExecuteUntil(p, s, sup, bat, offset, -1)
+}
+
+// ExecuteUntil replays only the first `until` seconds of the schedule
+// (a negative until, or one at or beyond the finish time, replays the
+// whole schedule). Whether the replay completes, stops at the horizon,
+// or fails, the report carries the residual state — the violation
+// instant when one occurred, plus the NotStarted and InFlight task
+// sets at the stop instant — so an online rescheduler can build the
+// contingency problem without re-deriving it from the event trace.
+func ExecuteUntil(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power.Battery, offset, until model.Time) (Report, error) {
 	rep := Report{Events: Trace(p, s), Finish: s.Finish(p.Tasks)}
-	for t := model.Time(0); t < rep.Finish; t++ {
+	end := rep.Finish
+	if until >= 0 && until < end {
+		end = until
+	}
+	fail := func(t model.Time, err error) (Report, error) {
+		rep.Violated = true
+		rep.ViolationAt = t
+		rep.residual(p, s, t)
+		return rep, err
+	}
+	for t := model.Time(0); t < end; t++ {
 		demand := p.BasePower
 		for i, task := range p.Tasks {
 			if s.Start[i] <= t && t < s.Start[i]+task.Delay {
@@ -122,8 +201,8 @@ func Execute(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power
 			budget += bat.MaxPower
 		}
 		if demand > budget+1e-9 {
-			return rep, fmt.Errorf("exec: t=%d (mission %d): demand %.4g W exceeds available %.4g W",
-				t, offset+t, demand, budget)
+			return fail(t, fmt.Errorf("exec: t=%d (mission %d): demand %.4g W exceeds available %.4g W",
+				t, offset+t, demand, budget))
 		}
 		rep.Energy += demand
 		if demand <= solar {
@@ -134,13 +213,20 @@ func Execute(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power
 		rep.SolarUsed += solar
 		draw := demand - solar
 		if bat == nil {
-			return rep, fmt.Errorf("exec: t=%d: demand %.4g W exceeds solar %.4g W with no battery",
-				t, demand, solar)
+			rep.Energy -= demand
+			rep.SolarUsed -= solar
+			return fail(t, fmt.Errorf("exec: t=%d: demand %.4g W exceeds solar %.4g W with no battery",
+				t, demand, solar))
 		}
 		if err := bat.Draw(draw); err != nil {
-			return rep, fmt.Errorf("exec: t=%d: %w", t, err)
+			// Roll the failed second back out of the ledgers so the
+			// report accounts exactly [0, ViolationAt).
+			rep.Energy -= demand
+			rep.SolarUsed -= solar
+			return fail(t, fmt.Errorf("exec: t=%d: %w", t, err))
 		}
 		rep.BatteryUsed += draw
 	}
+	rep.residual(p, s, end)
 	return rep, nil
 }

@@ -191,3 +191,123 @@ func TestExecuteRoverMatchesStaticCost(t *testing.T) {
 		}
 	}
 }
+
+func namesEqual(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExecuteViolationResidualSolarDropout: the solar output drops to
+// zero mid-schedule with no battery; the report must pin the exact
+// violation instant and split the tasks into in-flight and
+// not-yet-started sets at that instant.
+func TestExecuteViolationResidualSolarDropout(t *testing.T) {
+	p := &model.Problem{
+		Name: "dropout",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 4, Power: 3},
+			{Name: "b", Resource: "B", Delay: 4, Power: 3},
+			{Name: "c", Resource: "C", Delay: 2, Power: 3},
+		},
+		BasePower: 1,
+	}
+	s := schedule.Schedule{Start: []model.Time{0, 2, 6}}
+	sol := power.NewSolar(10)
+	sol.AddPhase(3, 0) // total dropout at t=3
+	rep, err := Execute(p, s, power.Supply{Solar: sol}, nil, 0)
+	if err == nil {
+		t.Fatal("dropout with no battery did not fail")
+	}
+	if !rep.Violated || rep.ViolationAt != 3 || rep.StoppedAt != 3 {
+		t.Fatalf("violation at %d (stopped %d, violated %v), want instant 3",
+			rep.ViolationAt, rep.StoppedAt, rep.Violated)
+	}
+	// a runs [0,4), b runs [2,6): both in flight at t=3. c has not started.
+	if !namesEqual(rep.InFlight, []string{"a", "b"}) {
+		t.Errorf("in-flight = %v, want [a b]", rep.InFlight)
+	}
+	if !namesEqual(rep.NotStarted, []string{"c"}) {
+		t.Errorf("not-started = %v, want [c]", rep.NotStarted)
+	}
+	// Seconds [0,3) were accounted: demand 4 W, 4 W, 7 W.
+	if math.Abs(rep.Energy-15) > 1e-9 {
+		t.Errorf("energy = %g, want 15 (three accounted seconds)", rep.Energy)
+	}
+}
+
+// TestExecuteViolationResidualBatteryBoundary: the battery holds
+// exactly the energy for the first k seconds and is depleted at the
+// boundary second — the violation must land on k, not k±1, and the
+// ledgers must account exactly [0,k).
+func TestExecuteViolationResidualBatteryBoundary(t *testing.T) {
+	p := &model.Problem{
+		Name: "boundary",
+		Tasks: []model.Task{
+			{Name: "a", Resource: "A", Delay: 6, Power: 5},
+		},
+		BasePower: 0,
+	}
+	s := schedule.Schedule{Start: []model.Time{0}}
+	// No solar: every second draws 5 J from the battery. Capacity 20 J
+	// covers exactly seconds 0..3; second 4 must fail.
+	bat := &power.Battery{MaxPower: 10, Capacity: 20}
+	rep, err := Execute(p, s, power.Supply{Solar: power.NewSolar(0)}, bat, 0)
+	if err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("err = %v, want battery exhaustion", err)
+	}
+	if rep.ViolationAt != 4 {
+		t.Fatalf("violation at %d, want boundary second 4", rep.ViolationAt)
+	}
+	if math.Abs(rep.BatteryUsed-20) > 1e-9 || math.Abs(bat.Drawn()-20) > 1e-9 {
+		t.Errorf("battery used = %g (ledger %g), want exactly 20", rep.BatteryUsed, bat.Drawn())
+	}
+	if math.Abs(rep.Energy-20) > 1e-9 {
+		t.Errorf("energy = %g, want 20 (failed second not accounted)", rep.Energy)
+	}
+	if !namesEqual(rep.InFlight, []string{"a"}) || len(rep.NotStarted) != 0 {
+		t.Errorf("residual = in-flight %v, not-started %v", rep.InFlight, rep.NotStarted)
+	}
+}
+
+// TestExecuteUntilPartialReplay: a horizon short of the finish stops
+// the replay cleanly and still reports the residual state there.
+func TestExecuteUntilPartialReplay(t *testing.T) {
+	p, s := simpleProblem() // a [0,3), b [3,5)
+	sup := power.Supply{Solar: power.NewSolar(10)}
+	rep, err := ExecuteUntil(p, s, sup, nil, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violated || rep.StoppedAt != 2 {
+		t.Fatalf("stopped at %d (violated %v), want clean stop at 2", rep.StoppedAt, rep.Violated)
+	}
+	if !namesEqual(rep.InFlight, []string{"a"}) || !namesEqual(rep.NotStarted, []string{"b"}) {
+		t.Errorf("residual = in-flight %v, not-started %v", rep.InFlight, rep.NotStarted)
+	}
+	if math.Abs(rep.Energy-10) > 1e-9 { // two seconds at 5 W
+		t.Errorf("energy = %g, want 10", rep.Energy)
+	}
+	// A start exactly at the stop instant is not started.
+	rep, err = ExecuteUntil(p, s, sup, nil, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !namesEqual(rep.NotStarted, []string{"b"}) || len(rep.InFlight) != 0 {
+		t.Errorf("t=3 residual = in-flight %v, not-started %v", rep.InFlight, rep.NotStarted)
+	}
+	// Beyond the finish the replay completes and the residual is empty.
+	rep, err = ExecuteUntil(p, s, sup, nil, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StoppedAt != rep.Finish || len(rep.NotStarted) != 0 || len(rep.InFlight) != 0 {
+		t.Errorf("full replay residual = %v / %v at %d", rep.InFlight, rep.NotStarted, rep.StoppedAt)
+	}
+}

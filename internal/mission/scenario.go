@@ -13,6 +13,31 @@ import (
 	"repro/internal/rover"
 )
 
+// FaultKind classifies a scenario-scripted environment fault.
+type FaultKind string
+
+// Scenario fault kinds.
+const (
+	// FaultDropout is a total loss of solar output for a window.
+	FaultDropout FaultKind = "dropout"
+	// FaultBrownout scales the solar output by Factor for a window.
+	FaultBrownout FaultKind = "brownout"
+)
+
+// FaultPhase is one scripted environment fault: a window of mission
+// time during which the solar output is degraded. Scripted faults let
+// a scenario pin down the off-nominal conditions a simulation must
+// reproduce deterministically, independent of any randomized fault
+// model layered on top.
+type FaultPhase struct {
+	Kind     FaultKind
+	Start    model.Time
+	Duration model.Time
+	// Factor multiplies the solar output during the window (brownout
+	// only; a dropout is factor 0 by definition).
+	Factor float64
+}
+
 // Scenario is a mission description loaded from a scenario file.
 type Scenario struct {
 	Name        string
@@ -20,6 +45,8 @@ type Scenario struct {
 	Phases      []Phase
 	// Battery is nil when the scenario does not track one.
 	Battery *power.Battery
+	// Faults are the scripted environment fault windows, in file order.
+	Faults []FaultPhase
 }
 
 // ParseScenario reads the line-oriented scenario format:
@@ -29,6 +56,8 @@ type Scenario struct {
 //	battery <capacity-J> <maxpower-W>     # capacity 0 = untracked
 //	phase <duration-s> <case> <solar-W>   # case: best|typical|worst
 //	                                      # duration 0 = until done (last)
+//	fault dropout <start-s> <duration-s>
+//	fault brownout <start-s> <duration-s> <factor>
 //
 // '#' starts a comment; blank lines are ignored.
 func ParseScenario(r io.Reader) (*Scenario, error) {
@@ -128,6 +157,40 @@ func (sc *Scenario) directive(f []string) error {
 			Duration: model.Time(dur),
 			Cond:     Condition{Case: c, Solar: solar},
 		})
+	case "fault":
+		if len(f) < 4 {
+			return fmt.Errorf("fault wants <kind> <start-s> <duration-s> [factor]")
+		}
+		var fp FaultPhase
+		switch f[1] {
+		case string(FaultDropout):
+			if len(f) != 4 {
+				return fmt.Errorf("fault dropout wants <start-s> <duration-s>")
+			}
+			fp.Kind = FaultDropout
+		case string(FaultBrownout):
+			if len(f) != 5 {
+				return fmt.Errorf("fault brownout wants <start-s> <duration-s> <factor>")
+			}
+			fp.Kind = FaultBrownout
+			factor, err := strconv.ParseFloat(f[4], 64)
+			if err != nil {
+				return fmt.Errorf("bad factor %q", f[4])
+			}
+			fp.Factor = factor
+		default:
+			return fmt.Errorf("unknown fault kind %q (want dropout|brownout)", f[1])
+		}
+		start, err := strconv.Atoi(f[2])
+		if err != nil {
+			return fmt.Errorf("bad fault start %q", f[2])
+		}
+		dur, err := strconv.Atoi(f[3])
+		if err != nil {
+			return fmt.Errorf("bad fault duration %q", f[3])
+		}
+		fp.Start, fp.Duration = model.Time(start), model.Time(dur)
+		sc.Faults = append(sc.Faults, fp)
 	default:
 		return fmt.Errorf("unknown directive %q", f[0])
 	}
@@ -147,6 +210,17 @@ func (sc *Scenario) validate() error {
 		}
 		if ph.Duration < 0 || ph.Cond.Solar < 0 {
 			return fmt.Errorf("scenario: phase %d has negative values", i+1)
+		}
+	}
+	if sc.Battery != nil && (sc.Battery.Capacity < 0 || sc.Battery.MaxPower < 0) {
+		return fmt.Errorf("scenario: battery has negative values")
+	}
+	for i, fp := range sc.Faults {
+		if fp.Start < 0 || fp.Duration <= 0 {
+			return fmt.Errorf("scenario: fault %d needs start >= 0 and duration > 0", i+1)
+		}
+		if fp.Kind == FaultBrownout && (fp.Factor < 0 || fp.Factor >= 1) {
+			return fmt.Errorf("scenario: fault %d brownout factor %g outside [0,1)", i+1, fp.Factor)
 		}
 	}
 	return nil
@@ -175,6 +249,13 @@ func FormatScenario(sc *Scenario) string {
 	}
 	for _, ph := range sc.Phases {
 		fmt.Fprintf(&b, "phase %d %s %g\n", ph.Duration, ph.Cond.Case, ph.Cond.Solar)
+	}
+	for _, fp := range sc.Faults {
+		if fp.Kind == FaultBrownout {
+			fmt.Fprintf(&b, "fault %s %d %d %g\n", fp.Kind, fp.Start, fp.Duration, fp.Factor)
+		} else {
+			fmt.Fprintf(&b, "fault %s %d %d\n", fp.Kind, fp.Start, fp.Duration)
+		}
 	}
 	return b.String()
 }

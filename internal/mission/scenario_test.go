@@ -127,3 +127,70 @@ func TestParseScenarioFile(t *testing.T) {
 func writeFile(path, text string) error {
 	return os.WriteFile(path, []byte(text), 0o644)
 }
+
+const faultyScenarioText = `
+scenario faulty
+steps 4
+battery 5000 10
+phase 600 best 14.9
+phase 0 worst 9
+fault dropout 100 30
+fault brownout 200 60 0.5
+`
+
+func TestParseScenarioFaults(t *testing.T) {
+	sc, err := ParseScenario(strings.NewReader(faultyScenarioText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Faults) != 2 {
+		t.Fatalf("faults: %d, want 2", len(sc.Faults))
+	}
+	want0 := FaultPhase{Kind: FaultDropout, Start: 100, Duration: 30}
+	want1 := FaultPhase{Kind: FaultBrownout, Start: 200, Duration: 60, Factor: 0.5}
+	if sc.Faults[0] != want0 || sc.Faults[1] != want1 {
+		t.Fatalf("faults = %+v", sc.Faults)
+	}
+}
+
+func TestScenarioFaultRoundTrip(t *testing.T) {
+	sc, err := ParseScenario(strings.NewReader(faultyScenarioText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseScenario(strings.NewReader(FormatScenario(sc)))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, FormatScenario(sc))
+	}
+	if len(again.Faults) != len(sc.Faults) {
+		t.Fatalf("round trip lost faults: %+v", again.Faults)
+	}
+	for i := range sc.Faults {
+		if again.Faults[i] != sc.Faults[i] {
+			t.Errorf("fault %d differs: %+v vs %+v", i, again.Faults[i], sc.Faults[i])
+		}
+	}
+}
+
+func TestScenarioFaultErrors(t *testing.T) {
+	cases := map[string]string{
+		"fault arity":         "steps 4\nphase 0 best 14.9\nfault dropout 100\n",
+		"unknown fault kind":  "steps 4\nphase 0 best 14.9\nfault eclipse 100 30\n",
+		"bad fault start":     "steps 4\nphase 0 best 14.9\nfault dropout x 30\n",
+		"bad fault duration":  "steps 4\nphase 0 best 14.9\nfault dropout 100 x\n",
+		"zero duration":       "steps 4\nphase 0 best 14.9\nfault dropout 100 0\n",
+		"negative start":      "steps 4\nphase 0 best 14.9\nfault dropout -1 30\n",
+		"dropout with factor": "steps 4\nphase 0 best 14.9\nfault dropout 100 30 0.5\n",
+		"brownout no factor":  "steps 4\nphase 0 best 14.9\nfault brownout 100 30\n",
+		"bad factor":          "steps 4\nphase 0 best 14.9\nfault brownout 100 30 x\n",
+		"factor >= 1":         "steps 4\nphase 0 best 14.9\nfault brownout 100 30 1.5\n",
+		"negative battery":    "steps 4\nbattery -5 10\nphase 0 best 14.9\n",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseScenario(strings.NewReader(text)); err == nil {
+				t.Fatalf("accepted %q", text)
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/service"
+)
+
+// Campaign fans N seeded fault-injection runs across the scheduling
+// service's worker pool and aggregates the outcomes. Run i uses the
+// seed splitmix64(Seed, i), so the sequence of per-run seeds — and
+// therefore every statistic — is independent of worker count and
+// scheduling order: the same (Seed, Runs) always produces the same
+// Summary, byte for byte.
+type Campaign struct {
+	Mission Mission
+	Faults  FaultModel
+	// Runs is the number of seeded runs (required, > 0).
+	Runs int
+	// Seed is the campaign master seed.
+	Seed int64
+	Opts sched.Options
+	// Svc is the scheduling service (Shared() when nil). Its worker
+	// pool bounds run concurrency; its cache deduplicates identical
+	// residual problems across runs.
+	Svc *service.Service
+	// MaxReschedules bounds per-run replanning (default 16).
+	MaxReschedules int
+	// OnContingency observes every verifier-checked candidate across
+	// all runs; it may be called concurrently.
+	OnContingency func(ContingencyEvent)
+}
+
+// Dist summarizes a sample distribution.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Max  float64 `json:"max"`
+}
+
+// dist computes nearest-rank percentiles over xs (not modified).
+func dist(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return Dist{
+		Mean: sum / float64(len(sorted)),
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Summary aggregates a campaign. Field order (and the sorted Failures
+// map keys) make its JSON rendering deterministic.
+type Summary struct {
+	Runs             int            `json:"runs"`
+	Seed             int64          `json:"seed"`
+	Survived         int            `json:"survived"`
+	SurvivalRate     float64        `json:"survival_rate"`
+	DeadlineMisses   int            `json:"deadline_misses"`
+	DeadlineMissRate float64        `json:"deadline_miss_rate"`
+	Reschedules      int            `json:"reschedules"`
+	Fallbacks        int            `json:"fallbacks"`
+	Waits            int            `json:"waits"`
+	VerifyRejects    int            `json:"verify_rejects"`
+	ConstraintDrops  int            `json:"constraint_drops"`
+	Failures         map[string]int `json:"failures,omitempty"`
+	// EnergyCost is the battery-energy distribution over all runs;
+	// Finish is the completion-time distribution over surviving runs.
+	EnergyCost Dist `json:"energy_cost"`
+	Finish     Dist `json:"finish"`
+}
+
+// JSON renders the summary with stable indentation and key order.
+func (s Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Run executes the campaign.
+func (c Campaign) Run() (Summary, error) {
+	if c.Runs <= 0 {
+		return Summary{}, fmt.Errorf("sim: campaign needs Runs > 0, got %d", c.Runs)
+	}
+	if c.Mission.Problem == nil || len(c.Mission.Phases) == 0 {
+		return Summary{}, fmt.Errorf("sim: campaign mission needs a problem and at least one phase")
+	}
+	svc := c.Svc
+	if svc == nil {
+		svc = service.Shared()
+	}
+	results := make([]RunResult, c.Runs)
+	svc.Pool().ForEach(c.Runs, func(i int) {
+		results[i] = Run(RunConfig{
+			Mission:        c.Mission,
+			Faults:         c.Faults,
+			Opts:           c.Opts,
+			Seed:           runSeed(c.Seed, i),
+			Svc:            svc,
+			MaxReschedules: c.MaxReschedules,
+			OnContingency:  c.OnContingency,
+		})
+	})
+	return summarize(c.Runs, c.Seed, results), nil
+}
+
+// summarize folds per-run results, in run order, into a Summary.
+func summarize(runs int, seed int64, results []RunResult) Summary {
+	sum := Summary{Runs: runs, Seed: seed}
+	var energy, finish []float64
+	for _, r := range results {
+		if r.Survived {
+			sum.Survived++
+			finish = append(finish, float64(r.Finish))
+			if r.DeadlineMiss {
+				sum.DeadlineMisses++
+			}
+		} else {
+			if sum.Failures == nil {
+				sum.Failures = make(map[string]int)
+			}
+			sum.Failures[r.Failure]++
+		}
+		sum.Reschedules += r.Reschedules
+		sum.Fallbacks += r.Fallbacks
+		sum.Waits += r.Waits
+		sum.VerifyRejects += r.VerifyRejects
+		sum.ConstraintDrops += r.ConstraintDrops
+		energy = append(energy, r.EnergyCost)
+	}
+	sum.SurvivalRate = float64(sum.Survived) / float64(runs)
+	sum.DeadlineMissRate = float64(sum.DeadlineMisses) / float64(runs)
+	sum.EnergyCost = dist(energy)
+	sum.Finish = dist(finish)
+	return sum
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/mission"
+	"repro/internal/model"
+	"repro/internal/power"
+)
+
+// environment is the faulted world of one run: the solar source with
+// every degradation window applied, plus the sorted instants at which
+// the supply level may change (phase boundaries and window edges) —
+// the candidate wake-up times for a rescheduler waiting out a blackout.
+type environment struct {
+	solar  *power.Solar
+	breaks []model.Time
+}
+
+// baseSolarAt evaluates the phase staircase at mission time t. Before
+// the first phase (impossible: phases start at 0) and after the final
+// open-ended phase the last level holds.
+func baseSolarAt(phases []mission.Phase, t model.Time) float64 {
+	at := model.Time(0)
+	out := 0.0
+	for i, ph := range phases {
+		out = ph.Cond.Solar
+		if i == len(phases)-1 || ph.Duration == 0 {
+			break
+		}
+		at += ph.Duration
+		if t < at {
+			break
+		}
+	}
+	return out
+}
+
+// factorAt multiplies the degradation factors of every window covering
+// mission time t.
+func factorAt(windows []window, t model.Time) float64 {
+	f := 1.0
+	for _, w := range windows {
+		if w.start <= t && t < w.end {
+			f *= w.factor
+		}
+	}
+	return f
+}
+
+// buildEnvironment overlays the fault windows on the phase staircase,
+// producing a piecewise-constant solar source whose breakpoints are
+// the union of phase starts and window edges.
+func buildEnvironment(phases []mission.Phase, windows []window) environment {
+	set := map[model.Time]bool{0: true}
+	at := model.Time(0)
+	for i, ph := range phases {
+		if i == len(phases)-1 || ph.Duration == 0 {
+			break
+		}
+		at += ph.Duration
+		set[at] = true
+	}
+	for _, w := range windows {
+		if w.start >= 0 {
+			set[w.start] = true
+		}
+		if w.end >= 0 {
+			set[w.end] = true
+		}
+	}
+	breaks := make([]model.Time, 0, len(set))
+	for t := range set {
+		breaks = append(breaks, t)
+	}
+	sort.Ints(breaks)
+	solar := power.NewSolar(baseSolarAt(phases, 0) * factorAt(windows, 0))
+	for _, t := range breaks[1:] {
+		solar.AddPhase(t, baseSolarAt(phases, t)*factorAt(windows, t))
+	}
+	return environment{solar: solar, breaks: breaks}
+}
+
+// nextChange returns the first breakpoint strictly after t, or -1 when
+// the environment never changes again.
+func nextChange(breaks []model.Time, t model.Time) model.Time {
+	i := sort.SearchInts(breaks, t+1)
+	if i == len(breaks) {
+		return -1
+	}
+	return breaks[i]
+}
+
+// runSeed derives the per-run seed for run index i of a campaign
+// seeded with seed, via a splitmix64 step: well-mixed, and independent
+// of the order the worker pool happens to execute runs in.
+func runSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/power"
+	rtlib "repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/verify"
+)
+
+// Failure kinds reported by Run.
+const (
+	// FailUnschedulable: the nominal problem (at mission start) has no
+	// verified schedule.
+	FailUnschedulable = "unschedulable"
+	// FailTask: a task's transient failures exhausted the retry budget.
+	FailTask = "task-failure"
+	// FailInfeasible: no contingency schedule exists and the
+	// environment never improves before the deadline.
+	FailInfeasible = "infeasible"
+	// FailBattery: the battery was exhausted (or over-drawn) with no
+	// recoverable contingency.
+	FailBattery = "battery"
+	// FailRescheduleLimit: the run exceeded MaxReschedules — the
+	// thrash guard against pathological fault draws.
+	FailRescheduleLimit = "reschedule-limit"
+)
+
+// DefaultMaxReschedules bounds contingency replanning per run.
+const DefaultMaxReschedules = 16
+
+// ContingencyEvent describes one candidate contingency schedule at the
+// moment it was checked against the verifier.
+type ContingencyEvent struct {
+	// Seed identifies the run.
+	Seed int64
+	// MissionTime is when the contingency was computed.
+	MissionTime model.Time
+	// Problem is the residual problem (or the nominal one at t=0).
+	Problem *model.Problem
+	// Schedule is the candidate.
+	Schedule schedule.Schedule
+	// Source names where it came from: "minpower" for the full
+	// pipeline, "maxpower"/"timing" for library fallback entries.
+	Source string
+	// Adopted reports whether the verifier accepted it.
+	Adopted bool
+}
+
+// RunConfig configures one simulated run.
+type RunConfig struct {
+	Mission Mission
+	Faults  FaultModel
+	Opts    sched.Options
+	// Seed drives every random draw of the run.
+	Seed int64
+	// Svc is the scheduling service (Shared() when nil); residual
+	// problems are content-addressed, so identical contingencies
+	// across runs hit its cache.
+	Svc *service.Service
+	// MaxReschedules bounds replanning (DefaultMaxReschedules when 0).
+	MaxReschedules int
+	// OnContingency, when set, observes every verifier-checked
+	// candidate — including the nominal schedule at t=0. Campaigns may
+	// call it from multiple goroutines; it must be safe for that.
+	OnContingency func(ContingencyEvent)
+}
+
+// RunResult is the outcome of one simulated run.
+type RunResult struct {
+	Seed     int64
+	Survived bool
+	// Failure is the failure kind ("" when Survived).
+	Failure string
+	// DeadlineMiss: the mission completed but after the deadline.
+	DeadlineMiss bool
+	// Finish is the mission time execution stopped (completion or
+	// failure instant).
+	Finish model.Time
+	// Reschedules counts adopted-or-attempted contingency replans.
+	Reschedules int
+	// Fallbacks counts adoptions that did not come from the full
+	// pipeline ("minpower") but from the runtime library selection.
+	Fallbacks int
+	// Waits counts blackout periods idled through waiting for the
+	// environment to improve.
+	Waits int
+	// VerifyRejects counts candidate schedules the verifier refused.
+	VerifyRejects int
+	// ConstraintDrops counts residual constraints already
+	// unsatisfiable at replan time (deadlines in the past).
+	ConstraintDrops int
+	// EnergyCost is the total battery energy drawn.
+	EnergyCost float64
+}
+
+// pipelineSource is the adoption source that does not count as a
+// fallback.
+const pipelineSource = "minpower"
+
+// adopt computes candidate schedules for prob and returns the first
+// that survives the verify gate: the full pipeline result when it is
+// schedulable and verified, otherwise the best valid entry of a
+// runtime library built from the cheaper pipeline stages. Every
+// candidate checked is reported through cfg.OnContingency.
+func adopt(svc *service.Service, prob *model.Problem, cfg RunConfig, at model.Time) (schedule.Schedule, string, int, bool) {
+	rejects := 0
+	check := func(s schedule.Schedule, source string) bool {
+		ok := verify.Check(prob, s).OK()
+		if cfg.OnContingency != nil {
+			cfg.OnContingency(ContingencyEvent{
+				Seed: cfg.Seed, MissionTime: at,
+				Problem: prob, Schedule: s,
+				Source: source, Adopted: ok,
+			})
+		}
+		if !ok {
+			rejects++
+		}
+		return ok
+	}
+	if r, err := svc.Schedule(prob, cfg.Opts, service.StageMinPower); err == nil {
+		if check(r.Schedule, pipelineSource) {
+			return r.Schedule, pipelineSource, rejects, true
+		}
+	}
+	// Full pipeline infeasible (or rejected): fall back to runtime
+	// library selection over the cheaper stages.
+	var lib rtlib.Selector
+	for _, st := range []service.Stage{service.StageMaxPower, service.StageTiming} {
+		if r, err := svc.Schedule(prob, cfg.Opts, st); err == nil {
+			lib.Add(rtlib.NewEntry(st.String(), prob, r.Schedule))
+		}
+	}
+	tried := make(map[string]bool)
+	for {
+		var cand rtlib.Selector
+		for _, e := range lib.Entries() {
+			if !tried[e.Name] {
+				cand.Add(e)
+			}
+		}
+		e, ok := cand.Select(prob.Pmax, prob.Pmin)
+		if !ok {
+			return schedule.Schedule{}, "", rejects, false
+		}
+		tried[e.Name] = true
+		if check(e.Sched, e.Name) {
+			return e.Sched, e.Name, rejects, true
+		}
+	}
+}
+
+// Run executes one seeded fault-injection run: plan the nominal
+// mission, realize the seed's faults, replay the schedule against the
+// faulted environment, and replan the residual problem at every
+// violation until the mission completes or is lost.
+func Run(cfg RunConfig) RunResult {
+	res := RunResult{Seed: cfg.Seed}
+	svc := cfg.Svc
+	if svc == nil {
+		svc = service.Shared()
+	}
+	maxRes := cfg.MaxReschedules
+	if maxRes <= 0 {
+		maxRes = DefaultMaxReschedules
+	}
+	m := cfg.Mission
+	if m.Problem == nil || len(m.Phases) == 0 {
+		res.Failure = FailUnschedulable
+		return res
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Plan the nominal mission under the conditions at t = 0.
+	p0 := m.Problem.Clone()
+	p0.Pmin = m.Phases[0].Cond.Solar
+	p0.Pmax = p0.Pmin + m.Battery.MaxPower
+	s0, source, rejects, ok := adopt(svc, p0, cfg, 0)
+	res.VerifyRejects += rejects
+	if !ok {
+		res.Failure = FailUnschedulable
+		return res
+	}
+	if source != pipelineSource {
+		res.Fallbacks++
+	}
+	finish0 := s0.Finish(p0.Tasks)
+
+	deadline := m.Deadline
+	if deadline <= 0 {
+		deadline = DeadlineFactor * finish0
+	}
+
+	// Realize this run's faults. Random solar windows are drawn inside
+	// the window where they can matter: up to twice the nominal finish
+	// (or the deadline if sooner).
+	horizon := deadline
+	if h := 2 * finish0; h < horizon {
+		horizon = h
+	}
+	faults := cfg.Faults.draw(rng, m.Problem.Tasks, m.Faults, horizon)
+	for _, t := range m.Problem.Tasks {
+		if faults.fatal[t.Name] {
+			res.Failure = FailTask
+			return res
+		}
+	}
+	env := buildEnvironment(m.Phases, faults.windows)
+	bat := power.Battery{
+		MaxPower: m.Battery.MaxPower,
+		Capacity: m.Battery.Capacity * (1 - faults.degrade),
+	}
+	sup := power.Supply{Solar: env.solar, Battery: &bat}
+
+	// The contingency loop. T is the mission time the current segment
+	// started; P/S are the segment's problem and schedule (times are
+	// segment-relative).
+	T := model.Time(0)
+	P, S := p0, s0
+	for {
+		until := model.Time(-1)
+		tc, hasTC := timingConflict(P, faults.actual, S)
+		if hasTC {
+			until = tc
+		}
+		rep, execErr := exec.ExecuteUntil(withActualDelays(P, faults.actual), S, sup, &bat, T, until)
+		res.EnergyCost = bat.Drawn()
+		switch {
+		case execErr != nil:
+			// Power or battery violation at rep.ViolationAt.
+		case hasTC && tc < rep.Finish:
+			// Replay stopped cleanly at the timing conflict.
+		default:
+			res.Survived = true
+			res.Finish = T + rep.Finish
+			res.DeadlineMiss = res.Finish > deadline
+			return res
+		}
+		stop := rep.StoppedAt
+		if res.Reschedules >= maxRes {
+			res.Failure = FailRescheduleLimit
+			res.Finish = T + stop
+			return res
+		}
+		res.Reschedules++
+		// In-flight work is restarted (tasks are non-preemptive;
+		// partial progress is lost), so the pending set is both lists.
+		// In-flight tasks have revealed their true duration: the
+		// contingency plans with it rather than re-trusting the
+		// nominal delay (which would re-create the same conflict).
+		pending := append(append([]string(nil), rep.InFlight...), rep.NotStarted...)
+		revealed := make(map[string]model.Time, len(rep.InFlight))
+		for _, n := range rep.InFlight {
+			revealed[n] = faults.actual[n]
+		}
+		if len(pending) == 0 {
+			// The final second of the mission failed with nothing left
+			// to replan around.
+			res.Failure = FailBattery
+			res.Finish = T + stop
+			return res
+		}
+
+		// Replan at the violation instant, waiting out blackouts at
+		// environment breakpoints when no contingency exists yet.
+		cur := T + stop
+		adopted := false
+		for !adopted {
+			q, drops := residualProblem(P, S, pending, cur-T, revealed)
+			q.Pmin = sup.PminAt(cur)
+			headroom := 0.0
+			// Offer the battery's output only when it can actually
+			// sustain it for at least a second (or is untracked).
+			if bat.Capacity == 0 || bat.Remaining() > bat.MaxPower {
+				headroom = bat.MaxPower
+			}
+			q.Pmax = q.Pmin + headroom
+			if q.Pmax > 0 { // Pmax == 0 means "unconstrained" to the model; never schedule into a blackout
+				s2, source, rejects, ok := adopt(svc, q, cfg, cur)
+				res.VerifyRejects += rejects
+				if ok {
+					if source != pipelineSource {
+						res.Fallbacks++
+					}
+					res.ConstraintDrops += drops
+					T, P, S = cur, q, s2
+					adopted = true
+					continue
+				}
+			}
+			// No viable contingency now: idle on base power until the
+			// environment next changes.
+			next := nextChange(env.breaks, cur)
+			if next < 0 || next > deadline {
+				res.Failure = FailInfeasible
+				res.Finish = cur
+				res.EnergyCost = bat.Drawn()
+				return res
+			}
+			for t := cur; t < next; t++ {
+				need := P.BasePower - sup.PminAt(t)
+				if need <= 0 {
+					continue
+				}
+				if need > bat.MaxPower+1e-9 {
+					res.Failure = FailBattery
+					res.Finish = t
+					res.EnergyCost = bat.Drawn()
+					return res
+				}
+				if err := bat.Draw(need); err != nil {
+					res.Failure = FailBattery
+					res.Finish = t
+					res.EnergyCost = bat.Drawn()
+					return res
+				}
+			}
+			res.Waits++
+			cur = next
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package sim is the Monte-Carlo fault-injection and contingency-
+// rescheduling layer on top of the static pipeline: where the paper's
+// schedules assume nominal task durations and solar output, sim asks
+// whether a mission survives when they are wrong. A seed-driven
+// FaultModel perturbs each run — task duration overruns, solar
+// brownouts and dropouts, battery capacity degradation, transient task
+// failures with bounded retry — and the run engine replays the
+// schedule through internal/exec. When the replay detects a violation
+// (a broken dependency or resource conflict from an overrun, a power
+// budget breach, the battery floor), an online rescheduler builds the
+// residual problem from the tasks still pending at the violation
+// instant, re-runs the pipeline through internal/service (identical
+// residual problems hit the content-addressed cache), falls back to
+// internal/runtime library selection when the full pipeline is
+// infeasible, and adopts a contingency schedule only after it passes
+// the independent internal/verify oracle. A Campaign fans N seeded
+// runs across the service worker pool and aggregates survival,
+// deadline-miss, reschedule, and energy-cost statistics into a
+// byte-deterministic JSON summary.
+package sim
+
+import (
+	"repro/internal/mission"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/rover"
+)
+
+// DeadlineFactor scales the nominal finish time into the default
+// mission deadline when a Mission does not set one explicitly.
+const DeadlineFactor = 8
+
+// Mission is the nominal world a run perturbs: a scheduling problem,
+// the solar conditions over mission time, a battery, scripted fault
+// windows, and a completion deadline.
+type Mission struct {
+	// Problem is the nominal task set. Its Pmax/Pmin are overwritten
+	// by the conditions at mission start; the constraint graph and
+	// powers are what matter here.
+	Problem *model.Problem
+	// Phases is the solar staircase over mission time (the final
+	// phase is unbounded when its Duration is 0).
+	Phases []mission.Phase
+	// Faults are scenario-scripted fault windows applied on every run
+	// of a campaign, in addition to the randomized FaultModel draws.
+	Faults []mission.FaultPhase
+	// Battery is the pack template; each run executes against its own
+	// copy (possibly capacity-degraded by the fault model). A zero
+	// Capacity is an untracked pack: only MaxPower constrains it.
+	Battery power.Battery
+	// Deadline is the mission time budget. 0 selects
+	// DeadlineFactor × the nominal schedule's finish time.
+	Deadline model.Time
+}
+
+// RoverMission builds the fault-injection mission for a rover travel
+// scenario: one power-aware iteration of the case in force at mission
+// start, executed under the scenario's solar staircase, battery, and
+// scripted fault windows.
+func RoverMission(sc *mission.Scenario) Mission {
+	m := Mission{
+		Problem: rover.BuildIteration(sc.Phases[0].Cond.Case, rover.Cold),
+		Phases:  sc.Phases,
+		Faults:  sc.Faults,
+		Battery: power.Battery{Capacity: 5000, MaxPower: 10},
+	}
+	if sc.Battery != nil {
+		m.Battery = power.Battery{Capacity: sc.Battery.Capacity, MaxPower: sc.Battery.MaxPower}
+	}
+	return m
+}
+
+// PaperMission is the built-in default campaign target: one cold
+// best-case rover iteration under the Table 4 solar staircase with
+// the 5 kJ / 10 W battery pack.
+func PaperMission() Mission {
+	return Mission{
+		Problem: rover.BuildIteration(rover.Best, rover.Cold),
+		Phases:  mission.PaperScenario(),
+		Battery: power.Battery{Capacity: 5000, MaxPower: 10},
+	}
+}
+
+// ProblemMission wraps an arbitrary scheduling problem as a mission:
+// constant solar at the problem's Pmin, an untracked battery providing
+// the Pmax−Pmin headroom, and no scripted faults. This is how the web
+// server simulates its registered problems.
+func ProblemMission(p *model.Problem) Mission {
+	head := p.Pmax - p.Pmin
+	if head < 0 {
+		head = 0
+	}
+	return Mission{
+		Problem: p,
+		Phases:  []mission.Phase{{Cond: mission.Condition{Solar: p.Pmin}}},
+		Battery: power.Battery{MaxPower: head},
+	}
+}

@@ -1,0 +1,116 @@
+package web
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// simulateMaxRuns caps a single HTTP request's campaign size; larger
+// sweeps belong on the CLI.
+const simulateMaxRuns = 500
+
+// simulate runs a Monte-Carlo fault-injection campaign over a
+// registered problem: constant solar at the problem's Pmin, the
+// Pmax−Pmin headroom as battery output, and the requested fault model.
+// Query: problem=X, n= (runs, default 50), seed=, faults= (key=value
+// overrides or "none"), format=json|html (default json). The same
+// problem, n, seed, and faults always produce byte-identical JSON.
+func (s *Server) simulate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p, ok := s.lookup(q.Get("problem"))
+	if !ok {
+		http.Error(w, "unknown problem", http.StatusNotFound)
+		return
+	}
+	if p.Pmax <= 0 {
+		http.Error(w, "problem has no positive pmax to simulate against", http.StatusUnprocessableEntity)
+		return
+	}
+	n := 50
+	if v := q.Get("n"); v != "" {
+		x, err := strconv.Atoi(v)
+		if err != nil || x < 1 || x > simulateMaxRuns {
+			http.Error(w, fmt.Sprintf("bad n (want 1..%d)", simulateMaxRuns), http.StatusBadRequest)
+			return
+		}
+		n = x
+	}
+	var seed int64 = 1
+	if v := q.Get("seed"); v != "" {
+		x, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad seed", http.StatusBadRequest)
+			return
+		}
+		seed = x
+	}
+	fm, err := sim.ParseFaults(q.Get("faults"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sum, err := sim.Campaign{
+		Mission: sim.ProblemMission(p),
+		Faults:  fm,
+		Runs:    n,
+		Seed:    seed,
+		Opts:    s.opts,
+		Svc:     s.svc,
+	}.Run()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	switch q.Get("format") {
+	case "", "json":
+		data, err := sum.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeSimCard(w, p.Name, sum)
+	default:
+		http.Error(w, "bad format", http.StatusBadRequest)
+	}
+}
+
+// writeSimCard renders the campaign summary as a small stats card.
+func writeSimCard(w http.ResponseWriter, name string, sum sim.Summary) {
+	e := html.EscapeString(name)
+	fmt.Fprintf(w, `<html><head><title>simulate %s</title></head><body>`, e)
+	fmt.Fprintf(w, `<div class="sim-card"><h1>Fault campaign: %s</h1>`, e)
+	fmt.Fprintf(w, `<p>%d runs, seed %d</p><table border="1" cellpadding="4">`, sum.Runs, sum.Seed)
+	row := func(k, v string) { fmt.Fprintf(w, `<tr><td>%s</td><td>%s</td></tr>`, k, v) }
+	row("survival", fmt.Sprintf("%d/%d (%.1f%%)", sum.Survived, sum.Runs, 100*sum.SurvivalRate))
+	row("deadline misses", fmt.Sprintf("%d (%.1f%%)", sum.DeadlineMisses, 100*sum.DeadlineMissRate))
+	row("reschedules", strconv.Itoa(sum.Reschedules))
+	row("fallbacks", strconv.Itoa(sum.Fallbacks))
+	row("waits", strconv.Itoa(sum.Waits))
+	row("verify rejects", strconv.Itoa(sum.VerifyRejects))
+	row("constraint drops", strconv.Itoa(sum.ConstraintDrops))
+	row("battery energy (J)", fmt.Sprintf("mean %.4g · p50 %.4g · p95 %.4g · max %.4g",
+		sum.EnergyCost.Mean, sum.EnergyCost.P50, sum.EnergyCost.P95, sum.EnergyCost.Max))
+	if sum.Survived > 0 {
+		row("finish time (s)", fmt.Sprintf("mean %.4g · p50 %.4g · p95 %.4g · max %.4g",
+			sum.Finish.Mean, sum.Finish.P50, sum.Finish.P95, sum.Finish.Max))
+	}
+	kinds := make([]string, 0, len(sum.Failures))
+	for k := range sum.Failures {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		row("failures: "+html.EscapeString(k), strconv.Itoa(sum.Failures[k]))
+	}
+	fmt.Fprint(w, `</table></div></body></html>`)
+}

@@ -74,12 +74,15 @@ func (s *Server) Names() []string {
 //	                           minpower), format=svg|ascii|json|dot
 //	                           (default svg), seed=N, restarts=N
 //	POST /problems             register a problem from a spec document
+//	GET /simulate?problem=X    Monte-Carlo fault campaign; optional
+//	                           n=, seed=, faults=, format=json|html
 //	GET /stats                 scheduling-service metrics (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.index)
 	mux.HandleFunc("GET /schedule", s.schedule)
 	mux.HandleFunc("POST /problems", s.upload)
+	mux.HandleFunc("GET /simulate", s.simulate)
 	mux.HandleFunc("GET /stats", s.stats)
 	return mux
 }
@@ -100,8 +103,8 @@ func (s *Server) index(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, "<html><head><title>impacct</title></head><body><h1>Power-aware schedules</h1><ul>")
 	for _, n := range s.Names() {
 		e := html.EscapeString(n)
-		fmt.Fprintf(w, `<li>%s — <a href="/schedule?problem=%s">svg</a> | <a href="/schedule?problem=%s&format=ascii">ascii</a> | <a href="/schedule?problem=%s&format=dot">dot</a></li>`,
-			e, e, e, e)
+		fmt.Fprintf(w, `<li>%s — <a href="/schedule?problem=%s">svg</a> | <a href="/schedule?problem=%s&format=ascii">ascii</a> | <a href="/schedule?problem=%s&format=dot">dot</a> | <a href="/simulate?problem=%s&format=html">simulate</a></li>`,
+			e, e, e, e, e)
 	}
 	fmt.Fprint(w, "</ul></body></html>")
 }
