@@ -1,0 +1,144 @@
+// Command bench runs the scheduler-core microbenchmarks over the
+// benchkit instance ladder and emits a machine-readable record in the
+// same format as BENCH_sim.json. The committed BENCH_sched.json is
+// regenerated with:
+//
+//	go run ./cmd/bench -out BENCH_sched.json
+//
+// Each size is measured twice: the incremental pipeline (power profile
+// maintained as segment deltas, slack cached with dirty-set
+// invalidation) and the Naive ablation (power.Build at every probe,
+// slack recomputed from the graph), so the record doubles as the
+// before/after evidence for the incremental core.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchkit"
+	"repro/internal/sched"
+)
+
+type record struct {
+	Comment    string  `json:"comment"`
+	Date       string  `json:"date"`
+	Goos       string  `json:"goos"`
+	Goarch     string  `json:"goarch"`
+	CPU        string  `json:"cpu"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name        string `json:"name"`
+	Package     string `json:"package"`
+	Description string `json:"description"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("out", "-", "output path, or - for stdout")
+	sizes := flag.String("sizes", "", "comma-separated instance sizes (default: the full benchkit ladder)")
+	naive := flag.Bool("naive", true, "also measure the Naive ablation per size")
+	flag.Parse()
+
+	ns := benchkit.Sizes
+	if *sizes != "" {
+		ns = nil
+		for _, f := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bench: bad size %q\n", f)
+				os.Exit(2)
+			}
+			ns = append(ns, n)
+		}
+	}
+
+	rec := record{
+		Comment: "Scheduler-core benchmark record over the benchkit instance ladder. " +
+			"Regenerate with: go run ./cmd/bench -out BENCH_sched.json",
+		Date:   time.Now().Format("2006-01-02"),
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		CPU:    cpuModel(),
+	}
+	for _, n := range ns {
+		rec.Benchmarks = append(rec.Benchmarks, measure(n, false))
+		if *naive {
+			rec.Benchmarks = append(rec.Benchmarks, measure(n, true))
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// measure runs the full three-stage pipeline (with compaction) on the
+// ladder instance of the given size, mirroring BenchmarkPipeline* in
+// internal/benchkit.
+func measure(n int, naive bool) entry {
+	p := benchkit.Generate(n, 1)
+	opts := benchkit.Options(n)
+	opts.Naive = naive
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.MinPower(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	name := fmt.Sprintf("BenchmarkPipeline%d", n)
+	desc := fmt.Sprintf("full pipeline on the %d-task ladder instance, incremental core", n)
+	if naive {
+		name = fmt.Sprintf("BenchmarkPipelineNaive%d", n)
+		desc = fmt.Sprintf("full pipeline on the %d-task ladder instance, naive ablation (rebuild profile and slack per probe)", n)
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %12d B/op %8d allocs/op\n",
+		name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	return entry{
+		Name:        name,
+		Package:     "repro/internal/benchkit",
+		Description: desc,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// cpuModel reads the CPU model name for the record header; best
+// effort, matching the hand-recorded field in BENCH_sim.json.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

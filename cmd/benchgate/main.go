@@ -1,0 +1,160 @@
+// Command benchgate compares two `go test -bench` outputs (typically
+// the PR head and its merge-base) and exits non-zero when any
+// benchmark matching -pattern regressed by more than -max-regress in
+// ns/op. CI runs it after benchstat so the human-readable diff is
+// archived either way; benchgate is the machine verdict.
+//
+// Benchmarks are matched by name with the -cpu suffix stripped
+// (BenchmarkPipeline200-8 and BenchmarkPipeline200-4 compare). With
+// -count > 1 the minimum ns/op per name is used: the minimum is the
+// run least disturbed by scheduler noise, which keeps the gate from
+// flagging phantom regressions on shared CI machines.
+//
+// A base file with no matching benchmarks (the merge-base predates the
+// benchmark suite) passes with a notice, so the gate can be enabled in
+// the same PR that introduces the benchmarks.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baseFile := flag.String("base", "", "bench output of the merge-base")
+	headFile := flag.String("head", "", "bench output of the PR head")
+	pattern := flag.String("pattern", "^BenchmarkPipeline", "regexp of benchmark names to gate")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression (0.15 = +15%)")
+	flag.Parse()
+	if *baseFile == "" || *headFile == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -pattern: %v\n", err)
+		os.Exit(2)
+	}
+
+	base, err := parseFile(*baseFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(*headFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	verdicts, failed := gate(base, head, re, *maxRegress)
+	if len(verdicts) == 0 {
+		fmt.Printf("benchgate: no benchmarks matching %q in base output; nothing to gate\n", *pattern)
+		return
+	}
+	fmt.Printf("%-32s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, v := range verdicts {
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %s\n", v.name, v.base, v.head, v.delta*100, v.mark)
+	}
+	if failed {
+		fmt.Printf("benchgate: FAIL — regression above +%.0f%%\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+type verdict struct {
+	name       string
+	base, head float64
+	delta      float64
+	mark       string
+}
+
+// gate compares every base benchmark matching re against the head run.
+// A matching benchmark missing from head fails the gate (a silently
+// deleted benchmark must not disable its own regression check).
+func gate(base, head map[string]float64, re *regexp.Regexp, maxRegress float64) ([]verdict, bool) {
+	var names []string
+	for name := range base {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sortStrings(names)
+	var out []verdict
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		h, ok := head[name]
+		if !ok {
+			out = append(out, verdict{name: name, base: b, head: 0, delta: 0, mark: "MISSING"})
+			failed = true
+			continue
+		}
+		delta := h/b - 1
+		mark := ""
+		if delta > maxRegress {
+			mark = "REGRESSION"
+			failed = true
+		}
+		out = append(out, verdict{name: name, base: b, head: h, delta: delta, mark: mark})
+	}
+	return out, failed
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// cpuSuffix strips the trailing -<GOMAXPROCS> go test appends to
+// benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine extracts (name, ns/op) from one `go test -bench` result
+// line, e.g. "BenchmarkPipeline200-8   3   7606484 ns/op   ...".
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return cpuSuffix.ReplaceAllString(fields[0], ""), ns, true
+	}
+	return "", 0, false
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, ns, ok := parseLine("BenchmarkPipeline200-8   \t       3\t   7606484 ns/op\t 5953128 B/op\t   19354 allocs/op")
+	if !ok || name != "BenchmarkPipeline200" || ns != 7606484 {
+		t.Fatalf("got (%q, %v, %v)", name, ns, ok)
+	}
+	if _, _, ok := parseLine("goos: linux"); ok {
+		t.Error("header line parsed as a benchmark")
+	}
+	if _, _, ok := parseLine("ok  \trepro/internal/benchkit\t8.014s"); ok {
+		t.Error("trailer line parsed as a benchmark")
+	}
+	// Sub-benchmark names and fractional ns/op survive.
+	name, ns, ok = parseLine("BenchmarkCampaign/pooled-4-8  5  583.5 ns/op")
+	if !ok || name != "BenchmarkCampaign/pooled-4" || ns != 583.5 {
+		t.Fatalf("got (%q, %v, %v)", name, ns, ok)
+	}
+}
+
+func TestGate(t *testing.T) {
+	re := regexp.MustCompile(`^BenchmarkPipeline`)
+	base := map[string]float64{
+		"BenchmarkPipeline50":  1000,
+		"BenchmarkPipeline200": 2000,
+		"BenchmarkOther":       1,
+	}
+
+	// Within tolerance (+10%) passes; unmatched names are ignored.
+	head := map[string]float64{"BenchmarkPipeline50": 1100, "BenchmarkPipeline200": 1900, "BenchmarkOther": 99}
+	if v, failed := gate(base, head, re, 0.15); failed || len(v) != 2 {
+		t.Fatalf("tolerated regression failed the gate: %+v", v)
+	}
+
+	// +20% on one benchmark fails.
+	head["BenchmarkPipeline200"] = 2400
+	if _, failed := gate(base, head, re, 0.15); !failed {
+		t.Fatal("+20% regression passed the gate")
+	}
+
+	// A gated benchmark deleted from head fails.
+	delete(head, "BenchmarkPipeline200")
+	if _, failed := gate(base, head, re, 0.15); !failed {
+		t.Fatal("deleted benchmark passed the gate")
+	}
+
+	// No matching base benchmarks: nothing to gate, passes.
+	if v, failed := gate(map[string]float64{"BenchmarkOther": 1}, head, re, 0.15); failed || len(v) != 0 {
+		t.Fatalf("empty base did not pass cleanly: %+v", v)
+	}
+}

@@ -1,0 +1,77 @@
+package benchkit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/schedule"
+)
+
+// TestGenerateDeterministic: the same (n, seed) yields the same
+// problem; consecutive seeds differ.
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(50, 1), Generate(50, 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same (n, seed) produced different problems")
+	}
+	if a.Fingerprint() == Generate(50, 2).Fingerprint() {
+		t.Fatal("different seeds produced the same problem")
+	}
+}
+
+// TestGenerateSchedulable: every ladder instance is feasible under the
+// benchmark options, produces a valid schedule, and actually exercises
+// the power stages (spikes were fixed, the budget binds).
+func TestGenerateSchedulable(t *testing.T) {
+	for _, n := range Sizes {
+		if testing.Short() && n > 200 {
+			continue
+		}
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			p := Generate(n, 1)
+			r, err := sched.MinPower(p, Options(n))
+			if err != nil {
+				t.Fatalf("n=%d infeasible: %v", n, err)
+			}
+			if err := schedule.CheckTimeValid(r.Graph, r.Compiled, r.Schedule); err != nil {
+				t.Fatal(err)
+			}
+			if !r.Profile.Valid(p.Pmax) {
+				t.Fatalf("n=%d: spikes remain: %v", n, r.Profile.Spikes(p.Pmax))
+			}
+			if r.Stats.SpikeRounds == 0 {
+				t.Fatalf("n=%d: max-power stage did no work (budget not binding)", n)
+			}
+		})
+	}
+}
+
+// benchmarkPipeline measures the full three-stage pipeline (with
+// compaction) on the ladder instance of the given size.
+func benchmarkPipeline(b *testing.B, n int, naive bool) {
+	p := Generate(n, 1)
+	opts := Options(n)
+	opts.Naive = naive
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.MinPower(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipeline10(b *testing.B)   { benchmarkPipeline(b, 10, false) }
+func BenchmarkPipeline50(b *testing.B)   { benchmarkPipeline(b, 50, false) }
+func BenchmarkPipeline200(b *testing.B)  { benchmarkPipeline(b, 200, false) }
+func BenchmarkPipeline1000(b *testing.B) { benchmarkPipeline(b, 1000, false) }
+
+// The Naive variants run the same instances with the incremental core
+// disabled (power.Build at every probe, slack recomputed from the
+// graph): the before/after pair recorded in BENCH_sched.json.
+func BenchmarkPipelineNaive10(b *testing.B)   { benchmarkPipeline(b, 10, true) }
+func BenchmarkPipelineNaive50(b *testing.B)   { benchmarkPipeline(b, 50, true) }
+func BenchmarkPipelineNaive200(b *testing.B)  { benchmarkPipeline(b, 200, true) }
+func BenchmarkPipelineNaive1000(b *testing.B) { benchmarkPipeline(b, 1000, true) }

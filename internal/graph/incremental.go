@@ -12,28 +12,47 @@ package graph
 // dist (Rollback restores the graph; the caller re-derives dist from
 // its last good schedule).
 func (g *Graph) AddEdgeRelax(dist []int, from, to, w int) (ok bool) {
+	_, ok = g.AddEdgeRelaxTouched(dist, from, to, w, nil)
+	return ok
+}
+
+// AddEdgeRelaxTouched is AddEdgeRelax that additionally reports which
+// vertices the relaxation moved: every vertex whose dist entry changed
+// is appended (once, in first-touch order) to touched, and the grown
+// slice is returned. The incremental scheduler core uses the touched
+// set to apply power-profile deltas and to invalidate cached slacks for
+// exactly the shifted cone of successors instead of the whole task set.
+// When ok is false the touched set is meaningless, like dist.
+func (g *Graph) AddEdgeRelaxTouched(dist []int, from, to, w int, touched []int) ([]int, bool) {
 	g.AddEdge(from, to, w)
 	if dist[from] == NoPath || dist[from]+w <= dist[to] {
-		return true
+		return touched, true
 	}
 	dist[to] = dist[from] + w
 
 	inQueue := make([]bool, g.n)
+	inTouched := make([]bool, g.n)
 	relaxed := make([]int, g.n)
 	queue := []int{to}
 	inQueue[to] = true
+	touched = append(touched, to)
+	inTouched[to] = true
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
 		inQueue[u] = false
 		relaxed[u]++
 		if relaxed[u] > g.n {
-			return false
+			return touched, false
 		}
 		du := dist[u]
 		for _, e := range g.out[u] {
 			if nd := du + e.W; nd > dist[e.To] {
 				dist[e.To] = nd
+				if !inTouched[e.To] {
+					touched = append(touched, e.To)
+					inTouched[e.To] = true
+				}
 				if !inQueue[e.To] {
 					queue = append(queue, e.To)
 					inQueue[e.To] = true
@@ -41,5 +60,5 @@ func (g *Graph) AddEdgeRelax(dist []int, from, to, w int) (ok bool) {
 			}
 		}
 	}
-	return true
+	return touched, true
 }

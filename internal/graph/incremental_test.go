@@ -58,6 +58,86 @@ func TestAddEdgeRelaxPropagates(t *testing.T) {
 	}
 }
 
+// TestAddEdgeRelaxTouched: the touched set is exactly the vertices
+// whose dist entry changed, each reported once.
+func TestAddEdgeRelaxTouched(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i+1, 3)
+	}
+	dist, _ := g.LongestFrom(0)
+	touched, ok := g.AddEdgeRelaxTouched(dist, 0, 1, 10, nil)
+	if !ok {
+		t.Fatal("cycle reported")
+	}
+	want := map[int]bool{1: true, 2: true, 3: true}
+	if len(touched) != len(want) {
+		t.Fatalf("touched = %v, want the set %v", touched, want)
+	}
+	for _, v := range touched {
+		if !want[v] {
+			t.Fatalf("touched = %v contains unexpected vertex %d", touched, v)
+		}
+		delete(want, v)
+	}
+	// A non-binding edge touches nothing and reuses the given buffer.
+	buf := touched[:0]
+	touched, ok = g.AddEdgeRelaxTouched(dist, 0, 1, 1, buf)
+	if !ok || len(touched) != 0 {
+		t.Fatalf("non-binding edge: touched = %v, ok = %v", touched, ok)
+	}
+}
+
+// TestQuickRelaxTouchedIsExact: on random graphs the touched set equals
+// the dist diff against a full recompute.
+func TestQuickRelaxTouchedIsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g := New(n)
+		for i := 0; i < n-1; i++ {
+			g.AddEdge(i, i+1, rng.Intn(6))
+		}
+		for k := 0; k < 4; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, rng.Intn(13)-6)
+			}
+		}
+		before, ok := g.LongestFrom(0)
+		if !ok {
+			return true
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			return true
+		}
+		incr := append([]int(nil), before...)
+		touched, incOK := g.AddEdgeRelaxTouched(incr, u, v, rng.Intn(17)-8, nil)
+		if !incOK {
+			return true
+		}
+		set := make(map[int]bool, len(touched))
+		for _, x := range touched {
+			if set[x] {
+				t.Logf("seed %d: vertex %d touched twice", seed, x)
+				return false
+			}
+			set[x] = true
+		}
+		for i := range incr {
+			if (incr[i] != before[i]) != set[i] {
+				t.Logf("seed %d: vertex %d changed=%v touched=%v", seed, i, incr[i] != before[i], set[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickRelaxMatchesFullRecompute: on random feasible graphs, the
 // incremental update after one random edge equals a full recompute.
 func TestQuickRelaxMatchesFullRecompute(t *testing.T) {

@@ -1,0 +1,230 @@
+package power
+
+import (
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+// Tracker maintains the power profile of a schedule incrementally: when
+// one task moves, only the four affected breakpoints (old start/end, new
+// start/end) are updated instead of rebuilding the whole profile with
+// Build. This is the scheduler's hottest data structure — spike fixing,
+// gap filling, and compaction all probe the profile after every
+// candidate move.
+//
+// The tracker is bit-exact with Build: Profile returns segments whose
+// power values are produced by the same floating-point operations in
+// the same order Build performs them (base load first, then task
+// contributions in task-index order, per-breakpoint sums rounded before
+// the running prefix sum). Heuristics that compare profile values
+// against thresholds therefore make identical decisions on the
+// incremental and the from-scratch path.
+type Tracker struct {
+	tasks []model.Task
+	base  float64
+	start []model.Time
+	// buckets holds, per breakpoint time, the ordered task
+	// contributions (base is handled virtually at 0 and tau, which
+	// moves as the finish time changes). Sorted by time.
+	buckets []bucket
+	prof    Profile
+	dirty   bool
+}
+
+const (
+	kindStart = 0 // +Power at the task's start time
+	kindEnd   = 1 // -Power at the task's end time
+)
+
+type contrib struct {
+	task int
+	kind int
+	p    float64 // signed contribution
+}
+
+type bucket struct {
+	t  model.Time
+	cs []contrib
+}
+
+// NewTracker builds a tracker for the given tasks positioned at s.
+func NewTracker(tasks []model.Task, s schedule.Schedule, base float64) *Tracker {
+	tr := &Tracker{
+		tasks: tasks,
+		base:  base,
+		start: make([]model.Time, len(tasks)),
+	}
+	tr.Reset(s)
+	return tr
+}
+
+// Reset repositions every task at the starts of s, discarding all
+// incremental state (used at stage boundaries, where the working
+// schedule is re-derived wholesale).
+func (tr *Tracker) Reset(s schedule.Schedule) {
+	copy(tr.start, s.Start)
+	tr.buckets = tr.buckets[:0]
+	for v, task := range tr.tasks {
+		tr.add(tr.start[v], v, kindStart, task.Power)
+		tr.add(tr.start[v]+task.Delay, v, kindEnd, -task.Power)
+	}
+	tr.dirty = true
+}
+
+// Move repositions task v to start at s, updating the affected
+// breakpoints. Cost is O(log B) to locate each breakpoint plus the
+// slice splice, independent of how the rest of the schedule looks.
+func (tr *Tracker) Move(v int, s model.Time) {
+	if s == tr.start[v] {
+		return
+	}
+	task := tr.tasks[v]
+	old := tr.start[v]
+	tr.remove(old, v, kindStart)
+	tr.remove(old+task.Delay, v, kindEnd)
+	tr.start[v] = s
+	tr.add(s, v, kindStart, task.Power)
+	tr.add(s+task.Delay, v, kindEnd, -task.Power)
+	tr.dirty = true
+}
+
+// Start returns the tracked start time of task v.
+func (tr *Tracker) Start(v int) model.Time { return tr.start[v] }
+
+// Profile materializes the current power profile. The result is cached
+// until the next Move/Reset; callers must not retain it across
+// mutations (its segment slice is reused).
+func (tr *Tracker) Profile() Profile {
+	if !tr.dirty {
+		return tr.prof
+	}
+	tr.prof = tr.materialize(tr.prof.Segs[:0])
+	tr.dirty = false
+	return tr.prof
+}
+
+// bucketIdx returns the position of time t in the bucket list and
+// whether a bucket at exactly t exists.
+func (tr *Tracker) bucketIdx(t model.Time) (int, bool) {
+	lo, hi := 0, len(tr.buckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tr.buckets[mid].t < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(tr.buckets) && tr.buckets[lo].t == t
+}
+
+// add inserts the contribution of (task, kind) at time t, keeping the
+// bucket's contributions ordered the way Build accumulates them: by
+// task index, start before end.
+func (tr *Tracker) add(t model.Time, task, kind int, p float64) {
+	i, ok := tr.bucketIdx(t)
+	if !ok {
+		tr.buckets = append(tr.buckets, bucket{})
+		copy(tr.buckets[i+1:], tr.buckets[i:])
+		tr.buckets[i] = bucket{t: t}
+	}
+	b := &tr.buckets[i]
+	j := len(b.cs)
+	for j > 0 {
+		c := b.cs[j-1]
+		if c.task < task || (c.task == task && c.kind < kind) {
+			break
+		}
+		j--
+	}
+	b.cs = append(b.cs, contrib{})
+	copy(b.cs[j+1:], b.cs[j:])
+	b.cs[j] = contrib{task: task, kind: kind, p: p}
+}
+
+// remove deletes the contribution of (task, kind) at time t. Buckets
+// left without contributors are removed entirely, matching Build, which
+// only creates breakpoints for times some task currently touches.
+func (tr *Tracker) remove(t model.Time, task, kind int) {
+	i, ok := tr.bucketIdx(t)
+	if !ok {
+		panic("power: tracker removal at unknown breakpoint")
+	}
+	b := &tr.buckets[i]
+	for j, c := range b.cs {
+		if c.task == task && c.kind == kind {
+			b.cs = append(b.cs[:j], b.cs[j+1:]...)
+			if len(b.cs) == 0 {
+				tr.buckets = append(tr.buckets[:i], tr.buckets[i+1:]...)
+			}
+			return
+		}
+	}
+	panic("power: tracker removal of unknown contribution")
+}
+
+// materialize sweeps the breakpoints into merged segments exactly the
+// way Build does: each breakpoint's contributions are summed into a
+// single delta (base first at 0 and tau), the running power is the
+// prefix sum of those deltas, and adjacent equal-power segments merge.
+func (tr *Tracker) materialize(segs []Segment) Profile {
+	var tau model.Time
+	for v, task := range tr.tasks {
+		if end := tr.start[v] + task.Delay; end > tau {
+			tau = end
+		}
+	}
+	if tau == 0 {
+		return Profile{}
+	}
+	var cur float64
+	prevT := model.Time(0)
+	started := false
+	flush := func(t0, t1 model.Time) {
+		if t1 <= t0 || t0 >= tau {
+			return
+		}
+		if t1 > tau {
+			t1 = tau
+		}
+		if n := len(segs); n > 0 && segs[n-1].P == cur && segs[n-1].T1 == t0 {
+			segs[n-1].T1 = t1
+		} else {
+			segs = append(segs, Segment{T0: t0, T1: t1, P: cur})
+		}
+	}
+	step := func(t model.Time, bs float64, cs []contrib) {
+		for _, c := range cs {
+			bs += c.p
+		}
+		if started {
+			flush(prevT, t)
+		}
+		cur += bs
+		prevT = t
+		started = true
+	}
+	seen0 := false
+	for i := 0; i < len(tr.buckets) && tr.buckets[i].t < tau; i++ {
+		b := tr.buckets[i]
+		var bs float64
+		if b.t == 0 {
+			bs = tr.base
+			seen0 = true
+		} else if !seen0 {
+			// Build always has a breakpoint at 0 (the base load starts
+			// there), even when no task does.
+			step(0, tr.base, nil)
+			seen0 = true
+		}
+		step(b.t, bs, b.cs)
+	}
+	if !seen0 {
+		step(0, tr.base, nil)
+	}
+	// Build's final breakpoint is tau (where the base load ends); its
+	// delta is never added to the running power, it only terminates the
+	// last segment.
+	flush(prevT, tau)
+	return Profile{Segs: segs}
+}

@@ -1,0 +1,114 @@
+package power
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+func randomInstance(rng *rand.Rand, n int) ([]model.Task, schedule.Schedule) {
+	tasks := make([]model.Task, n)
+	starts := make([]model.Time, n)
+	for i := range tasks {
+		tasks[i] = model.Task{
+			Name:  fmt.Sprintf("t%d", i),
+			Delay: 1 + rng.Intn(7),
+			// Irrational-ish powers so floating-point accumulation
+			// order differences would actually show up.
+			Power: rng.Float64() * 13.7,
+		}
+		starts[i] = model.Time(rng.Intn(40))
+	}
+	return tasks, schedule.Schedule{Start: starts}
+}
+
+func profilesEqual(a, b Profile) bool {
+	if len(a.Segs) == 0 && len(b.Segs) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a.Segs, b.Segs)
+}
+
+// TestTrackerMatchesBuild drives a tracker through random move
+// sequences and checks after every single move that its profile is
+// bit-identical (same segment boundaries, same float64 power values) to
+// a from-scratch Build of the same schedule.
+func TestTrackerMatchesBuild(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		base := 0.0
+		if rng.Intn(2) == 0 {
+			base = rng.Float64() * 3.3
+		}
+		tasks, s := randomInstance(rng, n)
+		tr := NewTracker(tasks, s, base)
+		if got, want := tr.Profile(), Build(tasks, s, base); !profilesEqual(got, want) {
+			t.Fatalf("seed %d: initial profile mismatch\n got %v\nwant %v", seed, got, want)
+		}
+		for move := 0; move < 60; move++ {
+			v := rng.Intn(n)
+			s.Start[v] = model.Time(rng.Intn(50))
+			tr.Move(v, s.Start[v])
+			got, want := tr.Profile(), Build(tasks, s, base)
+			if !profilesEqual(got, want) {
+				t.Fatalf("seed %d move %d: profile mismatch after moving task %d to %d\n got %v\nwant %v",
+					seed, move, v, s.Start[v], got, want)
+			}
+		}
+		// Reset back onto a fresh schedule and re-check.
+		_, s2 := randomInstance(rng, n)
+		tr.Reset(s2)
+		if got, want := tr.Profile(), Build(tasks, s2, base); !profilesEqual(got, want) {
+			t.Fatalf("seed %d: post-Reset profile mismatch\n got %v\nwant %v", seed, got, want)
+		}
+	}
+}
+
+// TestTrackerMoveNoop checks that moving a task onto its current start
+// leaves the cached profile valid.
+func TestTrackerMoveNoop(t *testing.T) {
+	tasks := []model.Task{{Name: "a", Delay: 3, Power: 2.5}}
+	s := schedule.Schedule{Start: []model.Time{4}}
+	tr := NewTracker(tasks, s, 1)
+	before := tr.Profile().String()
+	tr.Move(0, 4)
+	if after := tr.Profile().String(); after != before {
+		t.Fatalf("no-op move changed profile: %s -> %s", before, after)
+	}
+}
+
+// TestTrackerDerivedQuantities spot-checks that the quantities the
+// schedulers actually branch on (At, Spikes, Gaps, Utilization,
+// EnergyCost) agree between tracker and Build profiles, including after
+// moves that change the finish time tau.
+func TestTrackerDerivedQuantities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tasks, s := randomInstance(rng, 9)
+	base := 0.75
+	tr := NewTracker(tasks, s, base)
+	for move := 0; move < 40; move++ {
+		v := rng.Intn(len(tasks))
+		s.Start[v] = model.Time(rng.Intn(60))
+		tr.Move(v, s.Start[v])
+		got, want := tr.Profile(), Build(tasks, s, base)
+		if got.Utilization(5) != want.Utilization(5) {
+			t.Fatalf("move %d: utilization %v != %v", move, got.Utilization(5), want.Utilization(5))
+		}
+		if got.EnergyCost(5) != want.EnergyCost(5) {
+			t.Fatalf("move %d: energy cost %v != %v", move, got.EnergyCost(5), want.EnergyCost(5))
+		}
+		if !reflect.DeepEqual(got.Spikes(10), want.Spikes(10)) || !reflect.DeepEqual(got.Gaps(5), want.Gaps(5)) {
+			t.Fatalf("move %d: spikes/gaps diverge", move)
+		}
+		for q := model.Time(0); q < got.Duration(); q += 3 {
+			if got.At(q) != want.At(q) {
+				t.Fatalf("move %d: At(%d) %v != %v", move, q, got.At(q), want.At(q))
+			}
+		}
+	}
+}

@@ -27,7 +27,20 @@ func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
 	tasks := st.c.Prob.Tasks
 	pmax := st.c.Prob.Pmax
 	sigma = sigma.Clone()
+	st.syncProfile(sigma)
 
+	// powerOK reports whether the current sigma respects the budget;
+	// the incremental path probes the tracker (which follows every
+	// trial shift below), the naive path rebuilds from scratch.
+	powerOK := func() bool {
+		if pmax == 0 {
+			return true
+		}
+		if st.opts.Naive {
+			return power.Build(tasks, sigma, st.c.Prob.BasePower).Valid(pmax)
+		}
+		return st.tr.Profile().Valid(pmax)
+	}
 	const maxPasses = 20
 	for pass := 0; pass < maxPasses; pass++ {
 		changed := false
@@ -39,11 +52,17 @@ func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
 			for s := lb; s < sigma.Start[v]; s++ {
 				trial := sigma.Start[v]
 				sigma.Start[v] = s
-				if pmax == 0 || power.Build(tasks, sigma, st.c.Prob.BasePower).Valid(pmax) {
+				if !st.opts.Naive {
+					st.tr.Move(v, s)
+				}
+				if powerOK() {
 					changed = true
 					break
 				}
 				sigma.Start[v] = trial
+				if !st.opts.Naive {
+					st.tr.Move(v, trial)
+				}
 			}
 		}
 		if !changed {

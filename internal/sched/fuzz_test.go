@@ -75,5 +75,18 @@ func FuzzPipeline(f *testing.F) {
 		if rep := verify.Check(p, r.Schedule); !rep.OK() {
 			t.Fatalf("pipeline emitted an invalid schedule for:\n%s\n%v", input, rep.Err())
 		}
+		// The incremental core (profile tracker + slack cache) is an
+		// engineering optimization: the naive path must emit the exact
+		// same schedule.
+		naiveOpts := opts
+		naiveOpts.Naive = true
+		nr, err := Run(p.Clone(), naiveOpts)
+		if err != nil {
+			t.Fatalf("naive path failed where incremental succeeded for:\n%s\n%v", input, err)
+		}
+		if !r.Schedule.Equal(nr.Schedule) {
+			t.Fatalf("incremental and naive schedules diverge for:\n%s\nincremental %v\nnaive %v",
+				input, r.Schedule.Start, nr.Schedule.Start)
+		}
 	})
 }

@@ -29,12 +29,13 @@ func (st *state) maxPower() (schedule.Schedule, error) {
 	if pmax == 0 {
 		return sigma, nil
 	}
+	st.syncProfile(sigma)
 
 	for round := 0; ; round++ {
 		if round > st.opts.MaxSpikeRounds {
 			return schedule.Schedule{}, fmt.Errorf("sched: spike elimination exceeded %d rounds", st.opts.MaxSpikeRounds)
 		}
-		spikes := st.profile(sigma).Spikes(pmax)
+		spikes := st.prof(sigma).Spikes(pmax)
 		if len(spikes) == 0 {
 			return sigma, nil
 		}
@@ -61,7 +62,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 	var lockCandidates []int
 
 	skipped := make(map[int]bool) // tasks whose delay proved infeasible at this spike
-	for iter := 0; st.profile(sigma).At(t) > pmax; iter++ {
+	for iter := 0; st.prof(sigma).At(t) > pmax; iter++ {
 		if iter > st.opts.MaxSpikeRounds {
 			return schedule.Schedule{}, fmt.Errorf("sched: spike at t=%d did not converge after %d delays", t, iter)
 		}
@@ -78,7 +79,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 		}
 		if v < 0 {
 			return schedule.Schedule{}, fmt.Errorf("%w: cannot remove power spike at t=%d (%.4g W > Pmax %.4g W)",
-				ErrInfeasible, t, st.profile(sigma).At(t), pmax)
+				ErrInfeasible, t, st.prof(sigma).At(t), pmax)
 		}
 
 		// Delay distance heuristic: aim past the end of the profile
@@ -101,7 +102,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 			dd = 1
 		}
 
-		newSigma, ok := st.delay(sigma, v, sigma.Start[v]+dd)
+		newSigma, _, ok := st.delay(sigma, v, sigma.Start[v]+dd)
 		if !ok {
 			skipped[v] = true
 			st.st.Backtracks++
@@ -126,6 +127,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 			st.lock(v, sigma.Start[v])
 			if !st.g.Feasible(st.c.Anchor) {
 				st.g.Rollback(cp)
+				st.dirtySlack(v) // v lost the just-added outgoing lock edge
 				st.st.Backtracks++
 			}
 		}
@@ -137,7 +139,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 // containing t (falling back to t+1 when the profile no longer spikes
 // at t).
 func (st *state) spikeEnd(sigma schedule.Schedule, t model.Time) model.Time {
-	for _, iv := range st.profile(sigma).Spikes(st.c.Prob.Pmax) {
+	for _, iv := range st.prof(sigma).Spikes(st.c.Prob.Pmax) {
 		if iv.T0 <= t && t < iv.T1 {
 			return iv.T1
 		}
@@ -157,7 +159,7 @@ type slackedTask struct {
 func (st *state) activeBySlack(sigma schedule.Schedule, t model.Time) []slackedTask {
 	var out []slackedTask
 	for _, v := range sigma.ActiveAt(st.c.Prob.Tasks, t) {
-		out = append(out, slackedTask{v: v, slack: schedule.Slack(st.g, st.c, sigma, v)})
+		out = append(out, slackedTask{v: v, slack: st.slackOf(sigma, v)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].slack != out[j].slack {

@@ -21,8 +21,12 @@ func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
 	if pmin <= 0 {
 		return sigma
 	}
+	// The graph may have been rebuilt (compaction) and the schedule
+	// re-derived since the last stage: re-sync the incremental core.
+	st.syncProfile(sigma)
+	st.dirtySlackAll()
 	best := sigma.Clone()
-	bestU := st.profile(sigma).Utilization(pmin)
+	bestU := st.prof(sigma).Utilization(pmin)
 	if bestU >= 1 {
 		return best
 	}
@@ -31,8 +35,10 @@ func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
 	for _, order := range st.opts.ScanOrders {
 		for _, slot := range st.opts.SlotChoices {
 			st.g.Rollback(base)
+			st.syncProfile(sigma)
+			st.dirtySlackAll()
 			got := st.minPowerCombo(sigma.Clone(), order, slot)
-			if u := st.profile(got).Utilization(pmin); u > bestU+utilEps {
+			if u := st.prof(got).Utilization(pmin); u > bestU+utilEps {
 				best, bestU = got.Clone(), u
 			}
 			if bestU >= 1 {
@@ -43,6 +49,7 @@ func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
 	// Re-anchor the working graph on the winning schedule: the per-combo
 	// edges were rolled back, so pin every task at its final start.
 	st.g.Rollback(base)
+	st.dirtySlackAll()
 	for v := range best.Start {
 		st.lock(v, best.Start[v])
 	}
@@ -56,7 +63,7 @@ func (st *state) minPowerCombo(sigma schedule.Schedule, order ScanOrder, slot Sl
 		st.st.Scans++
 		next, improved := st.scanOnce(sigma, order, slot)
 		sigma = next
-		if !improved || st.profile(sigma).Utilization(st.c.Prob.Pmin) >= 1 {
+		if !improved || st.prof(sigma).Utilization(st.c.Prob.Pmin) >= 1 {
 			break
 		}
 	}
@@ -72,7 +79,7 @@ func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotCho
 	// different depths, and the profitable insertion point is a segment
 	// boundary, not necessarily the gap's left edge.
 	var times []model.Time
-	for _, seg := range st.profile(sigma).Segs {
+	for _, seg := range st.prof(sigma).Segs {
 		if seg.P < pmin {
 			times = append(times, seg.T0)
 		}
@@ -92,13 +99,13 @@ func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotCho
 	improved := false
 	for _, t := range times {
 		// Earlier moves may have already filled (or shifted) this gap.
-		if st.profile(sigma).At(t) >= pmin {
+		if st.prof(sigma).At(t) >= pmin {
 			continue
 		}
 		if next, ok := st.fillGapAt(sigma, t, slot); ok {
 			sigma = next
 			improved = true
-			if st.profile(sigma).Utilization(pmin) >= 1 {
+			if st.prof(sigma).Utilization(pmin) >= 1 {
 				return sigma, true
 			}
 		}
@@ -114,7 +121,7 @@ func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotCho
 // power-valid, finishes no later, and strictly improves utilization.
 func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoice) (schedule.Schedule, bool) {
 	prob := st.c.Prob
-	prof := st.profile(sigma)
+	prof := st.prof(sigma)
 	curU := prof.Utilization(prob.Pmin)
 	tau := sigma.Finish(prob.Tasks)
 
@@ -129,7 +136,7 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 
 	for _, v := range st.gapCandidates(sigma, t) {
 		d := prob.Tasks[v].Delay
-		sl := schedule.Slack(st.g, st.c, sigma, v)
+		sl := st.slackOf(sigma, v)
 		// Latest start keeping the task active at t, clipped by slack.
 		latest := t
 		if m := sigma.Start[v] + sl; m < latest {
@@ -159,9 +166,9 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 		}
 
 		cp := st.g.Mark()
-		next, ok := st.delay(sigma, v, newStart)
+		next, changed, ok := st.delay(sigma, v, newStart)
 		if ok {
-			np := st.profile(next)
+			np := st.prof(next)
 			if np.Valid(prob.Pmax) &&
 				next.Finish(prob.Tasks) <= tau &&
 				np.Utilization(prob.Pmin) > curU+utilEps &&
@@ -171,6 +178,7 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 			}
 		}
 		st.g.Rollback(cp)
+		st.revertMove(changed, sigma)
 		st.st.Rejected++
 	}
 	return sigma, false
@@ -193,7 +201,7 @@ func (st *state) gapCandidates(sigma schedule.Schedule, t model.Time) []int {
 		if fin > t {
 			continue // still running at or after t; delaying cannot help
 		}
-		sl := schedule.Slack(st.g, st.c, sigma, v)
+		sl := st.slackOf(sigma, v)
 		if sl < t-sigma.Start[v]-task.Delay+1 {
 			continue // cannot reach t
 		}

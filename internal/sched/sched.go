@@ -111,6 +111,13 @@ type Options struct {
 	// computation instead of relaxing incrementally from the new edge
 	// (for ablation; results are identical, only speed differs).
 	FullRecompute bool
+	// Naive disables the incremental scheduler core: the power profile
+	// is rebuilt from scratch at every probe instead of maintained as a
+	// mutable segment structure, and per-task slack is recomputed from
+	// the constraint graph instead of served from the dirty-set cache
+	// (for ablation and differential testing; results are identical,
+	// only speed differs).
+	Naive bool
 	// Restarts runs the whole pipeline this many times with perturbed
 	// timing-candidate orders and keeps the best outcome (shortest
 	// finish, then lowest energy cost). Different serialization orders
@@ -289,6 +296,18 @@ type state struct {
 	// compaction pass validates leftward moves against exactly these.
 	timingMark  graph.Checkpoint
 	structEdges []graph.Edge
+
+	// Incremental core (inactive when opts.Naive). tr mirrors the
+	// current working schedule's power profile as a mutable segment
+	// structure; slackVal/slackOK cache per-task slack with dirty-set
+	// invalidation: a cached entry is trusted only while neither the
+	// task, the start time of any target of its outgoing edges, nor its
+	// outgoing edge set has changed (see applyMove, lock, and the
+	// dirtySlackAll calls at stage and combo boundaries).
+	tr       *power.Tracker
+	slackVal []model.Time
+	slackOK  []bool
+	touch    []int // reusable buffer for the relax touched set
 }
 
 func newState(p *model.Problem, opts Options) (*state, error) {
@@ -306,6 +325,10 @@ func newState(p *model.Problem, opts Options) (*state, error) {
 	st.prio = make([]int, c.NumTasks())
 	for i := range st.prio {
 		st.prio[i] = i
+	}
+	if !opts.Naive {
+		st.slackVal = make([]model.Time, c.NumTasks())
+		st.slackOK = make([]bool, c.NumTasks())
 	}
 	return st, nil
 }
@@ -337,25 +360,52 @@ func (st *state) result(sigma schedule.Schedule) *Result {
 // relaxes incrementally from the new edge (see graph.AddEdgeRelax), so
 // only the shifted cone of successors is touched. ok is false (and the
 // edge rolled back) when the delay creates a positive cycle.
-func (st *state) delay(sigma schedule.Schedule, v int, newStart model.Time) (schedule.Schedule, bool) {
+//
+// On success the incremental core is updated for exactly the shifted
+// tasks (power-profile deltas applied, affected slack cache entries
+// invalidated), and changed lists those tasks. A caller that rejects
+// the new schedule must call revertMove(changed, sigma) alongside the
+// graph rollback; changed aliases a state-owned buffer that the next
+// delay call reuses.
+func (st *state) delay(sigma schedule.Schedule, v int, newStart model.Time) (next schedule.Schedule, changed []int, ok bool) {
 	cp := st.g.Mark()
 	if st.opts.FullRecompute {
 		st.g.AddEdge(st.c.Anchor, v, newStart)
 		dist, ok := st.g.LongestFrom(st.c.Anchor)
 		if !ok {
 			st.g.Rollback(cp)
-			return schedule.Schedule{}, false
+			return schedule.Schedule{}, nil, false
 		}
-		return schedule.FromDist(dist, st.c.NumTasks()), true
+		next = schedule.FromDist(dist, st.c.NumTasks())
+		st.touch = st.touch[:0]
+		for w := range next.Start {
+			if next.Start[w] != sigma.Start[w] {
+				st.touch = append(st.touch, w)
+			}
+		}
+		st.applyMove(st.touch, next)
+		return next, st.touch, true
 	}
 	dist := make([]int, st.g.N())
 	copy(dist, sigma.Start)
 	dist[st.c.Anchor] = 0
-	if !st.g.AddEdgeRelax(dist, st.c.Anchor, v, newStart) {
+	touched, relaxOK := st.g.AddEdgeRelaxTouched(dist, st.c.Anchor, v, newStart, st.touch[:0])
+	st.touch = touched
+	if !relaxOK {
 		st.g.Rollback(cp)
-		return schedule.Schedule{}, false
+		return schedule.Schedule{}, nil, false
 	}
-	return schedule.FromDist(dist, st.c.NumTasks()), true
+	// Drop the anchor (it is not a task) from the touched set in place.
+	changed = touched[:0]
+	for _, w := range touched {
+		if w < st.c.NumTasks() {
+			changed = append(changed, w)
+		}
+	}
+	st.touch = changed
+	next = schedule.FromDist(dist, st.c.NumTasks())
+	st.applyMove(changed, next)
+	return next, changed, true
 }
 
 // lock pins task v at start t with a pair of edges (sigma(v) >= t and
@@ -363,8 +413,95 @@ func (st *state) delay(sigma schedule.Schedule, v int, newStart model.Time) (sch
 func (st *state) lock(v int, t model.Time) {
 	st.g.AddEdge(st.c.Anchor, v, t)
 	st.g.AddEdge(v, st.c.Anchor, -t)
+	st.dirtySlack(v) // v gained an outgoing edge
 }
 
-func (st *state) profile(sigma schedule.Schedule) power.Profile {
-	return power.Build(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower)
+// syncProfile (re)builds the incremental profile tracker onto sigma.
+// Stages call it at their boundaries, where the working schedule is
+// re-derived wholesale rather than by single-task moves.
+func (st *state) syncProfile(sigma schedule.Schedule) {
+	if st.opts.Naive {
+		return
+	}
+	if st.tr == nil {
+		st.tr = power.NewTracker(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower)
+	} else {
+		st.tr.Reset(sigma)
+	}
+}
+
+// prof returns the power profile of sigma. On the incremental path the
+// tracker must be synced to sigma (by construction of the stage loops);
+// the naive path rebuilds from scratch. The returned profile's segments
+// are owned by the tracker and must not be retained across moves.
+func (st *state) prof(sigma schedule.Schedule) power.Profile {
+	if st.opts.Naive {
+		return power.Build(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower)
+	}
+	return st.tr.Profile()
+}
+
+// applyMove updates the incremental core after the tasks in changed
+// moved to their starts in next: the profile tracker follows each move,
+// and the slack cache invalidates the moved tasks plus their
+// constraint-graph in-neighborhood (any task with an outgoing edge into
+// a moved task reads the moved start in its slack).
+func (st *state) applyMove(changed []int, next schedule.Schedule) {
+	if st.opts.Naive {
+		return
+	}
+	for _, w := range changed {
+		st.tr.Move(w, next.Start[w])
+		st.dirtySlack(w)
+	}
+}
+
+// revertMove undoes applyMove after the caller rolled the graph back:
+// the tasks in changed return to their starts in prev, and their slack
+// neighborhood is invalidated again (the cache entries may have been
+// recomputed against the rejected schedule in between).
+func (st *state) revertMove(changed []int, prev schedule.Schedule) {
+	if st.opts.Naive {
+		return
+	}
+	for _, w := range changed {
+		st.tr.Move(w, prev.Start[w])
+		st.dirtySlack(w)
+	}
+}
+
+// dirtySlack invalidates the cached slack of task w and of every task
+// with an outgoing constraint edge into w.
+func (st *state) dirtySlack(w int) {
+	if st.opts.Naive {
+		return
+	}
+	st.slackOK[w] = false
+	for _, e := range st.g.In(w) {
+		if e.From != st.c.Anchor {
+			st.slackOK[e.From] = false
+		}
+	}
+}
+
+// dirtySlackAll invalidates every cached slack (used at stage and
+// heuristic-combo boundaries, where graph rollbacks remove edges en
+// masse).
+func (st *state) dirtySlackAll() {
+	for i := range st.slackOK {
+		st.slackOK[i] = false
+	}
+}
+
+// slackOf returns Slack(v) under sigma, served from the dirty-set cache
+// on the incremental path.
+func (st *state) slackOf(sigma schedule.Schedule, v int) model.Time {
+	if st.opts.Naive {
+		return schedule.Slack(st.g, st.c, sigma, v)
+	}
+	if !st.slackOK[v] {
+		st.slackVal[v] = schedule.Slack(st.g, st.c, sigma, v)
+		st.slackOK[v] = true
+	}
+	return st.slackVal[v]
 }

@@ -16,9 +16,20 @@ import (
 // search finds a time-valid schedule whenever one exists (within the
 // MaxBacktracks budget). Start times are the longest-path distances
 // from the anchor over the final graph.
+//
+// The search maintains the longest-path solution incrementally: each
+// serialization edge is applied with graph.AddEdgeRelax, which both
+// updates only the shifted cone of successors and detects the positive
+// cycle that would make the choice infeasible, so a visit step costs
+// O(cone) instead of two full single-source recomputations. A rejected
+// step restores the saved distance vector alongside the graph rollback.
+// Options.FullRecompute falls back to whole-graph recomputation per
+// step (for ablation; the distances, and hence the search order and
+// result, are identical).
 func (st *state) timing() (schedule.Schedule, error) {
 	n := st.c.NumTasks()
-	if _, ok := st.g.LongestFrom(st.c.Anchor); !ok {
+	dist, ok := st.g.LongestFrom(st.c.Anchor)
+	if !ok {
 		return schedule.Schedule{}, fmt.Errorf("%w: timing constraints contain a positive cycle", ErrInfeasible)
 	}
 
@@ -30,16 +41,37 @@ func (st *state) timing() (schedule.Schedule, error) {
 		if count == n {
 			return true
 		}
-		for _, c := range st.candidates(visited) {
+		for _, c := range st.candidates(visited, dist) {
 			cp := st.g.Mark()
-			// Serialize every untraversed same-resource task after c.
 			res := st.c.Prob.Tasks[c].Resource
-			for u := 0; u < n; u++ {
-				if u != c && !visited[u] && st.c.Prob.Tasks[u].Resource == res {
-					st.g.AddEdge(c, u, st.c.Prob.Tasks[c].Delay)
+			d := st.c.Prob.Tasks[c].Delay
+			feasible := true
+			var saved []int
+			if st.opts.FullRecompute {
+				// Serialize every untraversed same-resource task after
+				// c, then recompute from scratch.
+				for u := 0; u < n; u++ {
+					if u != c && !visited[u] && st.c.Prob.Tasks[u].Resource == res {
+						st.g.AddEdge(c, u, d)
+					}
+				}
+				if nd, ok := st.g.LongestFrom(st.c.Anchor); ok {
+					saved, dist = dist, nd
+				} else {
+					feasible = false
+				}
+			} else {
+				saved = append([]int(nil), dist...)
+				for u := 0; u < n; u++ {
+					if u != c && !visited[u] && st.c.Prob.Tasks[u].Resource == res {
+						if !st.g.AddEdgeRelax(dist, c, u, d) {
+							feasible = false
+							break
+						}
+					}
 				}
 			}
-			if st.g.Feasible(st.c.Anchor) {
+			if feasible {
 				visited[c] = true
 				if visit(count + 1) {
 					return true
@@ -47,6 +79,13 @@ func (st *state) timing() (schedule.Schedule, error) {
 				visited[c] = false
 			}
 			st.g.Rollback(cp)
+			if saved != nil {
+				if st.opts.FullRecompute {
+					dist = saved
+				} else {
+					copy(dist, saved)
+				}
+			}
 			st.st.Backtracks++
 			if st.st.Backtracks > budget {
 				return false
@@ -62,14 +101,14 @@ func (st *state) timing() (schedule.Schedule, error) {
 		return schedule.Schedule{}, fmt.Errorf("%w: no serialization order yields a time-valid schedule", ErrInfeasible)
 	}
 
-	dist, ok := st.g.LongestFrom(st.c.Anchor)
+	final, ok := st.g.LongestFrom(st.c.Anchor)
 	if !ok {
 		// Unreachable: every visited step checked feasibility.
 		return schedule.Schedule{}, fmt.Errorf("%w: final graph has a positive cycle", ErrInfeasible)
 	}
 	st.timingMark = st.g.Mark()
 	st.structEdges = st.g.Edges()
-	return schedule.FromDist(dist, st.c.NumTasks()), nil
+	return schedule.FromDist(final, st.c.NumTasks()), nil
 }
 
 // candidates returns the unvisited tasks in the order the search should
@@ -77,12 +116,9 @@ func (st *state) timing() (schedule.Schedule, error) {
 // traversal would reach next), ties broken by the state's priority
 // permutation (the task index on the first restart, a seeded shuffle on
 // later restarts). Every unvisited task is a legal candidate; ordering
-// only steers the search toward reasonable schedules first.
-func (st *state) candidates(visited []bool) []int {
-	dist, ok := st.g.LongestFrom(st.c.Anchor)
-	if !ok {
-		return nil
-	}
+// only steers the search toward reasonable schedules first. dist is the
+// incrementally maintained longest-path solution of the working graph.
+func (st *state) candidates(visited []bool, dist []int) []int {
 	var cand []int
 	for v := 0; v < st.c.NumTasks(); v++ {
 		if !visited[v] {

@@ -28,6 +28,7 @@ func optsDigest(o sched.Options) [8]byte {
 	}
 	putBool(h, o.DisableLocks)
 	putBool(h, o.FullRecompute)
+	putBool(h, o.Naive)
 	putInt(h, int64(o.Restarts))
 	putBool(h, o.Compact)
 	var out [8]byte

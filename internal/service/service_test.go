@@ -313,8 +313,8 @@ func TestOptionsDigestCoversAllFields(t *testing.T) {
 	want := map[string]bool{
 		"Seed": true, "MaxBacktracks": true, "MaxSpikeRounds": true,
 		"MaxScans": true, "ScanOrders": true, "SlotChoices": true,
-		"DisableLocks": true, "FullRecompute": true, "Restarts": true,
-		"Compact": true,
+		"DisableLocks": true, "FullRecompute": true, "Naive": true,
+		"Restarts": true, "Compact": true,
 	}
 	typ := reflect.TypeOf(sched.Options{})
 	for i := 0; i < typ.NumField(); i++ {
