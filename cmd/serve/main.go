@@ -12,14 +12,25 @@
 // All scheduling runs through a shared service layer with a
 // content-addressed result cache; its metrics are served as JSON at
 // /stats and as expvar at /debug/vars (under "sched_service").
+//
+// The server is hardened for unattended operation: every request runs
+// under a compute budget (-request-timeout), admission control sheds
+// work beyond -queue with 429 + Retry-After, protocol timeouts bound
+// slow clients, and SIGINT/SIGTERM drain in-flight requests and the
+// worker pool before exit (-shutdown-timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/paperex"
@@ -35,10 +46,25 @@ func main() {
 		seed      = flag.Int64("seed", 0, "random seed for the heuristics")
 		cacheSize = flag.Int("cache", 1024, "schedule cache capacity in entries (negative disables)")
 		workers   = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+
+		queue          = flag.Int("queue", 0, "admission-control wait queue (0 = 8x workers, negative = no queue)")
+		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request compute budget (0 = none)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http header read timeout")
+		readTimeout       = flag.Duration("read-timeout", 15*time.Second, "http request read timeout")
+		writeTimeout      = flag.Duration("write-timeout", 60*time.Second, "http response write timeout")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http keep-alive idle timeout")
+		maxHeaderBytes    = flag.Int("max-header-bytes", 1<<20, "http header size cap")
+		shutdownTimeout   = flag.Duration("shutdown-timeout", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{CacheSize: *cacheSize, Workers: *workers})
+	svc := service.New(service.Config{
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxQueue:       *queue,
+		DefaultTimeout: *requestTimeout,
+	})
 	svc.Publish("sched_service")
 	srv := web.NewServerWith(sched.Options{Seed: *seed}, svc)
 	srv.Add(paperex.Nine())
@@ -58,6 +84,40 @@ func main() {
 	mux.HandleFunc("POST /verify", srv.VerifyHandlerFunc)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("serving %d problems on %s (metrics: /stats, /debug/vars)\n", len(srv.Names()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+
+	fmt.Println("serve: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("serve: http shutdown: %v", err)
+	}
+	if err := svc.Drain(sctx); err != nil {
+		log.Printf("serve: worker drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
 }

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/mission"
 	"repro/internal/sched"
@@ -56,7 +59,11 @@ func main() {
 		Opts:    sched.Options{Seed: *schedSeed},
 		Svc:     service.New(service.Config{Workers: *workers}),
 	}
-	sum, err := c.Run()
+	// Ctrl-C aborts the campaign: no partial summary is printed, since
+	// it would silently skew every statistic.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	sum, err := c.RunCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/analysis"
@@ -55,8 +58,14 @@ func main() {
 		list = defaultBudgets(prob)
 	}
 
+	// Ctrl-C aborts the sweep cooperatively: in-flight pipeline runs
+	// stop at their next cancellation poll and unstarted points are
+	// never submitted (their rows report the cancellation).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	svc := service.New(service.Config{Workers: *workers})
-	pts := analysis.SweepPmaxParallel(prob, list, impacct.Options{Seed: *seed}, svc)
+	pts := analysis.SweepPmaxParallelCtx(ctx, prob, list, impacct.Options{Seed: *seed}, svc)
 	fmt.Printf("design points for %s:\n", prob.Name)
 	fmt.Print(analysis.FormatPoints(pts))
 

@@ -1,6 +1,8 @@
 package impacct
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/service"
 )
@@ -29,6 +31,17 @@ const (
 	StageMinPower = service.StageMinPower
 )
 
+// Resilience errors surfaced by the service layer. Detect with
+// errors.Is.
+var (
+	// ErrOverloaded: admission control shed the request (back off and
+	// retry; the web layer answers 429 with Retry-After).
+	ErrOverloaded = service.ErrOverloaded
+	// ErrInternal: a pipeline compute panicked and was contained at the
+	// service boundary; the stack went to the metrics, not the caller.
+	ErrInternal = service.ErrInternal
+)
+
 // NewService creates a scheduling service.
 func NewService(cfg ServiceConfig) *SchedulingService { return service.New(cfg) }
 
@@ -45,4 +58,10 @@ func NewWorkerPool(workers int) *WorkerPool { return service.NewPool(workers) }
 // content-addressed, so overlapping re-sweeps only compute new points.
 func SweepPmaxParallel(p *Problem, budgets []float64, opts Options, svc *SchedulingService) []DesignPoint {
 	return analysis.SweepPmaxParallel(p, budgets, opts, svc)
+}
+
+// SweepPmaxParallelCtx is SweepPmaxParallel under a context: canceled
+// or never-started points carry the context's error in their Err field.
+func SweepPmaxParallelCtx(ctx context.Context, p *Problem, budgets []float64, opts Options, svc *SchedulingService) []DesignPoint {
+	return analysis.SweepPmaxParallelCtx(ctx, p, budgets, opts, svc)
 }

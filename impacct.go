@@ -21,6 +21,7 @@
 package impacct
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/analysis"
@@ -86,6 +87,13 @@ var ErrInfeasible = sched.ErrInfeasible
 // Run executes the full power-aware pipeline: timing scheduling, then
 // max-power spike elimination, then best-effort min-power gap filling.
 func Run(p *Problem, opts Options) (*Result, error) { return sched.Run(p, opts) }
+
+// RunCtx is Run under a context: the pipeline polls ctx cooperatively
+// inside its search loops and aborts with the context's error (wrapped,
+// never a partial result) once ctx is done.
+func RunCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
+	return sched.RunCtx(ctx, p, opts)
+}
 
 // Timing runs only the time-constrained scheduler (paper Fig. 3).
 func Timing(p *Problem, opts Options) (*Result, error) { return sched.Timing(p, opts) }

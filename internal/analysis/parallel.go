@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"context"
+
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/service"
@@ -11,6 +13,15 @@ import (
 // exploration parallelizes trivially). Results are returned in the
 // same order as the sequential sweep. workers <= 0 selects GOMAXPROCS.
 func SweepGridParallel(p *model.Problem, pmaxs, pmins []float64, opts sched.Options, workers int) []Point {
+	return SweepGridParallelCtx(context.Background(), p, pmaxs, pmins, opts, workers)
+}
+
+// SweepGridParallelCtx is SweepGridParallel under a context. Once ctx
+// is done, running points abort inside the pipeline and unstarted
+// points are never submitted; every point that did not complete carries
+// the context's error in its Err field, so a partial sweep is
+// distinguishable point by point.
+func SweepGridParallelCtx(ctx context.Context, p *model.Problem, pmaxs, pmins []float64, opts sched.Options, workers int) []Point {
 	type job struct {
 		pmax, pmin float64
 	}
@@ -24,11 +35,20 @@ func SweepGridParallel(p *model.Problem, pmaxs, pmins []float64, opts sched.Opti
 		}
 	}
 	out := make([]Point, len(jobs))
-	service.NewPool(workers).ForEach(len(jobs), func(i int) {
+	ran := make([]bool, len(jobs))
+	err := service.NewPool(workers).ForEachCtx(ctx, len(jobs), func(i int) {
+		ran[i] = true
 		q := p.Clone()
 		q.Pmax, q.Pmin = jobs[i].pmax, jobs[i].pmin
-		out[i] = run(q, opts)
+		out[i] = runCtx(ctx, q, opts)
 	})
+	if err != nil {
+		for i := range out {
+			if !ran[i] {
+				out[i] = Point{Pmax: jobs[i].pmax, Pmin: jobs[i].pmin, Err: err}
+			}
+		}
+	}
 	return out
 }
 
@@ -38,6 +58,12 @@ func SweepGridParallel(p *model.Problem, pmaxs, pmins []float64, opts sched.Opti
 // the content-addressed cache, so re-sweeping overlapping budget lists
 // only computes the new points. A nil svc selects service.Shared().
 func SweepPmaxParallel(p *model.Problem, budgets []float64, opts sched.Options, svc *service.Service) []Point {
+	return SweepPmaxParallelCtx(context.Background(), p, budgets, opts, svc)
+}
+
+// SweepPmaxParallelCtx is SweepPmaxParallel under a context; see
+// SweepGridParallelCtx for the partial-sweep contract.
+func SweepPmaxParallelCtx(ctx context.Context, p *model.Problem, budgets []float64, opts sched.Options, svc *service.Service) []Point {
 	if svc == nil {
 		svc = service.Shared()
 	}
@@ -52,7 +78,7 @@ func SweepPmaxParallel(p *model.Problem, budgets []float64, opts sched.Options, 
 		probs[i] = q
 		reqs[i] = service.Request{Problem: q, Opts: opts, Stage: service.StageMinPower}
 	}
-	resps := svc.ScheduleBatch(reqs)
+	resps := svc.ScheduleBatchCtx(ctx, reqs)
 	pts := make([]Point, len(budgets))
 	for i, resp := range resps {
 		pt := Point{Pmax: probs[i].Pmax, Pmin: probs[i].Pmin}

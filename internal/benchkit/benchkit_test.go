@@ -1,6 +1,7 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -67,6 +68,24 @@ func BenchmarkPipeline10(b *testing.B)   { benchmarkPipeline(b, 10, false) }
 func BenchmarkPipeline50(b *testing.B)   { benchmarkPipeline(b, 50, false) }
 func BenchmarkPipeline200(b *testing.B)  { benchmarkPipeline(b, 200, false) }
 func BenchmarkPipeline1000(b *testing.B) { benchmarkPipeline(b, 1000, false) }
+
+// BenchmarkPipelineCtx50 runs the n=50 instance through the
+// context-aware entry point with a live (cancelable, never-fired)
+// context: the cost of the cooperative cancellation polls relative to
+// BenchmarkPipeline50, which takes the Background fast path.
+func BenchmarkPipelineCtx50(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := Generate(50, 1)
+	opts := Options(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.MinPowerCtx(ctx, p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // The Naive variants run the same instances with the incremental core
 // disabled (power.Build at every probe, slack recomputed from the

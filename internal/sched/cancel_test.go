@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// cancelProblem builds a moderately sized feasible problem whose full
+// pipeline does enough heuristic work that a mid-run cancellation lands
+// between cooperative checks (resource conflicts force serialization,
+// the tight Pmax forces spike fixing, Pmin leaves gaps to fill).
+func cancelProblem(n int) *model.Problem {
+	p := &model.Problem{Name: "cancel"}
+	for i := 0; i < n; i++ {
+		p.AddTask(model.Task{
+			Name:     string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)),
+			Resource: []string{"R", "S", "T"}[i%3],
+			Delay:    model.Time(2 + i%5),
+			Power:    2 + float64(i%7),
+		})
+	}
+	for i := 0; i+4 < n; i += 4 {
+		p.MinSep(p.Tasks[i].Name, p.Tasks[i+4].Name, p.Tasks[i].Delay)
+	}
+	p.BasePower = 0.5
+	p.Pmax = 14
+	p.Pmin = 7
+	return p
+}
+
+// TestCancelPreCanceled: a context that is already dead aborts every
+// entry point before any heuristic work runs.
+func TestCancelPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := cancelProblem(12)
+	for name, run := range map[string]func() (*Result, error){
+		"timing":   func() (*Result, error) { return TimingCtx(ctx, p, Options{}) },
+		"maxpower": func() (*Result, error) { return MaxPowerCtx(ctx, p, Options{}) },
+		"minpower": func() (*Result, error) { return MinPowerCtx(ctx, p, Options{}) },
+		"run":      func() (*Result, error) { return RunCtx(ctx, p, Options{}) },
+	} {
+		res, err := run()
+		if res != nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: (res=%v, err=%v), want nil result and context.Canceled", name, res, err)
+		}
+	}
+}
+
+// TestCancelMidRun: canceling while the pipeline grinds through many
+// restarts stops it promptly with the context's error and no partial
+// result. Restarts make the run long-lived without a giant instance:
+// the restart loop re-checks the context before every attempt, and the
+// in-restart heuristics poll every cancelCheckEvery steps.
+func TestCancelMidRun(t *testing.T) {
+	p := cancelProblem(30)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = MinPowerCtx(ctx, p, Options{Restarts: 1 << 20})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline did not stop within 10s of cancellation")
+	}
+	if res != nil {
+		t.Fatal("canceled pipeline returned a partial result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelDeadline: an expiring deadline surfaces as
+// context.DeadlineExceeded.
+func TestCancelDeadline(t *testing.T) {
+	p := cancelProblem(30)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res, err := MinPowerCtx(ctx, p, Options{Restarts: 1 << 20})
+	if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("(res=%v, err=%v), want nil result and context.DeadlineExceeded", res, err)
+	}
+}
+
+// TestCancelBackgroundUnaffected: the context-free entry points still
+// produce the deterministic result (the Background context's Done
+// channel is nil, so the polls never fire).
+func TestCancelBackgroundUnaffected(t *testing.T) {
+	p := cancelProblem(20)
+	r1, err := MinPower(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MinPowerCtx(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Finish() != r2.Finish() || r1.EnergyCost() != r2.EnergyCost() {
+		t.Fatalf("ctx and ctx-free runs differ: finish %d vs %d, cost %g vs %g",
+			r1.Finish(), r2.Finish(), r1.EnergyCost(), r2.EnergyCost())
+	}
+}

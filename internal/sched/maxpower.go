@@ -32,6 +32,9 @@ func (st *state) maxPower() (schedule.Schedule, error) {
 	st.syncProfile(sigma)
 
 	for round := 0; ; round++ {
+		if err := st.pollCancel(); err != nil {
+			return schedule.Schedule{}, err
+		}
 		if round > st.opts.MaxSpikeRounds {
 			return schedule.Schedule{}, fmt.Errorf("sched: spike elimination exceeded %d rounds", st.opts.MaxSpikeRounds)
 		}
@@ -63,6 +66,9 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 
 	skipped := make(map[int]bool) // tasks whose delay proved infeasible at this spike
 	for iter := 0; st.prof(sigma).At(t) > pmax; iter++ {
+		if err := st.pollCancel(); err != nil {
+			return schedule.Schedule{}, err
+		}
 		if iter > st.opts.MaxSpikeRounds {
 			return schedule.Schedule{}, fmt.Errorf("sched: spike at t=%d did not converge after %d delays", t, iter)
 		}

@@ -16,10 +16,15 @@ const utilEps = 1e-9
 // whole process runs once per heuristic combination (scan order x slot
 // choice, section 5.3) and the best schedule wins. Since the min power
 // constraint is soft, remaining gaps are tolerated.
-func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
+//
+// Cancellation aborts the stage with the context's error rather than
+// returning the best-so-far schedule: min-power is best-effort, but a
+// partially optimized result must never masquerade as the
+// deterministic full-pipeline outcome (callers cache by content key).
+func (st *state) minPower(sigma schedule.Schedule) (schedule.Schedule, error) {
 	pmin := st.c.Prob.Pmin
 	if pmin <= 0 {
-		return sigma
+		return sigma, nil
 	}
 	// The graph may have been rebuilt (compaction) and the schedule
 	// re-derived since the last stage: re-sync the incremental core.
@@ -28,7 +33,7 @@ func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
 	best := sigma.Clone()
 	bestU := st.prof(sigma).Utilization(pmin)
 	if bestU >= 1 {
-		return best
+		return best, nil
 	}
 
 	base := st.g.Mark()
@@ -38,6 +43,9 @@ func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
 			st.syncProfile(sigma)
 			st.dirtySlackAll()
 			got := st.minPowerCombo(sigma.Clone(), order, slot)
+			if st.ctxErr != nil {
+				return schedule.Schedule{}, st.ctxErr
+			}
 			if u := st.prof(got).Utilization(pmin); u > bestU+utilEps {
 				best, bestU = got.Clone(), u
 			}
@@ -53,13 +61,16 @@ func (st *state) minPower(sigma schedule.Schedule) schedule.Schedule {
 	for v := range best.Start {
 		st.lock(v, best.Start[v])
 	}
-	return best
+	return best, nil
 }
 
 // minPowerCombo runs repeated improvement scans under one heuristic
 // combination until a scan makes no progress or utilization reaches 1.
 func (st *state) minPowerCombo(sigma schedule.Schedule, order ScanOrder, slot SlotChoice) schedule.Schedule {
 	for scan := 0; scan < st.opts.MaxScans; scan++ {
+		if st.pollCancel() != nil {
+			return sigma
+		}
 		st.st.Scans++
 		next, improved := st.scanOnce(sigma, order, slot)
 		sigma = next
@@ -98,6 +109,9 @@ func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotCho
 
 	improved := false
 	for _, t := range times {
+		if st.pollCancel() != nil {
+			return sigma, false
+		}
 		// Earlier moves may have already filled (or shifted) this gap.
 		if st.prof(sigma).At(t) >= pmin {
 			continue
@@ -135,6 +149,9 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 	}
 
 	for _, v := range st.gapCandidates(sigma, t) {
+		if st.pollCancel() != nil {
+			return sigma, false
+		}
 		d := prob.Tasks[v].Delay
 		sl := st.slackOf(sigma, v)
 		// Latest start keeping the task active at t, clipped by slack.

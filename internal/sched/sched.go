@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -198,27 +199,53 @@ const (
 // Timing runs only the timing scheduler, returning a time-valid
 // schedule that ignores power constraints (paper Fig. 3).
 func Timing(p *model.Problem, opts Options) (*Result, error) {
-	return runPipeline(p, opts, stageTiming)
+	return runPipeline(context.Background(), p, opts, stageTiming)
+}
+
+// TimingCtx is Timing under a context: the search aborts with the
+// context's error (within one cancellation-check interval) when ctx is
+// canceled or its deadline passes.
+func TimingCtx(ctx context.Context, p *model.Problem, opts Options) (*Result, error) {
+	return runPipeline(ctx, p, opts, stageTiming)
 }
 
 // MaxPower runs the timing scheduler followed by max-power spike
 // elimination, returning a valid schedule (paper Fig. 4).
 func MaxPower(p *model.Problem, opts Options) (*Result, error) {
-	return runPipeline(p, opts, stageMaxPower)
+	return runPipeline(context.Background(), p, opts, stageMaxPower)
+}
+
+// MaxPowerCtx is MaxPower under a context (see TimingCtx).
+func MaxPowerCtx(ctx context.Context, p *model.Problem, opts Options) (*Result, error) {
+	return runPipeline(ctx, p, opts, stageMaxPower)
 }
 
 // MinPower runs the full pipeline: timing, max-power, then best-effort
 // min-power gap filling (paper Fig. 6). This is the power-aware
 // scheduler's main entry point.
 func MinPower(p *model.Problem, opts Options) (*Result, error) {
-	return runPipeline(p, opts, stageMinPower)
+	return runPipeline(context.Background(), p, opts, stageMinPower)
+}
+
+// MinPowerCtx is MinPower under a context (see TimingCtx). A canceled
+// run never returns a partial schedule: the result is the context's
+// error, so callers cannot mistake a half-optimized schedule for the
+// deterministic full-pipeline outcome.
+func MinPowerCtx(ctx context.Context, p *model.Problem, opts Options) (*Result, error) {
+	return runPipeline(ctx, p, opts, stageMinPower)
 }
 
 // runPipeline executes the pipeline up to the requested stage, once per
 // restart, and keeps the best successful outcome: shortest finish time
 // first, then lowest energy cost. A restart that fails is skipped; the
-// call fails only when every restart does.
-func runPipeline(p *model.Problem, opts Options, upTo stage) (*Result, error) {
+// call fails only when every restart does. Cancellation aborts the
+// whole call, even when earlier restarts already produced a result:
+// the best-of-fewer-restarts schedule differs from the deterministic
+// full run, and serving it would poison content-addressed caches.
+func runPipeline(ctx context.Context, p *model.Problem, opts Options, upTo stage) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sched: pipeline aborted: %w", err)
+	}
 	restarts := opts.Restarts
 	if restarts < 1 {
 		restarts = 1
@@ -226,13 +253,19 @@ func runPipeline(p *model.Problem, opts Options, upTo stage) (*Result, error) {
 	var best *Result
 	var firstErr error
 	for r := 0; r < restarts; r++ {
-		st, err := newState(p, opts)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sched: pipeline aborted: %w", err)
+		}
+		st, err := newState(ctx, p, opts)
 		if err != nil {
 			return nil, err // structural problem error: no restart helps
 		}
 		st.perturb(r)
 		res, err := st.runTo(upTo)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -270,7 +303,7 @@ func (st *state) runTo(upTo stage) (*Result, error) {
 			if st.opts.Compact {
 				sigma = st.compact(sigma)
 			}
-			sigma = st.minPower(sigma)
+			sigma, err = st.minPower(sigma)
 		}
 	}
 	if err != nil {
@@ -282,6 +315,18 @@ func (st *state) runTo(upTo stage) (*Result, error) {
 // Run is an alias for MinPower, the complete power-aware scheduler.
 func Run(p *model.Problem, opts Options) (*Result, error) { return MinPower(p, opts) }
 
+// RunCtx is an alias for MinPowerCtx.
+func RunCtx(ctx context.Context, p *model.Problem, opts Options) (*Result, error) {
+	return MinPowerCtx(ctx, p, opts)
+}
+
+// cancelCheckEvery is how many heuristic steps pass between
+// cooperative cancellation polls. Each step costs one counter
+// increment; only every cancelCheckEvery-th step pays for a channel
+// select, so the hot loops stay benchmark-neutral while a canceled
+// pipeline still stops within one interval of heuristic work.
+const cancelCheckEvery = 1024
+
 // state is the mutable working context shared by the three stages.
 type state struct {
 	c    *schedule.Compiled
@@ -290,6 +335,13 @@ type state struct {
 	rng  *rand.Rand
 	st   Stats
 	prio []int // candidate tie-break priority (identity unless perturbed)
+
+	// ctx is the pipeline's cancellation context; ops counts heuristic
+	// steps between polls and ctxErr latches the first observed
+	// cancellation so every loop unwinds promptly afterwards.
+	ctx    context.Context
+	ops    int
+	ctxErr error
 
 	// timingMark and structEdges snapshot the graph at the end of the
 	// timing stage (base constraints + serialization edges); the
@@ -310,7 +362,7 @@ type state struct {
 	touch    []int // reusable buffer for the relax touched set
 }
 
-func newState(p *model.Problem, opts Options) (*state, error) {
+func newState(ctx context.Context, p *model.Problem, opts Options) (*state, error) {
 	c, err := schedule.Compile(p)
 	if err != nil {
 		return nil, err
@@ -321,6 +373,7 @@ func newState(p *model.Problem, opts Options) (*state, error) {
 		g:    c.Base.Clone(),
 		opts: opts,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
+		ctx:  ctx,
 	}
 	st.prio = make([]int, c.NumTasks())
 	for i := range st.prio {
@@ -490,6 +543,28 @@ func (st *state) dirtySlack(w int) {
 func (st *state) dirtySlackAll() {
 	for i := range st.slackOK {
 		st.slackOK[i] = false
+	}
+}
+
+// pollCancel is the cooperative cancellation point of every heuristic
+// loop: it counts one step, polls the context every cancelCheckEvery
+// steps, and returns (and latches) the context's error once observed.
+// A latched error makes every subsequent call return immediately, so
+// the timing search's recursion unwinds without re-polling.
+func (st *state) pollCancel() error {
+	if st.ctxErr != nil {
+		return st.ctxErr
+	}
+	st.ops++
+	if st.ops%cancelCheckEvery != 0 {
+		return nil
+	}
+	select {
+	case <-st.ctx.Done():
+		st.ctxErr = fmt.Errorf("sched: pipeline aborted: %w", st.ctx.Err())
+		return st.ctxErr
+	default:
+		return nil
 	}
 }
 

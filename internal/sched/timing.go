@@ -42,6 +42,12 @@ func (st *state) timing() (schedule.Schedule, error) {
 			return true
 		}
 		for _, c := range st.candidates(visited, dist) {
+			// Cooperative cancellation: once the poll latches an error
+			// every recursion level bails on its next candidate, so the
+			// whole search unwinds within one check interval.
+			if st.pollCancel() != nil {
+				return false
+			}
 			cp := st.g.Mark()
 			res := st.c.Prob.Tasks[c].Resource
 			d := st.c.Prob.Tasks[c].Delay
@@ -95,6 +101,9 @@ func (st *state) timing() (schedule.Schedule, error) {
 	}
 
 	if !visit(0) {
+		if st.ctxErr != nil {
+			return schedule.Schedule{}, st.ctxErr
+		}
 		if st.st.Backtracks > budget {
 			return schedule.Schedule{}, fmt.Errorf("sched: timing search exceeded %d backtracks", budget)
 		}

@@ -1,0 +1,18 @@
+package service
+
+import "errors"
+
+// ErrOverloaded reports that admission control shed the request: every
+// compute worker was busy and the bounded wait queue was full. The
+// request did no scheduling work; callers should back off and retry
+// (the web layer maps this to 429 with a Retry-After header). Detect
+// it with errors.Is.
+var ErrOverloaded = errors.New("service: overloaded, retry later")
+
+// ErrInternal reports that a pipeline compute panicked. The panic is
+// contained at the service boundary: the process keeps serving, the
+// stack is captured into the metrics (never into responses), and every
+// waiter of the crashed flight receives an error wrapping ErrInternal.
+// Crashed computes are never cached, so a follow-up request retries
+// from scratch. Detect it with errors.Is.
+var ErrInternal = errors.New("service: internal error")

@@ -1,7 +1,10 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"expvar"
+	"fmt"
 	"sync"
 )
 
@@ -16,8 +19,45 @@ type metrics struct {
 	evictions expvar.Int // LRU evictions
 	inflight  expvar.Int // currently computing flights (gauge)
 
-	mu      sync.Mutex
-	compute map[string]*expvar.Int // compute nanoseconds per stage bucket
+	// Failure-mode counters, per request: canceled requests, requests
+	// whose deadline passed (before or during compute), requests shed
+	// by admission control, and computes that panicked.
+	canceled         expvar.Int
+	deadlineExceeded expvar.Int
+	shed             expvar.Int
+	panics           expvar.Int
+
+	mu        sync.Mutex
+	compute   map[string]*expvar.Int // compute nanoseconds per stage bucket
+	lastPanic string                 // last contained panic: value + stack (metrics only, never responses)
+}
+
+// countCtxErr buckets a request-terminating context error.
+func (m *metrics) countCtxErr(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		m.deadlineExceeded.Add(1)
+	case errors.Is(err, context.Canceled):
+		m.canceled.Add(1)
+	}
+}
+
+// recordPanic counts a contained compute panic and captures its value
+// and stack for /debug/vars. The stack stays in the metrics — the
+// error surfaced to callers wraps ErrInternal without it.
+func (m *metrics) recordPanic(v any, stack []byte) {
+	m.panics.Add(1)
+	m.mu.Lock()
+	m.lastPanic = fmt.Sprintf("%v\n%s", v, stack)
+	m.mu.Unlock()
+}
+
+// lastPanicSnapshot returns the captured stack of the most recent
+// contained panic ("" when none).
+func (m *metrics) lastPanicSnapshot() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastPanic
 }
 
 // computeNS returns the compute-time counter for a stage bucket
@@ -56,6 +96,15 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	Inflight  int64 `json:"inflight"`
 	Entries   int   `json:"entries"`
+	// Canceled and DeadlineExceeded count requests terminated by their
+	// context; Shed counts requests rejected by admission control;
+	// Panics counts computes contained at the panic boundary. Queued is
+	// the number of requests currently waiting for a compute slot.
+	Canceled         int64 `json:"canceled"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Shed             int64 `json:"shed"`
+	Panics           int64 `json:"panics"`
+	Queued           int   `json:"queued"`
 	// ComputeNS is the cumulative compute time per stage bucket in
 	// nanoseconds.
 	ComputeNS map[string]int64 `json:"compute_ns"`
@@ -65,22 +114,30 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	entries := s.cache.len()
+	queued := s.queued
 	s.mu.Unlock()
 	return Stats{
-		Hits:      s.met.hits.Value(),
-		Misses:    s.met.misses.Value(),
-		Joins:     s.met.joins.Value(),
-		Evictions: s.met.evictions.Value(),
-		Inflight:  s.met.inflight.Value(),
-		Entries:   entries,
-		ComputeNS: s.met.computeSnapshot(),
+		Hits:             s.met.hits.Value(),
+		Misses:           s.met.misses.Value(),
+		Joins:            s.met.joins.Value(),
+		Evictions:        s.met.evictions.Value(),
+		Inflight:         s.met.inflight.Value(),
+		Entries:          entries,
+		Canceled:         s.met.canceled.Value(),
+		DeadlineExceeded: s.met.deadlineExceeded.Value(),
+		Shed:             s.met.shed.Value(),
+		Panics:           s.met.panics.Value(),
+		Queued:           queued,
+		ComputeNS:        s.met.computeSnapshot(),
 	}
 }
 
 // Vars assembles the live metrics into an expvar.Map. The map shares
 // the underlying counters, so a single Vars call wired into an expvar
 // page stays current. Metric names: hits, misses, joins, evictions,
-// inflight, cache_entries, and compute_ns_<stage> per stage bucket.
+// inflight, canceled, deadline_exceeded, shed, panics, queued,
+// last_panic (the contained stack, metrics-only), cache_entries, and
+// compute_ns_<stage> per stage bucket.
 func (s *Service) Vars() *expvar.Map {
 	m := new(expvar.Map)
 	m.Set("hits", &s.met.hits)
@@ -88,6 +145,18 @@ func (s *Service) Vars() *expvar.Map {
 	m.Set("joins", &s.met.joins)
 	m.Set("evictions", &s.met.evictions)
 	m.Set("inflight", &s.met.inflight)
+	m.Set("canceled", &s.met.canceled)
+	m.Set("deadline_exceeded", &s.met.deadlineExceeded)
+	m.Set("shed", &s.met.shed)
+	m.Set("panics", &s.met.panics)
+	m.Set("queued", expvar.Func(func() any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued
+	}))
+	m.Set("last_panic", expvar.Func(func() any {
+		return s.met.lastPanicSnapshot()
+	}))
 	m.Set("cache_entries", expvar.Func(func() any {
 		s.mu.Lock()
 		defer s.mu.Unlock()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -29,8 +30,22 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 // Go runs fn on the pool, blocking until a worker slot is free. The
 // returned function blocks until fn completes (a per-task join).
 func (p *Pool) Go(fn func()) (wait func()) {
+	wait, _ = p.GoCtx(context.Background(), fn)
+	return wait
+}
+
+// GoCtx is Go under a context: it submits fn only if a worker slot
+// frees up before ctx is done, returning the context's error (and a
+// nil wait function) otherwise. A submitted fn always runs to
+// completion — cancellation gates submission, not execution — so no
+// goroutine is ever leaked blocked on the pool.
+func (p *Pool) GoCtx(ctx context.Context, fn func()) (wait func(), err error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	done := make(chan struct{})
-	p.sem <- struct{}{}
 	go func() {
 		defer func() {
 			<-p.sem
@@ -38,18 +53,36 @@ func (p *Pool) Go(fn func()) (wait func()) {
 		}()
 		fn()
 	}()
-	return func() { <-done }
+	return func() { <-done }, nil
 }
 
 // ForEach runs fn(0) .. fn(n-1) on the pool and blocks until all
 // complete. Iterations may run in any order but at most Workers() at
 // once.
 func (p *Pool) ForEach(n int, fn func(int)) {
+	p.ForEachCtx(context.Background(), n, fn) //nolint:errcheck // Background never errs
+}
+
+// ForEachCtx is ForEach under a context: once ctx is done no further
+// iterations are submitted, already-running iterations finish (their
+// fn should watch the same ctx if it can run long), and the call
+// returns the context's error after every submitted iteration has
+// completed. Iterations that were never submitted are reported only
+// through that error — fn is simply not called for them.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(int)) error {
 	var wg sync.WaitGroup
-	wg.Add(n)
+	var err error
 	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+		wg.Add(1)
 		i := i
-		p.sem <- struct{}{}
 		go func() {
 			defer func() {
 				<-p.sem
@@ -59,4 +92,5 @@ func (p *Pool) ForEach(n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return err
 }

@@ -1,9 +1,12 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolForEachRunsAll(t *testing.T) {
@@ -57,4 +60,46 @@ func TestPoolGoWait(t *testing.T) {
 	}
 	// ForEach(0, ...) must not deadlock or run anything.
 	p.ForEach(0, func(int) { t.Error("ForEach(0) ran an iteration") })
+}
+
+func TestPoolGoCtxRejectsWhenCanceled(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	wait, err := p.GoCtx(context.Background(), func() {
+		close(started)
+		<-release
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if w, err := p.GoCtx(ctx, func() { t.Error("fn ran despite canceled ctx") }); w != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("GoCtx on full pool with canceled ctx: wait=%t err=%v", w != nil, err)
+	}
+	close(release)
+	wait()
+}
+
+func TestPoolForEachCtxStopsSubmitting(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	const n = 1000
+	err := p.ForEachCtx(ctx, n, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// With one worker and cancellation on the 3rd iteration, nowhere
+	// near all n iterations may run; submitted ones ran to completion.
+	if got := ran.Load(); got >= n/2 {
+		t.Errorf("ran %d iterations despite cancellation", got)
+	}
 }

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// blockingMemo starts a compute on svc that parks until release is
+// closed, and returns once the compute is definitely holding its
+// worker slot.
+func blockingMemo(t *testing.T, svc *Service, key string, release <-chan struct{}) (done <-chan error) {
+	t.Helper()
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := svc.MemoCtx(context.Background(), key, func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return key, nil
+		})
+		errc <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute never started")
+	}
+	return errc
+}
+
+// TestOverloadShedsImmediately: with one worker busy and no wait queue,
+// a second distinct request is rejected with ErrOverloaded without
+// blocking, and the shed counter moves.
+func TestOverloadShedsImmediately(t *testing.T) {
+	svc := New(Config{Workers: 1, MaxQueue: -1})
+	release := make(chan struct{})
+	done := blockingMemo(t, svc, "slow", release)
+
+	_, err := svc.ScheduleCtx(context.Background(), twoTask(0), sched.Options{}, StageTiming)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if st := svc.Stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked compute failed: %v", err)
+	}
+	// With the worker free again the identical request now succeeds.
+	if _, err := svc.ScheduleCtx(context.Background(), twoTask(0), sched.Options{}, StageTiming); err != nil {
+		t.Fatalf("post-overload retry failed: %v", err)
+	}
+}
+
+// TestBoundedQueueAdmitsThenSheds: one slot in the queue lets exactly
+// one extra request wait; the next one sheds.
+func TestBoundedQueueAdmitsThenSheds(t *testing.T) {
+	svc := New(Config{Workers: 1, MaxQueue: 1})
+	release := make(chan struct{})
+	done := blockingMemo(t, svc, "slow", release)
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := svc.MemoCtx(context.Background(), "queued", func(context.Context) (any, error) { return 1, nil })
+		queuedErr <- err
+	}()
+	// Wait for the second request to occupy the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := svc.MemoCtx(context.Background(), "third", func(context.Context) (any, error) { return 2, nil }); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third request: err = %v, want ErrOverloaded", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+	if st := svc.Stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestDefaultTimeoutBudget: a caller without a deadline inherits the
+// service's default budget and gets DeadlineExceeded when the compute
+// outlives it; the abandoned compute's context is canceled.
+func TestDefaultTimeoutBudget(t *testing.T) {
+	svc := New(Config{DefaultTimeout: 20 * time.Millisecond})
+	computeCanceled := make(chan struct{})
+	start := time.Now()
+	_, err := svc.MemoCtx(context.Background(), "slow", func(cctx context.Context) (any, error) {
+		<-cctx.Done()
+		close(computeCanceled)
+		return nil, cctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	select {
+	case <-computeCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned compute was never canceled")
+	}
+	if st := svc.Stats(); st.DeadlineExceeded != 1 {
+		t.Errorf("deadline_exceeded = %d, want 1", st.DeadlineExceeded)
+	}
+}
+
+// TestPanicContainment: a panicking compute yields ErrInternal (with
+// the panic value in the message), counts in the panics metric with a
+// captured stack, is never cached, and leaves the service serving.
+func TestPanicContainment(t *testing.T) {
+	svc := New(Config{})
+	_, err := svc.Memo("boom", func() (any, error) { panic("kaboom") })
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error %q does not name the panic value", err)
+	}
+	st := svc.Stats()
+	if st.Panics != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 panic and nothing cached", st)
+	}
+	if stack := svc.Vars().Get("last_panic").String(); !strings.Contains(stack, "kaboom") {
+		t.Errorf("last_panic does not carry the stack: %q", stack)
+	}
+	// Same key afterwards: the crash was not cached, the retry runs.
+	v, err := svc.Memo("boom", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry after panic = %v, %v", v, err)
+	}
+}
+
+// TestSingleflightSharedCancelSemantics: one caller abandoning a
+// shared flight gets its own context error immediately while the other
+// caller still receives the computed value; the compute runs once.
+func TestSingleflightSharedCancelSemantics(t *testing.T) {
+	svc := New(Config{})
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	bg := make(chan error, 1)
+	var bgVal atomic.Value
+	go func() {
+		v, err := svc.MemoCtx(context.Background(), "shared", func(context.Context) (any, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return "value", nil
+		})
+		if v != nil {
+			bgVal.Store(v)
+		}
+		bg <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	joined := make(chan error, 1)
+	go func() {
+		_, err := svc.MemoCtx(ctx, "shared", func(context.Context) (any, error) {
+			computes.Add(1)
+			return "second-compute", nil
+		})
+		joined <- err
+	}()
+	// Wait for the join to register, then abandon it.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Joins == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-joined; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller: err = %v, want Canceled", err)
+	}
+	// The shared compute must not have been disturbed.
+	close(release)
+	if err := <-bg; err != nil {
+		t.Fatalf("remaining caller: %v", err)
+	}
+	if v := bgVal.Load(); v != "value" {
+		t.Fatalf("remaining caller got %v, want the shared value", v)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1", n)
+	}
+	if st := svc.Stats(); st.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestLastWaiterCancelsAndNothingIsCached: when the only caller leaves,
+// the compute's context is canceled, its (aborted) outcome is not
+// cached, and an identical follow-up request computes fresh.
+func TestLastWaiterCancelsAndNothingIsCached(t *testing.T) {
+	svc := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	observed := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := svc.MemoCtx(ctx, "solo", func(cctx context.Context) (any, error) {
+			cancel() // the only waiter leaves mid-compute
+			<-cctx.Done()
+			close(observed)
+			return "stale-partial", nil // completes anyway — must not be cached
+		})
+		errc <- err
+	}()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context was not canceled by the last waiter leaving")
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Entries != 0 {
+		t.Fatalf("canceled compute was cached: %+v", st)
+	}
+	v, err := svc.MemoCtx(context.Background(), "solo", func(context.Context) (any, error) { return "fresh", nil })
+	if err != nil || v != "fresh" {
+		t.Fatalf("follow-up = %v, %v; want fresh compute", v, err)
+	}
+}
+
+// TestDrain: Drain times out while a compute is in flight and returns
+// promptly once it finishes.
+func TestDrain(t *testing.T) {
+	svc := New(Config{})
+	release := make(chan struct{})
+	done := blockingMemo(t, svc, "slow", release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := svc.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with busy compute = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after completion = %v", err)
+	}
+}
+
+// TestScheduleBatchCtxCancellation: a canceled batch marks unsubmitted
+// entries with the context's error instead of hanging or leaking.
+func TestScheduleBatchCtxCancellation(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{Problem: twoTask(i), Stage: StageTiming}
+	}
+	resps := svc.ScheduleBatchCtx(ctx, reqs)
+	for i, r := range resps {
+		if r.Err == nil && r.Result == nil {
+			t.Errorf("entry %d has neither result nor error", i)
+		}
+	}
+}

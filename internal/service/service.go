@@ -13,19 +13,40 @@
 //     compute once and share the result; and
 //   - a bounded worker pool for batch submission (sweeps, grids).
 //
+// On top of the cache the service is the system's resilience boundary:
+//
+//   - every request carries a context.Context threaded into the sched
+//     pipeline's cooperative cancellation checks, with an optional
+//     default deadline budget (Config.DefaultTimeout);
+//   - computes run on a bounded set of worker slots behind a bounded
+//     wait queue; when both are full the request is shed immediately
+//     with ErrOverloaded instead of queueing without bound;
+//   - a panic anywhere in the pipeline is contained here and converted
+//     into an error wrapping ErrInternal (stack captured into metrics,
+//     process keeps serving); and
+//   - cancellation is singleflight-aware: a waiter that leaves a
+//     shared flight does not disturb the others, and only when the
+//     last waiter leaves is the underlying compute canceled. Canceled
+//     and crashed computes are never cached.
+//
 // Everything observable is counted in expvar-backed metrics (hits,
-// misses, singleflight joins, evictions, inflight computes, and
-// compute nanoseconds per pipeline stage), exportable at /debug/vars
-// and as a /stats JSON snapshot.
+// misses, singleflight joins, evictions, inflight computes, canceled /
+// deadline-exceeded / shed / panicked requests, and compute
+// nanoseconds per pipeline stage), exportable at /debug/vars and as a
+// /stats JSON snapshot.
 //
 // Cached *sched.Result values are shared between callers and must be
 // treated as immutable.
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -76,8 +97,17 @@ type Config struct {
 	// CacheSize bounds the number of cached results (default 1024).
 	// Negative disables caching (singleflight still applies).
 	CacheSize int
-	// Workers bounds the batch worker pool (default GOMAXPROCS).
+	// Workers bounds both the batch worker pool and the number of
+	// concurrently running computes (default GOMAXPROCS).
 	Workers int
+	// MaxQueue bounds how many compute requests may wait for a free
+	// worker slot before further ones are shed with ErrOverloaded
+	// (default 8x Workers; negative disables waiting entirely, so any
+	// request arriving while every worker is busy is shed).
+	MaxQueue int
+	// DefaultTimeout is the per-request compute budget applied when
+	// the caller's context carries no deadline of its own (0 = none).
+	DefaultTimeout time.Duration
 }
 
 // Service fronts the scheduling pipeline with a content-addressed
@@ -89,13 +119,27 @@ type Service struct {
 	inflight map[string]*call
 	pool     *Pool
 	met      metrics
+
+	// slots bounds concurrently running computes; queued counts
+	// requests waiting for a slot (guarded by mu, bounded by
+	// maxQueue). wg tracks live compute goroutines for Drain.
+	slots          chan struct{}
+	queued         int
+	maxQueue       int
+	defaultTimeout time.Duration
+	wg             sync.WaitGroup
 }
 
-// call is one in-flight computation; waiters block on done.
+// call is one in-flight computation; waiters block on done. waiters is
+// the flight's refcount (guarded by Service.mu): every joiner
+// increments it, a waiter abandoning the flight decrements it, and the
+// last one to leave cancels the compute's context.
 type call struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
 }
 
 // New creates a Service.
@@ -109,9 +153,18 @@ func New(cfg Config) *Service {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 8 * cfg.Workers
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
 	s := &Service{
-		inflight: make(map[string]*call),
-		pool:     NewPool(cfg.Workers),
+		inflight:       make(map[string]*call),
+		pool:           NewPool(cfg.Workers),
+		slots:          make(chan struct{}, cfg.Workers),
+		maxQueue:       cfg.MaxQueue,
+		defaultTimeout: cfg.DefaultTimeout,
 	}
 	s.cache = newLRU(cfg.CacheSize, &s.met.evictions)
 	return s
@@ -148,15 +201,27 @@ func Key(p *model.Problem, opts sched.Options, stage Stage) string {
 // The problem is cloned before computing, so later caller-side
 // mutation of p cannot corrupt cached results.
 func (s *Service) Schedule(p *model.Problem, opts sched.Options, stage Stage) (*sched.Result, error) {
-	v, err := s.do(Key(p, opts, stage), stage.String(), func() (any, error) {
+	return s.ScheduleCtx(context.Background(), p, opts, stage)
+}
+
+// ScheduleCtx is Schedule under a context. Cache hits and singleflight
+// joins are unaffected by load; a request that must compute is subject
+// to admission control (ErrOverloaded when every worker is busy and
+// the wait queue is full), the default deadline budget, and
+// cooperative cancellation inside the pipeline. A caller abandoning a
+// shared flight gets its context's error immediately; the flight keeps
+// computing for the remaining waiters and is canceled only when the
+// last one leaves.
+func (s *Service) ScheduleCtx(ctx context.Context, p *model.Problem, opts sched.Options, stage Stage) (*sched.Result, error) {
+	v, err := s.do(ctx, Key(p, opts, stage), stage.String(), func(cctx context.Context) (any, error) {
 		q := p.Clone()
 		switch stage {
 		case StageTiming:
-			return sched.Timing(q, opts)
+			return sched.TimingCtx(cctx, q, opts)
 		case StageMaxPower:
-			return sched.MaxPower(q, opts)
+			return sched.MaxPowerCtx(cctx, q, opts)
 		case StageMinPower:
-			return sched.MinPower(q, opts)
+			return sched.MinPowerCtx(cctx, q, opts)
 		}
 		return nil, fmt.Errorf("service: unknown stage %d", int(stage))
 	})
@@ -173,13 +238,89 @@ func (s *Service) Schedule(p *model.Problem, opts sched.Options, stage Stage) (*
 // pipeline run — e.g. the mission policies' per-condition iteration
 // summaries. Keys are namespaced apart from Schedule's internally.
 func (s *Service) Memo(key string, fn func() (any, error)) (any, error) {
-	return s.do("memo:"+key, "memo", fn)
+	return s.MemoCtx(context.Background(), key, func(context.Context) (any, error) { return fn() })
 }
 
-// do is the shared cache + singleflight core. Errors are returned to
-// every waiter of the computing flight but are not cached: a later
-// request retries.
-func (s *Service) do(key, bucket string, fn func() (any, error)) (any, error) {
+// MemoCtx is Memo under a context: fn receives the flight's compute
+// context (detached from any single caller, canceled when the last
+// waiter leaves) and should poll it if it runs long.
+func (s *Service) MemoCtx(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	return s.do(ctx, "memo:"+key, "memo", fn)
+}
+
+// testHook is the chaos-test injection point: when set, every compute
+// invokes it with the request's cache key, inside the panic-containment
+// boundary and before the pipeline runs. Tests inject latency (to hold
+// worker slots) and panics (to exercise containment) through it.
+var testHook atomic.Pointer[func(string)]
+
+// TestingSetComputeHook installs fn as the compute-entry hook and
+// returns a function restoring the previous hook. It exists so chaos
+// tests (including internal/web's) can simulate slow and crashing
+// pipelines; production code must never call it.
+func TestingSetComputeHook(fn func(key string)) (restore func()) {
+	var p *func(string)
+	if fn != nil {
+		p = &fn
+	}
+	prev := testHook.Swap(p)
+	return func() { testHook.Store(prev) }
+}
+
+// withBudget applies the service's default deadline to contexts that
+// do not already carry one.
+func (s *Service) withBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.defaultTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.defaultTimeout)
+}
+
+// acquireCompute reserves a compute worker slot. The fast path takes a
+// free slot immediately; otherwise the request waits in a queue
+// bounded by Config.MaxQueue. A full queue sheds the request with
+// ErrOverloaded; a context expiring in the queue returns its error.
+// The slot is released by the compute goroutine when it finishes.
+func (s *Service) acquireCompute(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	s.mu.Lock()
+	if s.queued >= s.maxQueue {
+		s.met.shed.Add(1)
+		s.mu.Unlock()
+		return ErrOverloaded
+	}
+	s.queued++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do is the shared cache + singleflight + admission core. Errors are
+// returned to every waiter of the computing flight but are never
+// cached: a later identical request retries from scratch.
+func (s *Service) do(ctx context.Context, key, bucket string, fn func(context.Context) (any, error)) (any, error) {
+	ctx, release := s.withBudget(ctx)
+	defer release()
+	if err := ctx.Err(); err != nil {
+		s.met.countCtxErr(err)
+		return nil, err
+	}
 	s.mu.Lock()
 	if v, ok := s.cache.get(key); ok {
 		s.met.hits.Add(1)
@@ -188,30 +329,135 @@ func (s *Service) do(key, bucket string, fn func() (any, error)) (any, error) {
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.met.joins.Add(1)
+		c.waiters++
 		s.mu.Unlock()
-		<-c.done
-		return c.val, c.err
+		return s.wait(ctx, key, c)
 	}
-	c := &call{done: make(chan struct{})}
+	s.mu.Unlock()
+
+	// No cached value and no flight to join: this request must
+	// compute, so it passes admission control before becoming a flight
+	// owner. Shedding happens here, before anyone can join, so joined
+	// waiters never inherit another caller's overload rejection.
+	if err := s.acquireCompute(ctx); err != nil {
+		if !errors.Is(err, ErrOverloaded) {
+			s.met.countCtxErr(err)
+		}
+		return nil, err
+	}
+	s.mu.Lock()
+	// Re-check: the cache or another flight may have filled in while
+	// this request waited for its slot.
+	if v, ok := s.cache.get(key); ok {
+		s.met.hits.Add(1)
+		s.mu.Unlock()
+		<-s.slots
+		return v, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.met.joins.Add(1)
+		c.waiters++
+		s.mu.Unlock()
+		<-s.slots
+		return s.wait(ctx, key, c)
+	}
+	// The compute context is detached from this caller's cancellation
+	// (other waiters may join the flight) but is canceled by the last
+	// waiter to leave, so an abandoned compute stops within one of the
+	// pipeline's cancellation-check intervals.
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &call{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	s.inflight[key] = c
 	s.met.misses.Add(1)
 	s.met.inflight.Add(1)
+	s.wg.Add(1)
 	s.mu.Unlock()
+	go s.compute(cctx, key, bucket, c, fn)
+	return s.wait(ctx, key, c)
+}
 
+// compute runs one flight on a reserved worker slot. Panics are
+// contained here: the stack goes into the metrics, the waiters get an
+// error wrapping ErrInternal, and the process keeps serving. Only a
+// compute that finished cleanly and was never canceled may populate
+// the cache.
+func (s *Service) compute(ctx context.Context, key, bucket string, c *call, fn func(context.Context) (any, error)) {
+	defer s.wg.Done()
+	defer func() { <-s.slots }()
 	start := time.Now()
-	c.val, c.err = fn()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.met.recordPanic(r, debug.Stack())
+				c.val, c.err = nil, fmt.Errorf("%w: compute panicked: %v", ErrInternal, r)
+			}
+		}()
+		if hook := testHook.Load(); hook != nil {
+			(*hook)(key)
+		}
+		c.val, c.err = fn(ctx)
+	}()
 	elapsed := time.Since(start)
 
 	s.mu.Lock()
-	delete(s.inflight, key)
+	if s.inflight[key] == c {
+		delete(s.inflight, key)
+	}
 	s.met.inflight.Add(-1)
 	s.met.computeNS(bucket).Add(int64(elapsed))
-	if c.err == nil {
+	// Never cache a canceled compute, even one that happened to finish
+	// between the cancellation and this check: only results every
+	// still-interested caller could have observed are cacheable.
+	if c.err == nil && ctx.Err() == nil {
 		s.cache.add(key, c.val)
 	}
 	s.mu.Unlock()
+	c.cancel()
 	close(c.done)
-	return c.val, c.err
+}
+
+// wait blocks until the flight completes or the caller's context is
+// done. A waiter that leaves early decrements the flight's refcount;
+// the last waiter to leave removes the flight from the dedup map (so
+// new requests start fresh instead of joining a dying compute) and
+// cancels the compute's context.
+func (s *Service) wait(ctx context.Context, key string, c *call) (any, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last && s.inflight[key] == c {
+			delete(s.inflight, key)
+		}
+		s.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		err := ctx.Err()
+		s.met.countCtxErr(err)
+		return nil, err
+	}
+}
+
+// Drain blocks until every in-flight compute goroutine has finished,
+// or until ctx is done. Graceful shutdown calls it after the HTTP
+// server stops accepting requests, so no pipeline work is abandoned
+// mid-flight by process exit.
+func (s *Service) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Request is one entry of a batch submission.
@@ -232,10 +478,29 @@ type Response struct {
 // (within the batch or across callers) are deduplicated by the cache
 // and singleflight exactly like sequential calls.
 func (s *Service) ScheduleBatch(reqs []Request) []Response {
+	return s.ScheduleBatchCtx(context.Background(), reqs)
+}
+
+// ScheduleBatchCtx is ScheduleBatch under a context: cancellation
+// stops further submission, aborts the in-flight entries through their
+// pipelines' cooperative checks, and marks every unevaluated entry
+// with the context's error. The batch pool fans out at most Workers
+// entries at once, each of which then takes a compute slot, so a batch
+// cannot trip its own service's admission control.
+func (s *Service) ScheduleBatchCtx(ctx context.Context, reqs []Request) []Response {
 	out := make([]Response, len(reqs))
-	s.pool.ForEach(len(reqs), func(i int) {
-		out[i].Result, out[i].Err = s.Schedule(reqs[i].Problem, reqs[i].Opts, reqs[i].Stage)
+	ran := make([]bool, len(reqs))
+	err := s.pool.ForEachCtx(ctx, len(reqs), func(i int) {
+		ran[i] = true
+		out[i].Result, out[i].Err = s.ScheduleCtx(ctx, reqs[i].Problem, reqs[i].Opts, reqs[i].Stage)
 	})
+	if err != nil {
+		for i := range out {
+			if !ran[i] {
+				out[i].Err = err
+			}
+		}
+	}
 	return out
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -97,6 +98,14 @@ func (s Summary) JSON() ([]byte, error) {
 
 // Run executes the campaign.
 func (c Campaign) Run() (Summary, error) {
+	return c.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context. A canceled campaign stops submitting
+// runs, lets in-flight runs abandon themselves at their next replanning
+// decision, and returns the context's error: a partial campaign would
+// silently skew every statistic, so there is no partial Summary.
+func (c Campaign) RunCtx(ctx context.Context) (Summary, error) {
 	if c.Runs <= 0 {
 		return Summary{}, fmt.Errorf("sim: campaign needs Runs > 0, got %d", c.Runs)
 	}
@@ -108,8 +117,8 @@ func (c Campaign) Run() (Summary, error) {
 		svc = service.Shared()
 	}
 	results := make([]RunResult, c.Runs)
-	svc.Pool().ForEach(c.Runs, func(i int) {
-		results[i] = Run(RunConfig{
+	err := svc.Pool().ForEachCtx(ctx, c.Runs, func(i int) {
+		results[i] = RunCtx(ctx, RunConfig{
 			Mission:        c.Mission,
 			Faults:         c.Faults,
 			Opts:           c.Opts,
@@ -119,7 +128,26 @@ func (c Campaign) Run() (Summary, error) {
 			OnContingency:  c.OnContingency,
 		})
 	})
+	if err == nil {
+		err = ctx.Err() // all runs submitted, but late cancellation abandoned some
+	}
+	for _, r := range results {
+		if r.Failure == FailCanceled {
+			err = cmpErr(err, ctx.Err())
+		}
+	}
+	if err != nil {
+		return Summary{}, fmt.Errorf("sim: campaign aborted: %w", err)
+	}
 	return summarize(c.Runs, c.Seed, results), nil
+}
+
+// cmpErr keeps the first non-nil error.
+func cmpErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
 }
 
 // summarize folds per-run results, in run order, into a Summary.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/exec"
@@ -29,6 +30,9 @@ const (
 	// FailRescheduleLimit: the run exceeded MaxReschedules — the
 	// thrash guard against pathological fault draws.
 	FailRescheduleLimit = "reschedule-limit"
+	// FailCanceled: the run's context was canceled mid-flight (the run
+	// is abandoned, not a verdict about the mission).
+	FailCanceled = "canceled"
 )
 
 // DefaultMaxReschedules bounds contingency replanning per run.
@@ -108,7 +112,7 @@ const pipelineSource = "minpower"
 // schedulable and verified, otherwise the best valid entry of a
 // runtime library built from the cheaper pipeline stages. Every
 // candidate checked is reported through cfg.OnContingency.
-func adopt(svc *service.Service, prob *model.Problem, cfg RunConfig, at model.Time) (schedule.Schedule, string, int, bool) {
+func adopt(ctx context.Context, svc *service.Service, prob *model.Problem, cfg RunConfig, at model.Time) (schedule.Schedule, string, int, bool) {
 	rejects := 0
 	check := func(s schedule.Schedule, source string) bool {
 		ok := verify.Check(prob, s).OK()
@@ -124,16 +128,18 @@ func adopt(svc *service.Service, prob *model.Problem, cfg RunConfig, at model.Ti
 		}
 		return ok
 	}
-	if r, err := svc.Schedule(prob, cfg.Opts, service.StageMinPower); err == nil {
+	if r, err := svc.ScheduleCtx(ctx, prob, cfg.Opts, service.StageMinPower); err == nil {
 		if check(r.Schedule, pipelineSource) {
 			return r.Schedule, pipelineSource, rejects, true
 		}
 	}
 	// Full pipeline infeasible (or rejected): fall back to runtime
-	// library selection over the cheaper stages.
+	// library selection over the cheaper stages. A canceled context
+	// makes these fail fast too; the caller detects cancellation
+	// itself rather than reading it as infeasibility.
 	var lib rtlib.Selector
 	for _, st := range []service.Stage{service.StageMaxPower, service.StageTiming} {
-		if r, err := svc.Schedule(prob, cfg.Opts, st); err == nil {
+		if r, err := svc.ScheduleCtx(ctx, prob, cfg.Opts, st); err == nil {
 			lib.Add(rtlib.NewEntry(st.String(), prob, r.Schedule))
 		}
 	}
@@ -161,6 +167,13 @@ func adopt(svc *service.Service, prob *model.Problem, cfg RunConfig, at model.Ti
 // faulted environment, and replan the residual problem at every
 // violation until the mission completes or is lost.
 func Run(cfg RunConfig) RunResult {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context. When ctx is done the run stops at the
+// next replanning decision and reports FailCanceled — an abandoned
+// run, not a mission verdict; campaign aggregation discards it.
+func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
 	res := RunResult{Seed: cfg.Seed}
 	svc := cfg.Svc
 	if svc == nil {
@@ -181,9 +194,13 @@ func Run(cfg RunConfig) RunResult {
 	p0 := m.Problem.Clone()
 	p0.Pmin = m.Phases[0].Cond.Solar
 	p0.Pmax = p0.Pmin + m.Battery.MaxPower
-	s0, source, rejects, ok := adopt(svc, p0, cfg, 0)
+	s0, source, rejects, ok := adopt(ctx, svc, p0, cfg, 0)
 	res.VerifyRejects += rejects
 	if !ok {
+		if ctx.Err() != nil {
+			res.Failure = FailCanceled
+			return res
+		}
 		res.Failure = FailUnschedulable
 		return res
 	}
@@ -224,6 +241,11 @@ func Run(cfg RunConfig) RunResult {
 	T := model.Time(0)
 	P, S := p0, s0
 	for {
+		if ctx.Err() != nil {
+			res.Failure = FailCanceled
+			res.Finish = T
+			return res
+		}
 		until := model.Time(-1)
 		tc, hasTC := timingConflict(P, faults.actual, S)
 		if hasTC {
@@ -272,6 +294,11 @@ func Run(cfg RunConfig) RunResult {
 		cur := T + stop
 		adopted := false
 		for !adopted {
+			if ctx.Err() != nil {
+				res.Failure = FailCanceled
+				res.Finish = cur
+				return res
+			}
 			q, drops := residualProblem(P, S, pending, cur-T, revealed)
 			q.Pmin = sup.PminAt(cur)
 			headroom := 0.0
@@ -282,7 +309,7 @@ func Run(cfg RunConfig) RunResult {
 			}
 			q.Pmax = q.Pmin + headroom
 			if q.Pmax > 0 { // Pmax == 0 means "unconstrained" to the model; never schedule into a blackout
-				s2, source, rejects, ok := adopt(svc, q, cfg, cur)
+				s2, source, rejects, ok := adopt(ctx, svc, q, cfg, cur)
 				res.VerifyRejects += rejects
 				if ok {
 					if source != pipelineSource {

@@ -1,0 +1,48 @@
+package web
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// recorded when the client abandoned the request before the scheduler
+// finished; the response itself almost never reaches anyone, but the
+// code keeps access logs honest about who terminated the exchange.
+const StatusClientClosedRequest = 499
+
+// writeJSONError emits the error contract shared by every endpoint: a
+// JSON body {"error": "..."} under the given status.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck // headers already sent
+}
+
+// writeScheduleError maps a scheduling-service failure onto the HTTP
+// contract:
+//
+//	ErrOverloaded    → 429 + Retry-After (admission control shed it)
+//	ErrInternal      → 500, generic body (the stack lives in metrics)
+//	DeadlineExceeded → 504 (the request's compute budget ran out)
+//	Canceled         → 499 (the client went away first)
+//	anything else    → 422 (the problem itself is unschedulable)
+func writeScheduleError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, service.ErrInternal):
+		writeJSONError(w, http.StatusInternalServerError, "internal error")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSONError(w, http.StatusGatewayTimeout, "scheduling deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeJSONError(w, StatusClientClosedRequest, "client closed request")
+	default:
+		writeJSONError(w, http.StatusUnprocessableEntity, "scheduling failed: "+err.Error())
+	}
+}

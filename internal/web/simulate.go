@@ -24,18 +24,18 @@ func (s *Server) simulate(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	p, ok := s.lookup(q.Get("problem"))
 	if !ok {
-		http.Error(w, "unknown problem", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "unknown problem")
 		return
 	}
 	if p.Pmax <= 0 {
-		http.Error(w, "problem has no positive pmax to simulate against", http.StatusUnprocessableEntity)
+		writeJSONError(w, http.StatusUnprocessableEntity, "problem has no positive pmax to simulate against")
 		return
 	}
 	n := 50
 	if v := q.Get("n"); v != "" {
 		x, err := strconv.Atoi(v)
 		if err != nil || x < 1 || x > simulateMaxRuns {
-			http.Error(w, fmt.Sprintf("bad n (want 1..%d)", simulateMaxRuns), http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad n (want 1..%d)", simulateMaxRuns))
 			return
 		}
 		n = x
@@ -44,14 +44,14 @@ func (s *Server) simulate(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("seed"); v != "" {
 		x, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			http.Error(w, "bad seed", http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, "bad seed")
 			return
 		}
 		seed = x
 	}
 	fm, err := sim.ParseFaults(q.Get("faults"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	sum, err := sim.Campaign{
@@ -61,9 +61,9 @@ func (s *Server) simulate(w http.ResponseWriter, r *http.Request) {
 		Seed:    seed,
 		Opts:    s.opts,
 		Svc:     s.svc,
-	}.Run()
+	}.RunCtx(r.Context())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeScheduleError(w, err)
 		return
 	}
 
@@ -71,7 +71,7 @@ func (s *Server) simulate(w http.ResponseWriter, r *http.Request) {
 	case "", "json":
 		data, err := sum.JSON()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -80,7 +80,7 @@ func (s *Server) simulate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		writeSimCard(w, p.Name, sum)
 	default:
-		http.Error(w, "bad format", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "bad format")
 	}
 }
 

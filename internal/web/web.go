@@ -6,6 +6,7 @@ package web
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html"
 	"net/http"
@@ -22,9 +23,26 @@ import (
 	"repro/internal/verify"
 )
 
+// Input bounds. Requests beyond them get a 400/413 with a JSON error
+// body; bigger jobs belong on the CLI, not behind an HTTP timeout.
+const (
+	// maxSpecBytes bounds an uploaded spec document.
+	maxSpecBytes = 1 << 20
+	// maxSpecTasks bounds the task count of an uploaded problem.
+	maxSpecTasks = 500
+	// maxRestarts bounds the restarts= query knob; each restart is a
+	// full pipeline run.
+	maxRestarts = 64
+)
+
 // Server hosts a library of named problems. All scheduling goes
 // through a service.Service, so repeated and concurrent requests for
 // the same schedule are served from the content-addressed cache.
+// Every handler threads the request's context into the service:
+// clients that disconnect or time out stop paying for compute, and the
+// service's resilience layer (deadlines, admission control, panic
+// containment) maps onto 504, 429+Retry-After, and 500 responses with
+// JSON error bodies.
 type Server struct {
 	mu       sync.RWMutex
 	problems map[string]*model.Problem
@@ -89,12 +107,12 @@ func (s *Server) Handler() http.Handler {
 
 // stats serves the scheduling service's metrics snapshot as JSON.
 func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
 	data, err := json.MarshalIndent(s.svc.Stats(), "", "  ")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 }
 
@@ -120,22 +138,22 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	p, ok := s.lookup(q.Get("problem"))
 	if !ok {
-		http.Error(w, "unknown problem", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "unknown problem")
 		return
 	}
 	opts := s.opts
 	if seed := q.Get("seed"); seed != "" {
 		v, err := strconv.ParseInt(seed, 10, 64)
 		if err != nil {
-			http.Error(w, "bad seed", http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, "bad seed")
 			return
 		}
 		opts.Seed = v
 	}
 	if rs := q.Get("restarts"); rs != "" {
 		v, err := strconv.Atoi(rs)
-		if err != nil || v < 0 {
-			http.Error(w, "bad restarts", http.StatusBadRequest)
+		if err != nil || v < 0 || v > maxRestarts {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad restarts (want 0..%d)", maxRestarts))
 			return
 		}
 		opts.Restarts = v
@@ -143,12 +161,12 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
 
 	stage, err := service.ParseStage(q.Get("stage"))
 	if err != nil {
-		http.Error(w, "bad stage", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "bad stage")
 		return
 	}
-	res, err := s.svc.Schedule(p, opts, stage)
+	res, err := s.svc.ScheduleCtx(r.Context(), p, opts, stage)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("scheduling failed: %v", err), http.StatusUnprocessableEntity)
+		writeScheduleError(w, err)
 		return
 	}
 
@@ -165,31 +183,54 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
 	case "json":
 		data, err := spec.FormatScheduleJSON(p, res.Schedule)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
 	default:
-		http.Error(w, "bad format", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "bad format")
 	}
 }
 
-func (s *Server) upload(w http.ResponseWriter, r *http.Request) {
-	p, err := spec.Parse(http.MaxBytesReader(w, r.Body, 1<<20))
+// parseBoundedSpec reads a spec document from the request body under
+// the input bounds: at most maxSpecBytes of spec (413 beyond that) and
+// at most maxSpecTasks tasks (400). On error the response has already
+// been written; callers just return.
+func parseBoundedSpec(w http.ResponseWriter, r *http.Request) (*model.Problem, error) {
+	p, err := spec.Parse(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("spec exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+		}
+		return nil, err
+	}
+	if len(p.Tasks) > maxSpecTasks {
+		err := fmt.Errorf("spec has %d tasks (max %d)", len(p.Tasks), maxSpecTasks)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return nil, err
+	}
+	return p, nil
+}
+
+func (s *Server) upload(w http.ResponseWriter, r *http.Request) {
+	p, err := parseBoundedSpec(w, r)
+	if err != nil {
+		return // parseBoundedSpec wrote the response
 	}
 	if p.Name == "" {
-		http.Error(w, "spec must carry a problem name", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "spec must carry a problem name")
 		return
 	}
 	// Reject specs whose schedules would be unverifiable garbage early:
 	// a quick feasibility probe (through the service, so the result is
 	// already cached when the problem is first rendered).
-	if _, err := s.svc.Schedule(p, s.opts, service.StageTiming); err != nil {
-		http.Error(w, fmt.Sprintf("problem is not schedulable: %v", err), http.StatusUnprocessableEntity)
+	if _, err := s.svc.ScheduleCtx(r.Context(), p, s.opts, service.StageTiming); err != nil {
+		writeScheduleError(w, err)
 		return
 	}
 	s.Add(p)
@@ -201,19 +242,18 @@ func (s *Server) upload(w http.ResponseWriter, r *http.Request) {
 // scheduled-and-verified metrics as plain text. Useful for quick
 // curl-based checks without registering anything.
 func (s *Server) VerifyHandlerFunc(w http.ResponseWriter, r *http.Request) {
-	p, err := spec.Parse(http.MaxBytesReader(w, r.Body, 1<<20))
+	p, err := parseBoundedSpec(w, r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return // parseBoundedSpec wrote the response
 	}
-	res, err := s.svc.Schedule(p, s.opts, service.StageMinPower)
+	res, err := s.svc.ScheduleCtx(r.Context(), p, s.opts, service.StageMinPower)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeScheduleError(w, err)
 		return
 	}
 	rep := verify.Check(p, res.Schedule)
 	if !rep.OK() {
-		http.Error(w, rep.Err().Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, rep.Err().Error())
 		return
 	}
 	fmt.Fprintf(w, "finish=%d peak=%.4g cost=%.4g util=%.4f\n",
