@@ -49,6 +49,7 @@ func main() {
 	out := flag.String("out", "-", "output path, or - for stdout")
 	sizes := flag.String("sizes", "", "comma-separated instance sizes (default: the full benchkit ladder)")
 	naive := flag.Bool("naive", true, "also measure the Naive ablation per size")
+	restarts := flag.Bool("restarts", true, "also measure the restart portfolio (sequential and parallel) on the 50-task instance")
 	flag.Parse()
 
 	ns := benchkit.Sizes
@@ -76,6 +77,13 @@ func main() {
 		rec.Benchmarks = append(rec.Benchmarks, measure(n, false))
 		if *naive {
 			rec.Benchmarks = append(rec.Benchmarks, measure(n, true))
+		}
+	}
+	if *restarts {
+		for _, cfg := range []struct{ restarts, workers int }{
+			{8, 1}, {8, 8}, {32, 1}, {32, 8},
+		} {
+			rec.Benchmarks = append(rec.Benchmarks, measureRestarts(cfg.restarts, cfg.workers))
 		}
 	}
 
@@ -115,6 +123,39 @@ func measure(n int, naive bool) entry {
 	if naive {
 		name = fmt.Sprintf("BenchmarkPipelineNaive%d", n)
 		desc = fmt.Sprintf("full pipeline on the %d-task ladder instance, naive ablation (rebuild profile and slack per probe)", n)
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %12d B/op %8d allocs/op\n",
+		name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	return entry{
+		Name:        name,
+		Package:     "repro/internal/benchkit",
+		Description: desc,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// measureRestarts runs the restart portfolio on the 50-task ladder
+// instance, mirroring BenchmarkPipelineRestarts* in internal/benchkit.
+func measureRestarts(restarts, workers int) entry {
+	p := benchkit.Generate(50, 1)
+	opts := benchkit.Options(50)
+	opts.Restarts = restarts
+	opts.Workers = workers
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.MinPower(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	name := fmt.Sprintf("BenchmarkPipelineRestarts%d", restarts)
+	desc := fmt.Sprintf("%d-restart portfolio on the 50-task ladder instance, sequential (Workers=1)", restarts)
+	if workers > 1 {
+		name += "Par"
+		desc = fmt.Sprintf("%d-restart portfolio on the 50-task ladder instance, parallel (Workers=%d)", restarts, workers)
 	}
 	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %12d B/op %8d allocs/op\n",
 		name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())

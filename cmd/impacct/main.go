@@ -25,12 +25,14 @@ import (
 
 func main() {
 	var (
-		stage  = flag.String("stage", "minpower", "pipeline stage: timing, maxpower, or minpower")
-		format = flag.String("format", "ascii", "output: ascii, svg, json, spec, dot, or metrics")
-		scale  = flag.Int("scale", 1, "seconds per character column in ascii output")
-		seed   = flag.Int64("seed", 0, "random seed for the heuristics")
-		out    = flag.String("o", "", "write output to this file instead of stdout")
-		check  = flag.Bool("verify", false, "independently verify the schedule before emitting it")
+		stage    = flag.String("stage", "minpower", "pipeline stage: timing, maxpower, or minpower")
+		format   = flag.String("format", "ascii", "output: ascii, svg, json, spec, dot, or metrics")
+		scale    = flag.Int("scale", 1, "seconds per character column in ascii output")
+		seed     = flag.Int64("seed", 0, "random seed for the heuristics")
+		restarts = flag.Int("restarts", 0, "restart portfolio size: run the pipeline this many times with perturbed orders and keep the best result (0 = single run)")
+		workers  = flag.Int("workers", 0, "concurrent restart workers; any value yields identical results (0 = GOMAXPROCS)")
+		out      = flag.String("o", "", "write output to this file instead of stdout")
+		check    = flag.Bool("verify", false, "independently verify the schedule before emitting it")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,7 +54,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := impacct.Options{Seed: *seed}
+	opts := impacct.Options{Seed: *seed, Restarts: *restarts, Workers: *workers}
 	var res *impacct.Result
 	switch *stage {
 	case "timing":

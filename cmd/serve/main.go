@@ -11,7 +11,9 @@
 //
 // All scheduling runs through a shared service layer with a
 // content-addressed result cache; its metrics are served as JSON at
-// /stats and as expvar at /debug/vars (under "sched_service").
+// /stats and as expvar at /debug/vars (under "sched_service"). Pass
+// -pprof to additionally mount net/http/pprof under /debug/pprof/ for
+// CPU, heap, and contention profiling of a live server.
 //
 // The server is hardened for unattended operation: every request runs
 // under a compute budget (-request-timeout), admission control sheds
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -42,10 +45,13 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Int64("seed", 0, "random seed for the heuristics")
-		cacheSize = flag.Int("cache", 1024, "schedule cache capacity in entries (negative disables)")
-		workers   = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		seed         = flag.Int64("seed", 0, "random seed for the heuristics")
+		restarts     = flag.Int("restarts", 0, "default restart portfolio size per schedule (0 = single run; requests may override with restarts=)")
+		schedWorkers = flag.Int("sched-workers", 0, "concurrent restart workers inside each pipeline run; any value yields identical results (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 1024, "schedule cache capacity in entries (negative disables)")
+		workers      = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 
 		queue          = flag.Int("queue", 0, "admission-control wait queue (0 = 8x workers, negative = no queue)")
 		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request compute budget (0 = none)")
@@ -66,7 +72,7 @@ func main() {
 		DefaultTimeout: *requestTimeout,
 	})
 	svc.Publish("sched_service")
-	srv := web.NewServerWith(sched.Options{Seed: *seed}, svc)
+	srv := web.NewServerWith(sched.Options{Seed: *seed, Restarts: *restarts, Workers: *schedWorkers}, svc)
 	srv.Add(paperex.Nine())
 	for _, c := range rover.Cases {
 		srv.Add(rover.BuildIteration(c, rover.Cold))
@@ -83,6 +89,15 @@ func main() {
 	mux.Handle("/", srv.Handler())
 	mux.HandleFunc("POST /verify", srv.VerifyHandlerFunc)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofOn {
+		// net/http/pprof registers on DefaultServeMux in its init;
+		// explicit routes keep our mux (and its "/" handler) in charge.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

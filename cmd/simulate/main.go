@@ -28,16 +28,18 @@ import (
 
 func main() {
 	var (
-		scenario    = flag.String("scenario", "", "scenario file with phases, battery, and scripted faults (default: built-in Table 4 staircase)")
-		specFile    = flag.String("spec", "", "simulate a problem spec instead of the rover mission")
-		n           = flag.Int("n", 100, "number of seeded runs")
-		seed        = flag.Int64("seed", 1, "campaign master seed")
-		faults      = flag.String("faults", "", "fault model: comma-separated key=value overrides, or \"none\" (see internal/sim.ParseFaults)")
-		workers     = flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS); does not affect results")
-		jsonOut     = flag.Bool("json", false, "emit the JSON summary instead of the text report")
-		deadline    = flag.Int("deadline", 0, "mission deadline in seconds (0 = 8x the nominal finish)")
-		schedSeed   = flag.Int64("sched-seed", 0, "random seed for the scheduling heuristics")
-		minSurvival = flag.Float64("min-survival", -1, "exit nonzero when the survival rate falls below this (for CI gates)")
+		scenario     = flag.String("scenario", "", "scenario file with phases, battery, and scripted faults (default: built-in Table 4 staircase)")
+		specFile     = flag.String("spec", "", "simulate a problem spec instead of the rover mission")
+		n            = flag.Int("n", 100, "number of seeded runs")
+		seed         = flag.Int64("seed", 1, "campaign master seed")
+		faults       = flag.String("faults", "", "fault model: comma-separated key=value overrides, or \"none\" (see internal/sim.ParseFaults)")
+		workers      = flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS); does not affect results")
+		jsonOut      = flag.Bool("json", false, "emit the JSON summary instead of the text report")
+		deadline     = flag.Int("deadline", 0, "mission deadline in seconds (0 = 8x the nominal finish)")
+		schedSeed    = flag.Int64("sched-seed", 0, "random seed for the scheduling heuristics")
+		restarts     = flag.Int("restarts", 0, "restart portfolio size for every (re)schedule, including contingency rescheduling (0 = single run)")
+		schedWorkers = flag.Int("sched-workers", 0, "concurrent restart workers inside each pipeline run; any value yields identical results (0 = GOMAXPROCS)")
+		minSurvival  = flag.Float64("min-survival", -1, "exit nonzero when the survival rate falls below this (for CI gates)")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 		Faults:  fm,
 		Runs:    *n,
 		Seed:    *seed,
-		Opts:    sched.Options{Seed: *schedSeed},
+		Opts:    sched.Options{Seed: *schedSeed, Restarts: *restarts, Workers: *schedWorkers},
 		Svc:     service.New(service.Config{Workers: *workers}),
 	}
 	// Ctrl-C aborts the campaign: no partial summary is printed, since

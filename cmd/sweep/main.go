@@ -28,11 +28,13 @@ import (
 
 func main() {
 	var (
-		budgets   = flag.String("pmax", "", "comma-separated max-power budgets to sweep (default: 10 points around the spec's Pmax)")
-		seed      = flag.Int64("seed", 0, "random seed for the heuristics")
-		pareto    = flag.Bool("pareto", true, "also print the time/energy Pareto front")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		showStats = flag.Bool("stats", false, "print scheduling-service metrics after the sweep")
+		budgets      = flag.String("pmax", "", "comma-separated max-power budgets to sweep (default: 10 points around the spec's Pmax)")
+		seed         = flag.Int64("seed", 0, "random seed for the heuristics")
+		pareto       = flag.Bool("pareto", true, "also print the time/energy Pareto front")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		restarts     = flag.Int("restarts", 0, "restart portfolio size per design point (0 = single run)")
+		schedWorkers = flag.Int("sched-workers", 0, "concurrent restart workers inside each pipeline run; any value yields identical results (0 = GOMAXPROCS)")
+		showStats    = flag.Bool("stats", false, "print scheduling-service metrics after the sweep")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,7 +67,7 @@ func main() {
 	defer stop()
 
 	svc := service.New(service.Config{Workers: *workers})
-	pts := analysis.SweepPmaxParallelCtx(ctx, prob, list, impacct.Options{Seed: *seed}, svc)
+	pts := analysis.SweepPmaxParallelCtx(ctx, prob, list, impacct.Options{Seed: *seed, Restarts: *restarts, Workers: *schedWorkers}, svc)
 	fmt.Printf("design points for %s:\n", prob.Name)
 	fmt.Print(analysis.FormatPoints(pts))
 

@@ -87,6 +87,29 @@ func BenchmarkPipelineCtx50(b *testing.B) {
 	}
 }
 
+// benchmarkPipelineRestarts measures the restart portfolio on the
+// 50-task ladder instance with the given fan-out. The Workers=1 and
+// Workers=8 variants produce byte-identical schedules (the reduction is
+// a total order ending in the restart index); only wall-clock differs.
+func benchmarkPipelineRestarts(b *testing.B, restarts, workers int) {
+	p := Generate(50, 1)
+	opts := Options(50)
+	opts.Restarts = restarts
+	opts.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.MinPower(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineRestarts8(b *testing.B)     { benchmarkPipelineRestarts(b, 8, 1) }
+func BenchmarkPipelineRestarts32(b *testing.B)    { benchmarkPipelineRestarts(b, 32, 1) }
+func BenchmarkPipelineRestarts8Par(b *testing.B)  { benchmarkPipelineRestarts(b, 8, 8) }
+func BenchmarkPipelineRestarts32Par(b *testing.B) { benchmarkPipelineRestarts(b, 32, 8) }
+
 // The Naive variants run the same instances with the incremental core
 // disabled (power.Build at every probe, slack recomputed from the
 // graph): the before/after pair recorded in BENCH_sched.json.

@@ -35,6 +35,7 @@ type Graph struct {
 	out     [][]Edge // adjacency by source vertex
 	in      [][]Edge // reverse adjacency by destination vertex
 	journal []Edge   // every edge ever added, in order
+	sc      scratch  // relaxation workspace (see incremental.go)
 }
 
 // Checkpoint is an opaque marker into the mutation journal.
@@ -97,7 +98,12 @@ func (g *Graph) Out(v int) []Edge { return g.out[v] }
 func (g *Graph) In(v int) []Edge { return g.in[v] }
 
 // Edges returns a copy of all live edges in insertion order.
-func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.journal...) }
+func (g *Graph) Edges() []Edge { return g.AppendEdges(nil) }
+
+// AppendEdges appends all live edges in insertion order to buf and
+// returns the grown slice, letting callers reuse one buffer across
+// snapshots instead of allocating a fresh copy per call.
+func (g *Graph) AppendEdges(buf []Edge) []Edge { return append(buf, g.journal...) }
 
 // Clone returns an independent copy of the graph.
 func (g *Graph) Clone() *Graph {

@@ -23,6 +23,11 @@ func (g *Graph) AddEdgeRelax(dist []int, from, to, w int) (ok bool) {
 // set to apply power-profile deltas and to invalidate cached slacks for
 // exactly the shifted cone of successors instead of the whole task set.
 // When ok is false the touched set is meaningless, like dist.
+//
+// The relaxation queue and its membership marks live in graph-owned
+// scratch reused across calls (epoch-stamped, so reuse needs no
+// clearing). Like every mutating graph method, concurrent calls on a
+// shared graph are not safe.
 func (g *Graph) AddEdgeRelaxTouched(dist []int, from, to, w int, touched []int) ([]int, bool) {
 	g.AddEdge(from, to, w)
 	if dist[from] == NoPath || dist[from]+w <= dist[to] {
@@ -30,35 +35,115 @@ func (g *Graph) AddEdgeRelaxTouched(dist []int, from, to, w int, touched []int) 
 	}
 	dist[to] = dist[from] + w
 
-	inQueue := make([]bool, g.n)
-	inTouched := make([]bool, g.n)
-	relaxed := make([]int, g.n)
-	queue := []int{to}
-	inQueue[to] = true
+	s := g.relaxScratch()
+	epoch := s.epoch
+	queue := s.queue[:0]
+	queue = append(queue, to)
+	s.queueGen[to] = epoch
 	touched = append(touched, to)
-	inTouched[to] = true
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		inQueue[u] = false
-		relaxed[u]++
-		if relaxed[u] > g.n {
+	s.touchGen[to] = epoch
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		s.queueGen[u] = 0
+		if s.countGen[u] != epoch {
+			s.countGen[u] = epoch
+			s.count[u] = 0
+		}
+		s.count[u]++
+		if s.count[u] > g.n {
+			s.queue = queue
 			return touched, false
 		}
 		du := dist[u]
 		for _, e := range g.out[u] {
 			if nd := du + e.W; nd > dist[e.To] {
 				dist[e.To] = nd
-				if !inTouched[e.To] {
+				if s.touchGen[e.To] != epoch {
 					touched = append(touched, e.To)
-					inTouched[e.To] = true
+					s.touchGen[e.To] = epoch
 				}
-				if !inQueue[e.To] {
+				if s.queueGen[e.To] != epoch {
 					queue = append(queue, e.To)
-					inQueue[e.To] = true
+					s.queueGen[e.To] = epoch
 				}
 			}
 		}
 	}
+	s.queue = queue
 	return touched, true
+}
+
+// LongestFromInto is LongestFrom writing into a caller-provided dist
+// slice (length >= N()) and drawing its queue and bookkeeping from the
+// graph's scratch area, so repeated calls allocate nothing. Unlike
+// LongestFrom it mutates graph-internal scratch, so concurrent calls on
+// a shared graph are not safe; the scheduler only uses it on its
+// private working graph. ok is false on a reachable positive cycle.
+func (g *Graph) LongestFromInto(dist []int, src int) (ok bool) {
+	if len(dist) < g.n {
+		panic("graph: LongestFromInto dist slice too short")
+	}
+	for i := 0; i < g.n; i++ {
+		dist[i] = NoPath
+	}
+	dist[src] = 0
+
+	s := g.relaxScratch()
+	epoch := s.epoch
+	queue := s.queue[:0]
+	queue = append(queue, src)
+	s.queueGen[src] = epoch
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		s.queueGen[u] = 0
+		if s.countGen[u] != epoch {
+			s.countGen[u] = epoch
+			s.count[u] = 0
+		}
+		s.count[u]++
+		if s.count[u] > g.n {
+			s.queue = queue
+			return false
+		}
+		du := dist[u]
+		for _, e := range g.out[u] {
+			if nd := du + e.W; nd > dist[e.To] {
+				dist[e.To] = nd
+				if s.queueGen[e.To] != epoch {
+					queue = append(queue, e.To)
+					s.queueGen[e.To] = epoch
+				}
+			}
+		}
+	}
+	s.queue = queue
+	return true
+}
+
+// scratch holds the relaxation workspace reused by AddEdgeRelaxTouched
+// and LongestFromInto. Membership marks are epoch-stamped: a vertex is
+// marked iff its gen entry equals the current call's epoch, so starting
+// a call costs one counter increment instead of three O(n) clears.
+// Epochs start at 1; 0 doubles as the dequeued marker.
+type scratch struct {
+	epoch    int
+	queueGen []int // epoch when the vertex was last enqueued
+	touchGen []int // epoch when the vertex was last reported touched
+	countGen []int // epoch of the vertex's dequeue counter
+	count    []int // dequeues this epoch; > n implies a positive cycle
+	queue    []int
+}
+
+// relaxScratch sizes the scratch to the vertex count and opens a fresh
+// epoch.
+func (g *Graph) relaxScratch() *scratch {
+	s := &g.sc
+	if len(s.queueGen) < g.n {
+		s.queueGen = make([]int, g.n)
+		s.touchGen = make([]int, g.n)
+		s.countGen = make([]int, g.n)
+		s.count = make([]int, g.n)
+	}
+	s.epoch++
+	return s
 }

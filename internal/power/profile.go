@@ -157,7 +157,16 @@ func (p Profile) exceeding(pred func(float64) bool) []Interval {
 }
 
 // Valid reports whether the profile respects the max power budget.
-func (p Profile) Valid(pmax float64) bool { return len(p.Spikes(pmax)) == 0 }
+// Equivalent to len(p.Spikes(pmax)) == 0, but allocation-free: the
+// schedulers probe validity after every candidate move.
+func (p Profile) Valid(pmax float64) bool {
+	for _, s := range p.Segs {
+		if s.P > pmax {
+			return false
+		}
+	}
+	return true
+}
 
 // EnergyCost returns Ec_sigma(pmin): the energy drawn above the free
 // power level, i.e. integral of max(0, P(t)-pmin) dt. When pmin is the

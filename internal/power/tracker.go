@@ -27,8 +27,12 @@ type Tracker struct {
 	// contributions (base is handled virtually at 0 and tau, which
 	// moves as the finish time changes). Sorted by time.
 	buckets []bucket
-	prof    Profile
-	dirty   bool
+	// free recycles the contribution slices of emptied buckets so that
+	// steady-state Move/Reset churn allocates nothing once the slices
+	// have grown to their working sizes.
+	free  [][]contrib
+	prof  Profile
+	dirty bool
 }
 
 const (
@@ -63,6 +67,10 @@ func NewTracker(tasks []model.Task, s schedule.Schedule, base float64) *Tracker 
 // schedule is re-derived wholesale).
 func (tr *Tracker) Reset(s schedule.Schedule) {
 	copy(tr.start, s.Start)
+	for i := range tr.buckets {
+		tr.recycle(tr.buckets[i].cs)
+		tr.buckets[i].cs = nil
+	}
 	tr.buckets = tr.buckets[:0]
 	for v, task := range tr.tasks {
 		tr.add(tr.start[v], v, kindStart, task.Power)
@@ -126,7 +134,7 @@ func (tr *Tracker) add(t model.Time, task, kind int, p float64) {
 	if !ok {
 		tr.buckets = append(tr.buckets, bucket{})
 		copy(tr.buckets[i+1:], tr.buckets[i:])
-		tr.buckets[i] = bucket{t: t}
+		tr.buckets[i] = bucket{t: t, cs: tr.grab()}
 	}
 	b := &tr.buckets[i]
 	j := len(b.cs)
@@ -142,6 +150,26 @@ func (tr *Tracker) add(t model.Time, task, kind int, p float64) {
 	b.cs[j] = contrib{task: task, kind: kind, p: p}
 }
 
+// recycle returns a bucket's contribution slice to the freelist.
+func (tr *Tracker) recycle(cs []contrib) {
+	if cap(cs) > 0 {
+		tr.free = append(tr.free, cs[:0])
+	}
+}
+
+// grab pops a recycled contribution slice, or returns nil so the first
+// append sizes a fresh one.
+func (tr *Tracker) grab() []contrib {
+	n := len(tr.free)
+	if n == 0 {
+		return nil
+	}
+	cs := tr.free[n-1]
+	tr.free[n-1] = nil
+	tr.free = tr.free[:n-1]
+	return cs
+}
+
 // remove deletes the contribution of (task, kind) at time t. Buckets
 // left without contributors are removed entirely, matching Build, which
 // only creates breakpoints for times some task currently touches.
@@ -155,6 +183,7 @@ func (tr *Tracker) remove(t model.Time, task, kind int) {
 		if c.task == task && c.kind == kind {
 			b.cs = append(b.cs[:j], b.cs[j+1:]...)
 			if len(b.cs) == 0 {
+				tr.recycle(b.cs)
 				tr.buckets = append(tr.buckets[:i], tr.buckets[i+1:]...)
 			}
 			return

@@ -44,7 +44,7 @@ func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
 	const maxPasses = 20
 	for pass := 0; pass < maxPasses; pass++ {
 		changed := false
-		for _, v := range byStart(sigma, len(tasks)) {
+		for _, v := range st.byStart(sigma, len(tasks)) {
 			lb := st.compactBound(sigma, v)
 			if lb >= sigma.Start[v] {
 				continue
@@ -101,16 +101,30 @@ func (st *state) compactBound(sigma schedule.Schedule, v int) model.Time {
 	return lb
 }
 
-func byStart(sigma schedule.Schedule, n int) []int {
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+// byStart returns the task indices ordered by (start, index), in a
+// state-owned buffer sorted without allocating. The key is unique per
+// task, so the unstable sort is deterministic.
+func (st *state) byStart(sigma schedule.Schedule, n int) []int {
+	order := st.order.order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if sigma.Start[order[a]] != sigma.Start[order[b]] {
-			return sigma.Start[order[a]] < sigma.Start[order[b]]
-		}
-		return order[a] < order[b]
-	})
+	st.order.order, st.order.start = order, sigma.Start
+	sort.Sort(&st.order)
 	return order
+}
+
+// startSorter is byStart's pointer-receiver sort.Interface.
+type startSorter struct {
+	order []int
+	start []model.Time
+}
+
+func (s *startSorter) Len() int      { return len(s.order) }
+func (s *startSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *startSorter) Less(i, j int) bool {
+	if s.start[s.order[i]] != s.start[s.order[j]] {
+		return s.start[s.order[i]] < s.start[s.order[j]]
+	}
+	return s.order[i] < s.order[j]
 }

@@ -2,9 +2,9 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/model"
+	"repro/internal/power"
 	"repro/internal/schedule"
 )
 
@@ -25,6 +25,13 @@ func (st *state) maxPower() (schedule.Schedule, error) {
 	if err != nil {
 		return schedule.Schedule{}, err
 	}
+	// The timing finish lower-bounds this restart's final finish time
+	// (every later stage only delays tasks), so a restart the portfolio
+	// incumbent strictly dominates is abandoned here, before the
+	// expensive power stages.
+	if st.pruned(sigma) {
+		return schedule.Schedule{}, errPruned
+	}
 	pmax := st.c.Prob.Pmax
 	if pmax == 0 {
 		return sigma, nil
@@ -38,16 +45,29 @@ func (st *state) maxPower() (schedule.Schedule, error) {
 		if round > st.opts.MaxSpikeRounds {
 			return schedule.Schedule{}, fmt.Errorf("sched: spike elimination exceeded %d rounds", st.opts.MaxSpikeRounds)
 		}
-		spikes := st.prof(sigma).Spikes(pmax)
-		if len(spikes) == 0 {
+		t, spiked := firstSpike(st.prof(sigma), pmax)
+		if !spiked {
 			return sigma, nil
 		}
 		st.st.SpikeRounds++
-		sigma, err = st.fixSpike(sigma, spikes[0].T0)
+		sigma, err = st.fixSpike(sigma, t)
 		if err != nil {
 			return schedule.Schedule{}, err
 		}
 	}
+}
+
+// firstSpike returns the start of the earliest over-budget interval.
+// Equivalent to Spikes(pmax)[0].T0 without materializing the interval
+// list: profile segments are contiguous and time-ordered, so the first
+// over-budget segment starts the first spike.
+func firstSpike(p power.Profile, pmax float64) (model.Time, bool) {
+	for _, s := range p.Segs {
+		if s.P > pmax {
+			return s.T0, true
+		}
+	}
+	return 0, false
 }
 
 // fixSpike removes the power spike at time t by delaying simultaneous
@@ -62,9 +82,12 @@ func (st *state) maxPower() (schedule.Schedule, error) {
 func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Schedule, error) {
 	pmax := st.c.Prob.Pmax
 	rescheduled := false
-	var lockCandidates []int
+	lockCandidates := st.lockCand[:0]
 
-	skipped := make(map[int]bool) // tasks whose delay proved infeasible at this spike
+	// Tasks whose delay proved infeasible at this spike, marked in the
+	// reusable epoch-stamped set.
+	st.skipEpoch++
+	skipped := st.skipGen
 	for iter := 0; st.prof(sigma).At(t) > pmax; iter++ {
 		if err := st.pollCancel(); err != nil {
 			return schedule.Schedule{}, err
@@ -78,7 +101,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 		v := -1
 		var vSlack model.Time
 		for _, cand := range act {
-			if !skipped[cand.v] {
+			if skipped[cand.v] != st.skipEpoch {
 				v, vSlack = cand.v, cand.slack
 				break
 			}
@@ -110,7 +133,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 
 		newSigma, _, ok := st.delay(sigma, v, sigma.Start[v]+dd)
 		if !ok {
-			skipped[v] = true
+			skipped[v] = st.skipEpoch
 			st.st.Backtracks++
 			continue
 		}
@@ -122,6 +145,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 			lockCandidates = append(lockCandidates, cand.v)
 		}
 	}
+	st.lockCand = lockCandidates
 
 	// Lock the start times of the tasks that stayed at the spike time,
 	// so the subsequent rescheduling cannot push them back into a
@@ -131,7 +155,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 		for _, v := range lockCandidates {
 			cp := st.g.Mark()
 			st.lock(v, sigma.Start[v])
-			if !st.g.Feasible(st.c.Anchor) {
+			if !st.g.LongestFromInto(st.feasBuf, st.c.Anchor) {
 				st.g.Rollback(cp)
 				st.dirtySlack(v) // v lost the just-added outgoing lock edge
 				st.st.Backtracks++
@@ -143,12 +167,29 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 
 // spikeEnd returns the end of the maximal over-budget interval
 // containing t (falling back to t+1 when the profile no longer spikes
-// at t).
+// at t). It walks the contiguous segments directly, merging adjacent
+// over-budget runs exactly the way Spikes does, without materializing
+// the interval list.
 func (st *state) spikeEnd(sigma schedule.Schedule, t model.Time) model.Time {
-	for _, iv := range st.prof(sigma).Spikes(st.c.Prob.Pmax) {
-		if iv.T0 <= t && t < iv.T1 {
-			return iv.T1
+	pmax := st.c.Prob.Pmax
+	var t0, t1 model.Time
+	have := false
+	for _, s := range st.prof(sigma).Segs {
+		if s.P <= pmax {
+			continue
 		}
+		if have && t1 == s.T0 {
+			t1 = s.T1
+			continue
+		}
+		if have && t0 <= t && t < t1 {
+			return t1
+		}
+		t0, t1 = s.T0, s.T1
+		have = true
+	}
+	if have && t0 <= t && t < t1 {
+		return t1
 	}
 	return t + 1
 }
@@ -161,21 +202,36 @@ type slackedTask struct {
 // activeBySlack returns the tasks active at t ordered by decreasing
 // slack (the paper's EXTRACT MAX order). Ties are broken by decreasing
 // power — moving the biggest consumer out of the spike clears it with
-// the fewest delays — then by task index for determinism.
+// the fewest delays — then by task index for determinism. The result
+// lives in a state-owned buffer, sorted by insertion (active sets are
+// small and index-ordered on arrival, and the total-order key makes the
+// outcome identical to any comparison sort).
 func (st *state) activeBySlack(sigma schedule.Schedule, t model.Time) []slackedTask {
-	var out []slackedTask
-	for _, v := range sigma.ActiveAt(st.c.Prob.Tasks, t) {
-		out = append(out, slackedTask{v: v, slack: st.slackOf(sigma, v)})
+	out := st.active[:0]
+	tasks := st.c.Prob.Tasks
+	for v := range tasks {
+		if sigma.Start[v] <= t && t < sigma.Start[v]+tasks[v].Delay {
+			out = append(out, slackedTask{v: v, slack: st.slackOf(sigma, v)})
+		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].slack != out[j].slack {
-			return out[i].slack > out[j].slack
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && st.slackedBefore(out[j], out[j-1]); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
 		}
-		pi, pj := st.c.Prob.Tasks[out[i].v].Power, st.c.Prob.Tasks[out[j].v].Power
-		if pi != pj {
-			return pi > pj
-		}
-		return out[i].v < out[j].v
-	})
+	}
+	st.active = out
 	return out
+}
+
+// slackedBefore is activeBySlack's strict ordering: slack desc, power
+// desc, index asc.
+func (st *state) slackedBefore(a, b slackedTask) bool {
+	if a.slack != b.slack {
+		return a.slack > b.slack
+	}
+	pa, pb := st.c.Prob.Tasks[a.v].Power, st.c.Prob.Tasks[b.v].Power
+	if pa != pb {
+		return pa > pb
+	}
+	return a.v < b.v
 }

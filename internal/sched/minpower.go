@@ -89,12 +89,13 @@ func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotCho
 	// every maximal gap): a wide gap can require several moves at
 	// different depths, and the profitable insertion point is a segment
 	// boundary, not necessarily the gap's left edge.
-	var times []model.Time
+	times := st.gapTimes[:0]
 	for _, seg := range st.prof(sigma).Segs {
 		if seg.P < pmin {
 			times = append(times, seg.T0)
 		}
 	}
+	st.gapTimes = times
 	if len(times) == 0 {
 		return sigma, false
 	}
@@ -140,11 +141,30 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 	tau := sigma.Finish(prob.Tasks)
 
 	// End of the gap beginning at t, for the finish-at-gap-end slot.
+	// The segments are contiguous and time-ordered, so the maximal gap
+	// containing t is the run of below-Pmin segments around it — found
+	// by a direct walk, merging adjacent runs exactly like Gaps, without
+	// materializing the interval list.
 	gapEnd := t + 1
-	for _, g := range prof.Gaps(prob.Pmin) {
-		if g.T0 <= t && t < g.T1 {
-			gapEnd = g.T1
-			break
+	{
+		var g0, g1 model.Time
+		have := false
+		for _, s := range prof.Segs {
+			if s.P >= prob.Pmin {
+				continue
+			}
+			if have && g1 == s.T0 {
+				g1 = s.T1
+				continue
+			}
+			if have && g0 <= t && t < g1 {
+				break
+			}
+			g0, g1 = s.T0, s.T1
+			have = true
+		}
+		if have && g0 <= t && t < g1 {
+			gapEnd = g1
 		}
 	}
 
@@ -201,18 +221,21 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 	return sigma, false
 }
 
+// gapCand is a gap-fill candidate with its selection keys.
+type gapCand struct {
+	v      int
+	power  float64
+	finish model.Time
+}
+
 // gapCandidates returns tasks that finish at or before t and have
 // enough slack to be delayed into activity at t, most powerful first
 // (a bigger consumer fills more of the gap), ties broken by later
-// finish then index.
+// finish then index. The result lives in state-owned buffers reused
+// across calls.
 func (st *state) gapCandidates(sigma schedule.Schedule, t model.Time) []int {
 	prob := st.c.Prob
-	type cand struct {
-		v      int
-		power  float64
-		finish model.Time
-	}
-	var cs []cand
+	cs := st.gapCands[:0]
 	for v, task := range prob.Tasks {
 		fin := sigma.Start[v] + task.Delay
 		if fin > t {
@@ -222,8 +245,9 @@ func (st *state) gapCandidates(sigma schedule.Schedule, t model.Time) []int {
 		if sl < t-sigma.Start[v]-task.Delay+1 {
 			continue // cannot reach t
 		}
-		cs = append(cs, cand{v: v, power: task.Power, finish: fin})
+		cs = append(cs, gapCand{v: v, power: task.Power, finish: fin})
 	}
+	st.gapCands = cs
 	// Selection order: descending power, then latest finish, then index.
 	for i := 1; i < len(cs); i++ {
 		for j := i; j > 0; j-- {
@@ -235,9 +259,10 @@ func (st *state) gapCandidates(sigma schedule.Schedule, t model.Time) []int {
 			}
 		}
 	}
-	out := make([]int, len(cs))
-	for i, c := range cs {
-		out[i] = c.v
+	out := st.gapOrder[:0]
+	for _, c := range cs {
+		out = append(out, c.v)
 	}
+	st.gapOrder = out
 	return out
 }

@@ -24,6 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/model"
@@ -125,6 +128,13 @@ type Options struct {
 	// explore different regions of the partial-order space the paper's
 	// single greedy pass cannot reach. Default 1 (no restarts).
 	Restarts int
+	// Workers bounds how many restarts run concurrently (default
+	// GOMAXPROCS, capped by Restarts). The reduction over restart
+	// outcomes is a total order whose final tie-break is the restart
+	// index, so every Workers value — including 1 — produces
+	// byte-identical schedules, profiles, and stats; the option trades
+	// wall-clock time only.
+	Workers int
 	// Compact enables the left-shift pass between max-power and
 	// min-power scheduling: spike elimination only pushes tasks later,
 	// and compaction reclaims idle time it strands, shrinking the
@@ -236,47 +246,127 @@ func MinPowerCtx(ctx context.Context, p *model.Problem, opts Options) (*Result, 
 }
 
 // runPipeline executes the pipeline up to the requested stage, once per
-// restart, and keeps the best successful outcome: shortest finish time
-// first, then lowest energy cost. A restart that fails is skipped; the
-// call fails only when every restart does. Cancellation aborts the
-// whole call, even when earlier restarts already produced a result:
-// the best-of-fewer-restarts schedule differs from the deterministic
-// full run, and serving it would poison content-addressed caches.
+// restart, and keeps the best successful outcome under a total order:
+// shortest finish time first, then lowest energy cost, then lowest
+// restart index. A restart that fails is skipped; the call fails only
+// when every restart does (with the lowest-index restart's error).
+// Cancellation aborts the whole call, even when earlier restarts
+// already produced a result: the best-of-fewer-restarts schedule
+// differs from the deterministic full run, and serving it would poison
+// content-addressed caches.
+//
+// Restarts are fanned across up to Options.Workers goroutines. Because
+// the reduction is a total order (the restart index breaks every tie)
+// and each restart is a deterministic function of its index, the winner
+// is identical to the sequential run regardless of completion order.
+// Workers additionally share an incumbent bound — the best (finish,
+// energy) published so far — and abandon a restart right after its
+// timing stage when that stage's finish already exceeds the incumbent's
+// strictly: the later stages only ever delay tasks (compaction cannot
+// go below the timing graph's longest path), so such a restart provably
+// loses the reduction no matter when the incumbent arrived.
 func runPipeline(ctx context.Context, p *model.Problem, opts Options, upTo stage) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sched: pipeline aborted: %w", err)
+	}
+	c, err := schedule.Compile(p)
+	if err != nil {
+		return nil, err // structural problem error: no restart helps
 	}
 	restarts := opts.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
-	var best *Result
-	var firstErr error
-	for r := 0; r < restarts; r++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("sched: pipeline aborted: %w", err)
-		}
-		st, err := newState(ctx, p, opts)
-		if err != nil {
-			return nil, err // structural problem error: no restart helps
-		}
-		st.perturb(r)
-		res, err := st.runTo(upTo)
-		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return nil, err
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > restarts {
+		workers = restarts
+	}
+	var inc *atomic.Pointer[incumbent]
+	if restarts > 1 {
+		inc = new(atomic.Pointer[incumbent])
+	}
+
+	var (
+		next    atomic.Int64 // next restart index to claim
+		errs    = make([]error, restarts)
+		mu      sync.Mutex
+		best    *Result
+		bestIdx int
+	)
+	worker := func() {
+		st := newState(ctx, c, opts, inc)
+		var localBest *Result
+		localIdx := -1
+		for {
+			r := int(next.Add(1)) - 1
+			if r >= restarts || ctx.Err() != nil {
+				break
 			}
-			if firstErr == nil {
-				firstErr = err
+			st.reset(r)
+			res, err := st.runTo(upTo)
+			if err != nil {
+				errs[r] = err
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					break
+				}
+				continue
 			}
-			continue
+			st.publish(res)
+			if localBest == nil || betterIdx(res, r, localBest, localIdx) {
+				if restarts > 1 {
+					// Detach the retained result from the state before
+					// the next restart mutates the working graph. (With
+					// a single restart the state is never reused, so the
+					// hot path skips the copy.)
+					res.Graph = st.g.Clone()
+				}
+				localBest, localIdx = res, r
+			}
 		}
-		if best == nil || better(res, best) {
-			best = res
+		if localBest != nil {
+			mu.Lock()
+			if best == nil || betterIdx(localBest, localIdx, best, bestIdx) {
+				best, bestIdx = localBest, localIdx
+			}
+			mu.Unlock()
+		}
+	}
+	if workers == 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// No partial results on cancellation, whether we noticed it via the
+	// context or via a restart's latched error.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sched: pipeline aborted: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return nil, err
 		}
 	}
 	if best == nil {
-		return nil, firstErr
+		for _, err := range errs {
+			if err != nil && !errors.Is(err, errPruned) {
+				return nil, err
+			}
+		}
+		// Unreachable: a pruned restart implies a published incumbent,
+		// which implies a successful restart.
+		return nil, fmt.Errorf("%w: every restart failed", ErrInfeasible)
 	}
 	return best, nil
 }
@@ -289,12 +379,76 @@ func better(a, b *Result) bool {
 	return a.EnergyCost() < b.EnergyCost()
 }
 
+// betterIdx extends better to the portfolio's total order: finish, then
+// energy cost, then restart index. Its minimum is associative and
+// commutative, so per-worker local minima fold into the same global
+// winner the sequential scan picks.
+func betterIdx(a *Result, ai int, b *Result, bi int) bool {
+	af, bf := a.Finish(), b.Finish()
+	if af != bf {
+		return af < bf
+	}
+	ae, be := a.EnergyCost(), b.EnergyCost()
+	if ae != be {
+		return ae < be
+	}
+	return ai < bi
+}
+
+// errPruned marks a restart abandoned via the incumbent bound: it is a
+// provable reduction loser, not a failure, and never surfaces to
+// callers (an incumbent implies at least one successful restart).
+var errPruned = errors.New("sched: restart pruned by incumbent bound")
+
+// incumbent is the published best (finish, energy) pair of the
+// portfolio so far, used for strict-domination pruning.
+type incumbent struct {
+	finish model.Time
+	energy float64
+}
+
+// publish offers res's (finish, energy) as the portfolio's incumbent,
+// keeping the published pair the lexicographic minimum seen so far.
+func (st *state) publish(res *Result) {
+	if st.inc == nil {
+		return
+	}
+	f, e := res.Finish(), res.EnergyCost()
+	for {
+		cur := st.inc.Load()
+		if cur != nil && (cur.finish < f || (cur.finish == f && cur.energy <= e)) {
+			return
+		}
+		if st.inc.CompareAndSwap(cur, &incumbent{finish: f, energy: e}) {
+			return
+		}
+	}
+}
+
+// pruned reports whether a restart whose timing stage produced sigma is
+// already a provable reduction loser: the remaining stages only delay
+// tasks, so the restart's final finish time is at least sigma's, and a
+// strictly larger finish than the incumbent's loses the (finish,
+// energy, index) reduction no matter which restart published it.
+// Strict domination only — ties must run to completion, where the
+// index tie-break decides deterministically.
+func (st *state) pruned(sigma schedule.Schedule) bool {
+	if st.inc == nil {
+		return false
+	}
+	cur := st.inc.Load()
+	return cur != nil && sigma.Finish(st.c.Prob.Tasks) > cur.finish
+}
+
 func (st *state) runTo(upTo stage) (*Result, error) {
 	var sigma schedule.Schedule
 	var err error
 	switch upTo {
 	case stageTiming:
 		sigma, err = st.timing()
+		if err == nil && st.pruned(sigma) {
+			return nil, errPruned
+		}
 	case stageMaxPower:
 		sigma, err = st.maxPower()
 	default:
@@ -327,7 +481,11 @@ func RunCtx(ctx context.Context, p *model.Problem, opts Options) (*Result, error
 // pipeline still stops within one interval of heuristic work.
 const cancelCheckEvery = 1024
 
-// state is the mutable working context shared by the three stages.
+// state is the mutable working context shared by the three stages. One
+// state serves many restarts via reset, so all of its scratch buffers
+// are allocated once and recycled; a state is owned by one goroutine
+// and shares nothing mutable with its siblings except the incumbent
+// pointer.
 type state struct {
 	c    *schedule.Compiled
 	g    *graph.Graph // working graph: base + serialization + delays + locks
@@ -335,6 +493,18 @@ type state struct {
 	rng  *rand.Rand
 	st   Stats
 	prio []int // candidate tie-break priority (identity unless perturbed)
+
+	// baseMark checkpoints the freshly cloned base graph so reset can
+	// roll every restart's edges back instead of re-cloning; rngSrc and
+	// perturbSrc let reset reseed the two RNG streams in place.
+	baseMark   graph.Checkpoint
+	rngSrc     rand.Source
+	perturbSrc rand.Source
+	perturbRng *rand.Rand
+
+	// inc is the portfolio's shared incumbent bound (nil when the run
+	// has a single restart).
+	inc *atomic.Pointer[incumbent]
 
 	// ctx is the pipeline's cancellation context; ops counts heuristic
 	// steps between polls and ctxErr latches the first observed
@@ -360,41 +530,92 @@ type state struct {
 	slackVal []model.Time
 	slackOK  []bool
 	touch    []int // reusable buffer for the relax touched set
+
+	// Reusable scratch for the stage heuristics (see each use site);
+	// everything here is overwritten before being read, so reset does
+	// not need to clear it.
+	dist      []int         // timing stage's live longest-path solution
+	finalDist []int         // timing stage's final from-scratch check
+	visited   []bool        // timing search visit marks
+	savedBufs [][]int       // per-depth dist snapshots for backtracking
+	candBufs  [][]int       // per-depth candidate orderings
+	sorter    candSorter    // allocation-free sort.Interface for candidates
+	order     startSorter   // allocation-free sort.Interface for compaction
+	delayDist []int         // delay's incremental relaxation input
+	feasBuf   []int         // lock feasibility probe output
+	active    []slackedTask // tasks active at a spike time
+	lockCand  []int         // paper case (2) lock candidates
+	skipGen   []int         // epoch marks for fixSpike's skipped set
+	skipEpoch int
+	gapTimes  []model.Time // below-Pmin segment starts per scan
+	gapCands  []gapCand    // gap-fill candidates under construction
+	gapOrder  []int        // gap-fill candidates, selection-ordered
 }
 
-func newState(ctx context.Context, p *model.Problem, opts Options) (*state, error) {
-	c, err := schedule.Compile(p)
-	if err != nil {
-		return nil, err
-	}
+func newState(ctx context.Context, c *schedule.Compiled, opts Options, inc *atomic.Pointer[incumbent]) *state {
 	opts = opts.withDefaults()
 	st := &state{
-		c:    c,
-		g:    c.Base.Clone(),
-		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
-		ctx:  ctx,
+		c:          c,
+		g:          c.Base.Clone(),
+		opts:       opts,
+		rngSrc:     rand.NewSource(opts.Seed),
+		perturbSrc: rand.NewSource(opts.Seed),
+		ctx:        ctx,
+		inc:        inc,
 	}
-	st.prio = make([]int, c.NumTasks())
+	st.rng = rand.New(st.rngSrc)
+	st.perturbRng = rand.New(st.perturbSrc)
+	st.baseMark = st.g.Mark()
+	n := c.NumTasks()
+	st.prio = make([]int, n)
 	for i := range st.prio {
 		st.prio[i] = i
 	}
 	if !opts.Naive {
-		st.slackVal = make([]model.Time, c.NumTasks())
-		st.slackOK = make([]bool, c.NumTasks())
+		st.slackVal = make([]model.Time, n)
+		st.slackOK = make([]bool, n)
 	}
-	return st, nil
+	st.dist = make([]int, st.g.N())
+	st.finalDist = make([]int, st.g.N())
+	st.delayDist = make([]int, st.g.N())
+	st.feasBuf = make([]int, st.g.N())
+	st.visited = make([]bool, n)
+	st.skipGen = make([]int, n)
+	return st
+}
+
+// reset returns the state to the condition a freshly constructed state
+// would be in — base graph, zeroed stats, reseeded RNG, identity
+// priority, cold caches — then applies restart r's perturbation, so one
+// worker runs an entire restart sequence without reallocating.
+func (st *state) reset(r int) {
+	st.g.Rollback(st.baseMark)
+	st.st = Stats{}
+	st.ops = 0
+	st.ctxErr = nil
+	st.rngSrc.Seed(st.opts.Seed)
+	for i := range st.prio {
+		st.prio[i] = i
+	}
+	for i := range st.slackOK {
+		st.slackOK[i] = false
+	}
+	st.timingMark = 0
+	st.structEdges = st.structEdges[:0]
+	st.perturb(r)
 }
 
 // perturb shuffles the candidate tie-break priority for restart r.
 // Restart 0 keeps the deterministic index order, so a single run
-// reproduces the paper's greedy behaviour exactly.
+// reproduces the paper's greedy behaviour exactly. Each restart's
+// shuffle is a function of (Seed, r) alone, which is what makes a
+// restart index a complete description of its run.
 func (st *state) perturb(r int) {
 	if r == 0 {
 		return
 	}
-	rng := rand.New(rand.NewSource(st.opts.Seed + int64(r)*0x9e3779b9))
-	rng.Shuffle(len(st.prio), func(i, j int) { st.prio[i], st.prio[j] = st.prio[j], st.prio[i] })
+	st.perturbSrc.Seed(st.opts.Seed + int64(r)*0x9e3779b9)
+	st.perturbRng.Shuffle(len(st.prio), func(i, j int) { st.prio[i], st.prio[j] = st.prio[j], st.prio[i] })
 }
 
 func (st *state) result(sigma schedule.Schedule) *Result {
@@ -439,7 +660,7 @@ func (st *state) delay(sigma schedule.Schedule, v int, newStart model.Time) (nex
 		st.applyMove(st.touch, next)
 		return next, st.touch, true
 	}
-	dist := make([]int, st.g.N())
+	dist := st.delayDist
 	copy(dist, sigma.Start)
 	dist[st.c.Anchor] = 0
 	touched, relaxOK := st.g.AddEdgeRelaxTouched(dist, st.c.Anchor, v, newStart, st.touch[:0])

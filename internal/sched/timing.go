@@ -26,14 +26,22 @@ import (
 // Options.FullRecompute falls back to whole-graph recomputation per
 // step (for ablation; the distances, and hence the search order and
 // result, are identical).
+//
+// All working storage — the distance vector, the per-depth snapshots
+// and candidate orderings, the visit marks — lives in state-owned
+// buffers recycled across restarts, so a steady-state search allocates
+// nothing.
 func (st *state) timing() (schedule.Schedule, error) {
 	n := st.c.NumTasks()
-	dist, ok := st.g.LongestFrom(st.c.Anchor)
-	if !ok {
+	dist := st.dist
+	if !st.g.LongestFromInto(dist, st.c.Anchor) {
 		return schedule.Schedule{}, fmt.Errorf("%w: timing constraints contain a positive cycle", ErrInfeasible)
 	}
 
-	visited := make([]bool, n)
+	visited := st.visited
+	for i := range visited {
+		visited[i] = false
+	}
 	budget := st.opts.MaxBacktracks
 
 	var visit func(count int) bool
@@ -41,7 +49,7 @@ func (st *state) timing() (schedule.Schedule, error) {
 		if count == n {
 			return true
 		}
-		for _, c := range st.candidates(visited, dist) {
+		for _, c := range st.candidates(count, visited, dist) {
 			// Cooperative cancellation: once the poll latches an error
 			// every recursion level bails on its next candidate, so the
 			// whole search unwinds within one check interval.
@@ -67,7 +75,8 @@ func (st *state) timing() (schedule.Schedule, error) {
 					feasible = false
 				}
 			} else {
-				saved = append([]int(nil), dist...)
+				saved = st.savedBuf(count)
+				copy(saved, dist)
 				for u := 0; u < n; u++ {
 					if u != c && !visited[u] && st.c.Prob.Tasks[u].Resource == res {
 						if !st.g.AddEdgeRelax(dist, c, u, d) {
@@ -110,14 +119,13 @@ func (st *state) timing() (schedule.Schedule, error) {
 		return schedule.Schedule{}, fmt.Errorf("%w: no serialization order yields a time-valid schedule", ErrInfeasible)
 	}
 
-	final, ok := st.g.LongestFrom(st.c.Anchor)
-	if !ok {
+	if !st.g.LongestFromInto(st.finalDist, st.c.Anchor) {
 		// Unreachable: every visited step checked feasibility.
 		return schedule.Schedule{}, fmt.Errorf("%w: final graph has a positive cycle", ErrInfeasible)
 	}
 	st.timingMark = st.g.Mark()
-	st.structEdges = st.g.Edges()
-	return schedule.FromDist(final, st.c.NumTasks()), nil
+	st.structEdges = st.g.AppendEdges(st.structEdges[:0])
+	return schedule.FromDist(st.finalDist, st.c.NumTasks()), nil
 }
 
 // candidates returns the unvisited tasks in the order the search should
@@ -127,18 +135,53 @@ func (st *state) timing() (schedule.Schedule, error) {
 // later restarts). Every unvisited task is a legal candidate; ordering
 // only steers the search toward reasonable schedules first. dist is the
 // incrementally maintained longest-path solution of the working graph.
-func (st *state) candidates(visited []bool, dist []int) []int {
-	var cand []int
+// The returned slice is the depth's reusable buffer: valid for the
+// caller's loop, invalidated by the next call at the same depth.
+func (st *state) candidates(depth int, visited []bool, dist []int) []int {
+	cand := st.candBuf(depth)
 	for v := 0; v < st.c.NumTasks(); v++ {
 		if !visited[v] {
 			cand = append(cand, v)
 		}
 	}
-	sort.Slice(cand, func(i, j int) bool {
-		if dist[cand[i]] != dist[cand[j]] {
-			return dist[cand[i]] < dist[cand[j]]
-		}
-		return st.prio[cand[i]] < st.prio[cand[j]]
-	})
+	st.candBufs[depth] = cand
+	st.sorter.cand, st.sorter.dist, st.sorter.prio = cand, dist, st.prio
+	sort.Sort(&st.sorter)
 	return cand
+}
+
+// savedBuf returns depth's reusable distance-snapshot buffer.
+func (st *state) savedBuf(depth int) []int {
+	for len(st.savedBufs) <= depth {
+		st.savedBufs = append(st.savedBufs, make([]int, st.g.N()))
+	}
+	return st.savedBufs[depth]
+}
+
+// candBuf returns depth's reusable candidate buffer, emptied.
+func (st *state) candBuf(depth int) []int {
+	for len(st.candBufs) <= depth {
+		st.candBufs = append(st.candBufs, make([]int, 0, st.c.NumTasks()))
+	}
+	return st.candBufs[depth][:0]
+}
+
+// candSorter orders candidates by (current ASAP start, priority): a
+// pointer-receiver sort.Interface so sorting allocates nothing, unlike
+// a sort.Slice closure. The key is unique per candidate (prio is a
+// permutation), so the unstable sort is deterministic.
+type candSorter struct {
+	cand []int
+	dist []int
+	prio []int
+}
+
+func (s *candSorter) Len() int      { return len(s.cand) }
+func (s *candSorter) Swap(i, j int) { s.cand[i], s.cand[j] = s.cand[j], s.cand[i] }
+func (s *candSorter) Less(i, j int) bool {
+	a, b := s.cand[i], s.cand[j]
+	if s.dist[a] != s.dist[b] {
+		return s.dist[a] < s.dist[b]
+	}
+	return s.prio[a] < s.prio[b]
 }

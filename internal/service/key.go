@@ -30,6 +30,7 @@ func optsDigest(o sched.Options) [8]byte {
 	putBool(h, o.FullRecompute)
 	putBool(h, o.Naive)
 	putInt(h, int64(o.Restarts))
+	putInt(h, int64(o.Workers))
 	putBool(h, o.Compact)
 	var out [8]byte
 	copy(out[:], h.Sum(nil))

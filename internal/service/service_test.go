@@ -306,25 +306,49 @@ func TestVarsAndPublish(t *testing.T) {
 	}
 }
 
-// TestOptionsDigestCoversAllFields pins the sched.Options field set:
-// when a field is added, this fails as a reminder to extend optsDigest
-// (a silently uncovered field would alias distinct cache keys).
+// TestOptionsDigestCoversAllFields mutates each exported sched.Options
+// field by reflection and asserts the digest moves: a field optsDigest
+// does not cover would alias distinct option sets onto one cache key
+// and silently serve wrong results. Unlike a pinned name list, this
+// catches a new field even if nobody remembers this test exists.
 func TestOptionsDigestCoversAllFields(t *testing.T) {
-	want := map[string]bool{
-		"Seed": true, "MaxBacktracks": true, "MaxSpikeRounds": true,
-		"MaxScans": true, "ScanOrders": true, "SlotChoices": true,
-		"DisableLocks": true, "FullRecompute": true, "Naive": true,
-		"Restarts": true, "Compact": true,
-	}
-	typ := reflect.TypeOf(sched.Options{})
+	base := sched.Options{}
+	baseDigest := optsDigest(base)
+	typ := reflect.TypeOf(base)
 	for i := 0; i < typ.NumField(); i++ {
-		name := typ.Field(i).Name
-		if !want[name] {
-			t.Errorf("sched.Options gained field %q: update optsDigest and this list", name)
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
 		}
-		delete(want, name)
-	}
-	for name := range want {
-		t.Errorf("sched.Options lost field %q: update optsDigest and this list", name)
+		mut := base
+		fv := reflect.ValueOf(&mut).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Bool:
+			fv.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(7)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(7)
+		case reflect.Float32, reflect.Float64:
+			fv.SetFloat(7)
+		case reflect.String:
+			fv.SetString("x")
+		case reflect.Slice:
+			// One element with a non-zero scalar, so length-only
+			// encodings still change the digest.
+			el := reflect.New(f.Type.Elem()).Elem()
+			switch f.Type.Elem().Kind() {
+			case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+				el.SetInt(1)
+			case reflect.Bool:
+				el.SetBool(true)
+			}
+			fv.Set(reflect.Append(reflect.MakeSlice(f.Type, 0, 1), el))
+		default:
+			t.Fatalf("field %s has kind %s: teach this test to mutate it", f.Name, f.Type.Kind())
+		}
+		if optsDigest(mut) == baseDigest {
+			t.Errorf("optsDigest ignores sched.Options.%s: distinct option sets would share a cache key", f.Name)
+		}
 	}
 }

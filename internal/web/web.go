@@ -33,6 +33,9 @@ const (
 	// maxRestarts bounds the restarts= query knob; each restart is a
 	// full pipeline run.
 	maxRestarts = 64
+	// maxWorkers bounds the workers= query knob; results are identical
+	// for every value, so this only caps per-request goroutine fan-out.
+	maxWorkers = 64
 )
 
 // Server hosts a library of named problems. All scheduling goes
@@ -90,7 +93,9 @@ func (s *Server) Names() []string {
 //	GET /schedule?problem=X    rendered schedule; optional stage=
 //	                           timing|maxpower|minpower (default
 //	                           minpower), format=svg|ascii|json|dot
-//	                           (default svg), seed=N, restarts=N
+//	                           (default svg), seed=N, restarts=N,
+//	                           workers=N (restart fan-out; results are
+//	                           identical for every value)
 //	POST /problems             register a problem from a spec document
 //	GET /simulate?problem=X    Monte-Carlo fault campaign; optional
 //	                           n=, seed=, faults=, format=json|html
@@ -157,6 +162,14 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Restarts = v
+	}
+	if ws := q.Get("workers"); ws != "" {
+		v, err := strconv.Atoi(ws)
+		if err != nil || v < 0 || v > maxWorkers {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad workers (want 0..%d)", maxWorkers))
+			return
+		}
+		opts.Workers = v
 	}
 
 	stage, err := service.ParseStage(q.Get("stage"))

@@ -75,6 +75,7 @@ func TestScheduleFormatsAndStages(t *testing.T) {
 		{"problem=nine-task-example&stage=timing&format=ascii", "power view:"},
 		{"problem=nine-task-example&stage=maxpower&format=ascii", "power view:"},
 		{"problem=rover-best-cold&format=ascii&seed=3&restarts=2", "wheels"},
+		{"problem=rover-best-cold&format=ascii&seed=3&restarts=2&workers=4", "wheels"},
 	}
 	for _, tc := range cases {
 		code, body, _ := get(t, ts.URL+"/schedule?"+tc.query)
@@ -97,6 +98,8 @@ func TestScheduleErrors(t *testing.T) {
 		"problem=nine-task-example&seed=xx":             http.StatusBadRequest,
 		"problem=nine-task-example&restarts=-1":         http.StatusBadRequest,
 		"problem=nine-task-example&restarts=notanumber": http.StatusBadRequest,
+		"problem=nine-task-example&workers=-1":          http.StatusBadRequest,
+		"problem=nine-task-example&workers=1000000":     http.StatusBadRequest,
 	}
 	for q, want := range cases {
 		code, _, _ := get(t, ts.URL+"/schedule?"+q)
