@@ -50,6 +50,7 @@ func main() {
 	sizes := flag.String("sizes", "", "comma-separated instance sizes (default: the full benchkit ladder)")
 	naive := flag.Bool("naive", true, "also measure the Naive ablation per size")
 	restarts := flag.Bool("restarts", true, "also measure the restart portfolio (sequential and parallel) on the 50-task instance")
+	machines := flag.Bool("machines", true, "also measure the heterogeneous (4-machine, DVS) 50-task instance")
 	flag.Parse()
 
 	ns := benchkit.Sizes
@@ -85,6 +86,9 @@ func main() {
 		} {
 			rec.Benchmarks = append(rec.Benchmarks, measureRestarts(cfg.restarts, cfg.workers))
 		}
+	}
+	if *machines {
+		rec.Benchmarks = append(rec.Benchmarks, measureMachines(50, 4))
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -157,6 +161,34 @@ func measureRestarts(restarts, workers int) entry {
 		name += "Par"
 		desc = fmt.Sprintf("%d-restart portfolio on the 50-task ladder instance, parallel (Workers=%d)", restarts, workers)
 	}
+	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %12d B/op %8d allocs/op\n",
+		name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	return entry{
+		Name:        name,
+		Package:     "repro/internal/benchkit",
+		Description: desc,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// measureMachines runs the heterogeneous ladder instance (m machines,
+// DVS levels on every third task), mirroring BenchmarkPipelineMachines4
+// in internal/benchkit.
+func measureMachines(n, m int) entry {
+	p := benchkit.GenerateMachines(n, m, 1)
+	opts := benchkit.Options(n)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.MinPower(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	name := fmt.Sprintf("BenchmarkPipelineMachines%d", m)
+	desc := fmt.Sprintf("full pipeline on the %d-task ladder instance with %d machines and DVS levels (heterogeneous choice loop)", n, m)
 	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %12d B/op %8d allocs/op\n",
 		name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
 	return entry{

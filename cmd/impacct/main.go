@@ -70,23 +70,27 @@ func main() {
 		fatal(err)
 	}
 	if *check {
-		if rep := impacct.Verify(prob, res.Schedule); !rep.OK() {
+		if rep := impacct.VerifyAssigned(prob, res.Schedule, res.Assignment); !rep.OK() {
 			fatal(fmt.Errorf("schedule failed verification: %w", rep.Err()))
 		}
 	}
 
+	// Render against the effective problem so heterogeneous runs show
+	// the chosen machine/level delays and powers; for degenerate
+	// problems this is the parsed problem itself.
+	eff := res.EffectiveProblem()
 	var body string
 	switch *format {
 	case "ascii":
-		body = impacct.NewChart(prob, res.Schedule).ASCII(*scale)
+		body = impacct.NewChart(eff, res.Schedule).ASCII(*scale)
 	case "svg":
-		body = impacct.NewChart(prob, res.Schedule).SVG()
+		body = impacct.NewChart(eff, res.Schedule).SVG()
 	case "json":
-		body = renderJSON(prob, res)
+		body = renderJSON(eff, res)
 	case "spec":
 		body = impacct.FormatSpec(prob)
 	case "dot":
-		body = dot.Scheduled(prob, res.Schedule)
+		body = dot.Scheduled(eff, res.Schedule)
 	case "metrics":
 		body = renderMetrics(res)
 	default:

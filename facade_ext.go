@@ -24,6 +24,14 @@ type (
 // a schedule.
 func Verify(p *Problem, s Schedule) VerifyReport { return verify.Check(p, s) }
 
+// VerifyAssigned is Verify for heterogeneous problems: the machine and
+// DVS choices in a are applied to the tasks before checking, and
+// machine exclusivity is checked pairwise. A nil assignment is exactly
+// Verify.
+func VerifyAssigned(p *Problem, s Schedule, a Assignment) VerifyReport {
+	return verify.CheckAssigned(p, s, a)
+}
+
 // Interactive editing (see internal/editor).
 
 // Session is an interactive scheduling session: move and lock task

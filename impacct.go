@@ -44,6 +44,15 @@ type (
 	Problem = model.Problem
 	// Time is a point or duration on the discrete time axis (seconds).
 	Time = model.Time
+	// Machine is a named execution unit with speed and power-scale
+	// factors; an empty machine set is the paper's single-system model.
+	Machine = model.Machine
+	// DVSLevel is one (duration multiplier, power) operating point on a
+	// task's voltage/speed tradeoff curve.
+	DVSLevel = model.DVSLevel
+	// Assignment records the chosen machine and DVS level per task; nil
+	// for degenerate (machine-less, single-level) problems.
+	Assignment = model.Assignment
 )
 
 // Anchor is the reserved name of the virtual time-zero task; use it in

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -170,7 +171,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal("same seed produced different problems")
 	}
 	for i := range a.Tasks {
-		if a.Tasks[i] != b.Tasks[i] {
+		if !reflect.DeepEqual(a.Tasks[i], b.Tasks[i]) {
 			t.Fatalf("task %d differs: %+v vs %+v", i, a.Tasks[i], b.Tasks[i])
 		}
 	}
@@ -178,7 +179,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	same := len(a.Constraints) == len(c.Constraints)
 	if same {
 		for i := range a.Tasks {
-			if a.Tasks[i] != c.Tasks[i] {
+			if !reflect.DeepEqual(a.Tasks[i], c.Tasks[i]) {
 				same = false
 				break
 			}

@@ -74,6 +74,37 @@ func Generate(n int, seed int64) *model.Problem {
 	return p
 }
 
+// GenerateMachines builds the heterogeneous variant of the ladder
+// instance: the Generate(n, seed) problem plus m machines with spread
+// speeds (faster machines draw proportionally more power) and a
+// two-level DVS ladder on every third task. The machine dimension
+// multiplies the backtracker's branching factor by m, so this is the
+// instance that prices the choice loop, the machine serialization
+// edges, and the EFT choice ordering.
+func GenerateMachines(n, m int, seed int64) *model.Problem {
+	p := Generate(n, seed)
+	p.Name = fmt.Sprintf("bench-%d-m%d-%d", n, m, seed)
+	rng := rand.New(rand.NewSource(seed ^ int64(m)*0x85ebca6b))
+	for j := 0; j < m; j++ {
+		p.Machines = append(p.Machines, model.Machine{
+			Name:       fmt.Sprintf("m%d", j),
+			Speed:      1 + 0.25*float64(j),
+			PowerScale: 1 + 0.1*float64(j),
+		})
+	}
+	for i := range p.Tasks {
+		if i%3 != 0 {
+			continue
+		}
+		t := &p.Tasks[i]
+		t.Levels = []model.DVSLevel{
+			{Mult: 1, Power: t.Power},
+			{Mult: 1.5, Power: t.Power * (0.5 + 0.3*rng.Float64())},
+		}
+	}
+	return p
+}
+
 // asapPeak returns the peak power of the schedule that starts every
 // task at its earliest precedence-feasible time, ignoring resource
 // serialization and power limits. Tasks are index-topological by

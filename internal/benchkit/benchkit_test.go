@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/schedule"
+	"repro/internal/verify"
 )
 
 // TestGenerateDeterministic: the same (n, seed) yields the same
@@ -49,12 +50,50 @@ func TestGenerateSchedulable(t *testing.T) {
 	}
 }
 
+// TestGenerateMachinesSchedulable: the heterogeneous ladder instance
+// is feasible under the benchmark options and yields a valid assigned
+// schedule with every machine actually used.
+func TestGenerateMachinesSchedulable(t *testing.T) {
+	p := GenerateMachines(50, 4, 1)
+	r, err := sched.MinPower(p, Options(50))
+	if err != nil {
+		t.Fatalf("hetero instance infeasible: %v", err)
+	}
+	if rep := verify.CheckAssigned(p, r.Schedule, r.Assignment); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+	used := map[int]bool{}
+	for _, c := range r.Assignment {
+		used[c.Machine] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("only %d machine(s) used; the instance does not exercise the assignment dimension", len(used))
+	}
+}
+
 // benchmarkPipeline measures the full three-stage pipeline (with
 // compaction) on the ladder instance of the given size.
 func benchmarkPipeline(b *testing.B, n int, naive bool) {
 	p := Generate(n, 1)
 	opts := Options(n)
 	opts.Naive = naive
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.MinPower(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineMachines4 runs the 50-task ladder instance with 4
+// machines and DVS levels: the cost of the heterogeneous choice loop
+// (machine serialization edges, EFT choice ordering, assignment
+// bookkeeping) against BenchmarkPipeline50's degenerate single-choice
+// path on the same underlying DAG.
+func BenchmarkPipelineMachines4(b *testing.B) {
+	p := GenerateMachines(50, 4, 1)
+	opts := Options(50)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -54,6 +54,9 @@ type Solution struct {
 	Schedule   schedule.Schedule
 	Finish     model.Time
 	EnergyCost float64
+	// Assignment is the optimal (machine, level) choice per task for a
+	// heterogeneous problem; nil for the degenerate case.
+	Assignment model.Assignment
 	// Nodes is the number of search nodes expanded.
 	Nodes int
 	// Optimal is true when the search space was exhausted (the
@@ -69,9 +72,28 @@ func Solve(p *model.Problem, obj Objective, cfg Config) (Solution, error) {
 		return Solution{}, err
 	}
 	n := len(p.Tasks)
+	choices := make([][]model.TaskChoice, n)
+	for i := range choices {
+		choices[i] = p.TaskChoices(i)
+		if len(choices[i]) == 0 {
+			return Solution{}, fmt.Errorf("exact: task %q has no admissible machine/level choice", p.Tasks[i].Name)
+		}
+	}
+	// maxDelay is the largest effective delay any choice of task i can
+	// take; for a degenerate problem it is exactly the nominal delay, so
+	// the default horizon and tau bound are unchanged.
+	maxDelay := func(i int) model.Time {
+		d := choices[i][0].Delay
+		for _, ch := range choices[i][1:] {
+			if ch.Delay > d {
+				d = ch.Delay
+			}
+		}
+		return d
+	}
 	if cfg.Horizon == 0 {
-		for _, t := range p.Tasks {
-			cfg.Horizon += t.Delay
+		for i := range p.Tasks {
+			cfg.Horizon += maxDelay(i)
 		}
 		for _, c := range p.Constraints {
 			if c.From == model.Anchor && c.Min > 0 {
@@ -81,9 +103,9 @@ func Solve(p *model.Problem, obj Objective, cfg Config) (Solution, error) {
 	}
 	if cfg.TauBound == 0 {
 		cfg.TauBound = cfg.Horizon
-		for _, t := range p.Tasks {
-			if cfg.TauBound < cfg.Horizon+t.Delay {
-				cfg.TauBound = cfg.Horizon + t.Delay
+		for i := range p.Tasks {
+			if cfg.TauBound < cfg.Horizon+maxDelay(i) {
+				cfg.TauBound = cfg.Horizon + maxDelay(i)
 			}
 		}
 	}
@@ -91,9 +113,10 @@ func Solve(p *model.Problem, obj Objective, cfg Config) (Solution, error) {
 		cfg.MaxNodes = 2_000_000
 	}
 
-	s := &solver{p: p, cfg: cfg, obj: obj, idx: p.TaskIndex()}
+	s := &solver{p: p, cfg: cfg, obj: obj, idx: p.TaskIndex(), choices: choices, hetero: p.Heterogeneous()}
 	s.start = make([]model.Time, n)
 	s.assigned = make([]bool, n)
+	s.eff = make([]model.TaskChoice, n)
 	s.bestCost = -1
 	s.search(0)
 
@@ -107,6 +130,7 @@ func Solve(p *model.Problem, obj Objective, cfg Config) (Solution, error) {
 		Schedule:   schedule.Schedule{Start: s.best},
 		Finish:     s.bestFinish,
 		EnergyCost: s.bestEc,
+		Assignment: s.bestAsg,
 		Nodes:      s.nodes,
 		Optimal:    !s.truncated,
 	}, nil
@@ -120,10 +144,18 @@ type solver struct {
 
 	start    []model.Time
 	assigned []bool
+	// choices and eff carry the heterogeneous dimension: choices[i] is
+	// task i's admissible (machine, level) options and eff[i] the option
+	// the current partial assignment runs it under. For a degenerate
+	// problem every task has one choice holding its nominal values.
+	choices [][]model.TaskChoice
+	eff     []model.TaskChoice
+	hetero  bool
 
 	best       []model.Time
 	bestFinish model.Time
 	bestEc     float64
+	bestAsg    model.Assignment
 	bestCost   float64 // objective value of best (-1 = none yet)
 
 	nodes     int
@@ -132,7 +164,10 @@ type solver struct {
 
 // search assigns task k (tasks are assigned in index order; the
 // instance generator and the paper's examples list tasks in rough
-// topological order, which keeps bounds tight).
+// topological order, which keeps bounds tight). Every (machine, level)
+// choice of the task is enumerated around the start-time loop; a
+// degenerate problem has exactly one choice per task, reducing the
+// enumeration to the original start-time search node for node.
 func (s *solver) search(k int) {
 	if s.truncated {
 		return
@@ -142,23 +177,26 @@ func (s *solver) search(k int) {
 		return
 	}
 	lo, hi := s.bounds(k)
-	for t := lo; t <= hi; t++ {
-		s.nodes++
-		if s.nodes > s.cfg.MaxNodes {
-			s.truncated = true
-			return
-		}
-		s.start[k] = t
-		if !s.feasiblePartial(k, t) {
-			continue
-		}
-		s.assigned[k] = true
-		if !s.pruned(k) {
-			s.search(k + 1)
-		}
-		s.assigned[k] = false
-		if s.truncated {
-			return
+	for _, ch := range s.choices[k] {
+		s.eff[k] = ch
+		for t := lo; t <= hi; t++ {
+			s.nodes++
+			if s.nodes > s.cfg.MaxNodes {
+				s.truncated = true
+				return
+			}
+			s.start[k] = t
+			if !s.feasiblePartial(k, t) {
+				continue
+			}
+			s.assigned[k] = true
+			if !s.pruned(k) {
+				s.search(k + 1)
+			}
+			s.assigned[k] = false
+			if s.truncated {
+				return
+			}
 		}
 	}
 }
@@ -210,28 +248,29 @@ func (s *solver) endpoint(name string, k int) (model.Time, bool) {
 	return 0, false
 }
 
-// feasiblePartial checks resource conflicts and the power budget over
-// tasks 0..k (both monotone: violations can only persist as more tasks
-// are added, so pruning here is sound).
+// feasiblePartial checks resource conflicts, machine conflicts, and the
+// power budget over tasks 0..k (all monotone: violations can only
+// persist as more tasks are added, so pruning here is sound). Delays and
+// powers are the effective values of each task's current choice.
 func (s *solver) feasiblePartial(k int, t model.Time) bool {
 	task := s.p.Tasks[k]
-	end := t + task.Delay
+	end := t + s.eff[k].Delay
 	for i := 0; i < k; i++ {
-		o := s.p.Tasks[i]
-		if o.Resource != task.Resource {
+		if s.p.Tasks[i].Resource != task.Resource &&
+			!(s.eff[k].Machine >= 0 && s.eff[i].Machine == s.eff[k].Machine) {
 			continue
 		}
-		oEnd := s.start[i] + o.Delay
+		oEnd := s.start[i] + s.eff[i].Delay
 		if s.start[i] < end && t < oEnd {
 			return false
 		}
 	}
 	if s.p.Pmax > 0 {
 		for tt := t; tt < end; tt++ {
-			sum := s.p.BasePower + task.Power
+			sum := s.p.BasePower + s.eff[k].Power
 			for i := 0; i < k; i++ {
-				if s.start[i] <= tt && tt < s.start[i]+s.p.Tasks[i].Delay {
-					sum += s.p.Tasks[i].Power
+				if s.start[i] <= tt && tt < s.start[i]+s.eff[i].Delay {
+					sum += s.eff[i].Power
 				}
 			}
 			if sum > s.p.Pmax {
@@ -253,7 +292,7 @@ func (s *solver) pruned(k int) bool {
 		// Partial makespan only grows.
 		var fin model.Time
 		for i := 0; i <= k; i++ {
-			if end := s.start[i] + s.p.Tasks[i].Delay; end > fin {
+			if end := s.start[i] + s.eff[i].Delay; end > fin {
 				fin = end
 			}
 		}
@@ -273,7 +312,7 @@ func (s *solver) partialCost(k int) float64 {
 	}
 	var fin model.Time
 	for i := 0; i <= k; i++ {
-		if end := s.start[i] + s.p.Tasks[i].Delay; end > fin {
+		if end := s.start[i] + s.eff[i].Delay; end > fin {
 			fin = end
 		}
 	}
@@ -281,8 +320,8 @@ func (s *solver) partialCost(k int) float64 {
 	for t := model.Time(0); t < fin; t++ {
 		sum := s.p.BasePower
 		for i := 0; i <= k; i++ {
-			if s.start[i] <= t && t < s.start[i]+s.p.Tasks[i].Delay {
-				sum += s.p.Tasks[i].Power
+			if s.start[i] <= t && t < s.start[i]+s.eff[i].Delay {
+				sum += s.eff[i].Power
 			}
 		}
 		if sum > s.p.Pmin {
@@ -309,8 +348,8 @@ func (s *solver) leaf() {
 		}
 	}
 	var fin model.Time
-	for i, t := range s.p.Tasks {
-		if end := s.start[i] + t.Delay; end > fin {
+	for i := range s.p.Tasks {
+		if end := s.start[i] + s.eff[i].Delay; end > fin {
 			fin = end
 		}
 	}
@@ -331,5 +370,11 @@ func (s *solver) leaf() {
 		s.best = append([]model.Time(nil), s.start...)
 		s.bestFinish = fin
 		s.bestEc = ec
+		if s.hetero {
+			s.bestAsg = s.bestAsg[:0]
+			for _, e := range s.eff {
+				s.bestAsg = append(s.bestAsg, model.Choice{Machine: e.Machine, Level: e.Level})
+			}
+		}
 	}
 }

@@ -1,0 +1,86 @@
+package exact_test
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/verify"
+)
+
+// TestExactSpreadsAcrossMachines hand-checks the assignment dimension:
+// two independent delay-4 tasks and two unit machines have a proven
+// optimal finish of 4, achievable only by using both machines.
+func TestExactSpreadsAcrossMachines(t *testing.T) {
+	p := &model.Problem{
+		Name: "exact-two-machines",
+		Machines: []model.Machine{
+			{Name: "m0", Speed: 1, PowerScale: 1},
+			{Name: "m1", Speed: 1, PowerScale: 1},
+		},
+	}
+	p.AddTask(model.Task{Name: "a", Resource: "Ra", Delay: 4, Power: 1})
+	p.AddTask(model.Task{Name: "b", Resource: "Rb", Delay: 4, Power: 1})
+	sol, err := exact.Solve(p, exact.MinFinish, exact.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Optimal {
+		t.Fatal("search truncated on a 2-task instance")
+	}
+	if sol.Finish != 4 {
+		t.Fatalf("optimal finish = %d, want 4", sol.Finish)
+	}
+	if len(sol.Assignment) != 2 || sol.Assignment[0].Machine == sol.Assignment[1].Machine {
+		t.Fatalf("assignment = %v, want the two tasks on distinct machines", sol.Assignment)
+	}
+	if rep := verify.CheckAssigned(p, sol.Schedule, sol.Assignment); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+}
+
+// TestExactForcedSlowLevel hand-checks the DVS dimension interacting
+// with the power budget: the nominal level alone busts Pmax, so the
+// only admissible choice is the stretched low-power level and the
+// optimal finish is the stretched delay.
+func TestExactForcedSlowLevel(t *testing.T) {
+	p := &model.Problem{Name: "exact-forced-slow", Pmax: 5}
+	p.AddTask(model.Task{
+		Name: "a", Resource: "R", Delay: 3, Power: 10,
+		Levels: []model.DVSLevel{{Mult: 1, Power: 10}, {Mult: 2, Power: 4}},
+	})
+	sol, err := exact.Solve(p, exact.MinFinish, exact.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Optimal || sol.Finish != 6 {
+		t.Fatalf("finish = %d (optimal %v), want 6 via the Mult=2 level", sol.Finish, sol.Optimal)
+	}
+	if sol.Assignment[0].Level != 1 || sol.Assignment[0].Machine != -1 {
+		t.Fatalf("assignment = %v, want level 1 on no machine", sol.Assignment)
+	}
+}
+
+// TestExactFasterMachineWins hand-checks the speed dimension: a single
+// delay-6 task on a speed-2 machine finishes in 3; the exact solver
+// must find that assignment over the unit machine.
+func TestExactFasterMachineWins(t *testing.T) {
+	p := &model.Problem{
+		Name: "exact-fast-machine",
+		Machines: []model.Machine{
+			{Name: "slow", Speed: 1, PowerScale: 1},
+			{Name: "fast", Speed: 2, PowerScale: 1},
+		},
+	}
+	p.AddTask(model.Task{Name: "a", Resource: "R", Delay: 6, Power: 2})
+	sol, err := exact.Solve(p, exact.MinFinish, exact.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Optimal || sol.Finish != 3 {
+		t.Fatalf("finish = %d (optimal %v), want 3 on the fast machine", sol.Finish, sol.Optimal)
+	}
+	if got := p.Machines[sol.Assignment[0].Machine].Name; got != "fast" {
+		t.Fatalf("assigned machine %q, want \"fast\"", got)
+	}
+}

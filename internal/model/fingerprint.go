@@ -46,6 +46,28 @@ func (p *Problem) Fingerprint() string {
 			h.Write([]byte{0})
 		}
 	}
+	// The heterogeneous machine/DVS section is appended only when the
+	// problem actually uses those dimensions, behind a domain-separating
+	// tag: every degenerate (paper-model) problem keeps the exact digest
+	// it had before the dimensions existed, so deployed cache keys for
+	// the m=1, one-speed case survive the representation change.
+	if p.Heterogeneous() {
+		hashString(h, "hetero/v1")
+		hashInt(h, int64(len(p.Machines)))
+		for _, m := range p.Machines {
+			hashString(h, m.Name)
+			hashFloat(h, m.Speed)
+			hashFloat(h, m.PowerScale)
+		}
+		for _, t := range p.Tasks {
+			hashString(h, t.Machine)
+			hashInt(h, int64(len(t.Levels)))
+			for _, l := range t.Levels {
+				hashFloat(h, l.Mult)
+				hashFloat(h, l.Power)
+			}
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 

@@ -12,11 +12,22 @@ func FuzzFingerprint(f *testing.F) {
 	f.Add(int64(3), uint8(4), int64(-2))
 	f.Add(int64(9), uint8(7), int64(40))
 	f.Add(int64(17), uint8(11), int64(7))
+	f.Add(int64(5), uint8(10), int64(2))
+	f.Add(int64(6), uint8(12), int64(3))
+	f.Add(int64(8), uint8(14), int64(-5))
 	f.Fuzz(func(t *testing.T, seed int64, which uint8, delta int64) {
 		if delta == 0 {
 			delta = 1
 		}
+		// Mutations 10+ target the machine/DVS section, which is hashed
+		// only for heterogeneous problems, so they run on the hetero
+		// generator (a pin or level on a machine-less problem never
+		// survives Validate, so the digest ignoring it is intended).
+		kind := which % 15
 		p := genFingerprintProblem(seed)
+		if kind >= 10 {
+			p = genHeteroFingerprintProblem(seed)
+		}
 		q := p.Clone()
 		if p.Fingerprint() != q.Fingerprint() {
 			t.Fatalf("seed %d: equal problems hash differently", seed)
@@ -24,7 +35,7 @@ func FuzzFingerprint(f *testing.F) {
 
 		fd := float64(delta)
 		ti := int(uint64(delta) % uint64(len(q.Tasks)))
-		switch which % 10 {
+		switch kind {
 		case 0:
 			q.Name += "m"
 		case 1:
@@ -45,10 +56,20 @@ func FuzzFingerprint(f *testing.F) {
 			q.AddTask(Task{Name: "fuzz-extra", Resource: "Z", Delay: 1, Power: 1})
 		case 9:
 			q.MinSep(q.Tasks[0].Name, q.Tasks[len(q.Tasks)-1].Name, int(delta))
+		case 10:
+			q.Machines = append(q.Machines, Machine{Name: "fuzz-mach", Speed: 1, PowerScale: 1})
+		case 11:
+			q.Machines[int(uint64(delta)%uint64(len(q.Machines)))].Speed += fd
+		case 12:
+			q.Machines[int(uint64(delta)%uint64(len(q.Machines)))].PowerScale += fd
+		case 13:
+			q.Tasks[ti].Levels = append(q.Tasks[ti].Levels, DVSLevel{Mult: 2, Power: fd})
+		case 14:
+			q.Tasks[ti].Machine += "m"
 		}
 		if p.Fingerprint() == q.Fingerprint() {
 			t.Fatalf("seed %d: mutation %d (delta %d) did not change the fingerprint",
-				seed, which%10, delta)
+				seed, kind, delta)
 		}
 	})
 }

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -33,6 +34,33 @@ func genFingerprintProblem(seed int64) *Problem {
 			} else {
 				p.MinSep(from, to, rng.Intn(10))
 			}
+		}
+	}
+	return p
+}
+
+// genHeteroFingerprintProblem extends the generator with the machine
+// and DVS dimensions, so the hetero section of the digest is exercised.
+func genHeteroFingerprintProblem(seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := genFingerprintProblem(seed)
+	m := 1 + rng.Intn(3)
+	for j := 0; j < m; j++ {
+		p.Machines = append(p.Machines, Machine{
+			Name:       fmt.Sprintf("m%d", j),
+			Speed:      1 + rng.Float64(),
+			PowerScale: 0.5 + rng.Float64(),
+		})
+	}
+	for i := range p.Tasks {
+		if rng.Float64() < 0.5 {
+			p.Tasks[i].Levels = []DVSLevel{
+				{Mult: 1, Power: p.Tasks[i].Power},
+				{Mult: 1 + rng.Float64(), Power: rng.Float64() * 5},
+			}
+		}
+		if rng.Float64() < 0.3 {
+			p.Tasks[i].Machine = p.Machines[rng.Intn(m)].Name
 		}
 	}
 	return p
@@ -82,6 +110,122 @@ func TestFingerprintFieldSensitivity(t *testing.T) {
 		mutate(q)
 		if q.Fingerprint() == want {
 			t.Errorf("%s: mutation did not change the fingerprint", label)
+		}
+	}
+}
+
+// TestFingerprintHeteroFieldSensitivity is the field-sensitivity table
+// for the machine/DVS dimensions, run against a heterogeneous base (a
+// pin or level mutation on a problem without machines never reaches a
+// scheduler: Validate rejects it, so the digest ignoring it is fine).
+func TestFingerprintHeteroFieldSensitivity(t *testing.T) {
+	base := genHeteroFingerprintProblem(7)
+	if len(base.Tasks[0].Levels) == 0 {
+		base.Tasks[0].Levels = []DVSLevel{{Mult: 1, Power: base.Tasks[0].Power}}
+	}
+	mutations := map[string]func(*Problem){
+		"machine-added":      func(p *Problem) { p.Machines = append(p.Machines, Machine{Name: "mz", Speed: 1, PowerScale: 1}) },
+		"machine-removed":    func(p *Problem) { p.Machines = p.Machines[:len(p.Machines)-1] },
+		"machine-name":       func(p *Problem) { p.Machines[0].Name += "x" },
+		"machine-speed":      func(p *Problem) { p.Machines[0].Speed++ },
+		"machine-powerscale": func(p *Problem) { p.Machines[0].PowerScale++ },
+		"task-pin":           func(p *Problem) { p.Tasks[0].Machine += "x" },
+		"level-added": func(p *Problem) {
+			p.Tasks[0].Levels = append(p.Tasks[0].Levels, DVSLevel{Mult: 9, Power: 9})
+		},
+		"level-mult":  func(p *Problem) { p.Tasks[0].Levels[0].Mult++ },
+		"level-power": func(p *Problem) { p.Tasks[0].Levels[0].Power++ },
+	}
+	want := base.Fingerprint()
+	for label, mutate := range mutations {
+		q := base.Clone()
+		mutate(q)
+		if q.Fingerprint() == want {
+			t.Errorf("%s: mutation did not change the fingerprint", label)
+		}
+	}
+}
+
+// TestFingerprintDegenerateUnchanged pins the compatibility contract of
+// the hetero section: a problem that uses neither machines nor levels
+// hashes exactly as it did before the dimensions existed (the golden
+// digest above), and zero-value new fields do not perturb it.
+func TestFingerprintDegenerateUnchanged(t *testing.T) {
+	p := genFingerprintProblem(11)
+	want := p.Fingerprint()
+	q := p.Clone()
+	q.Machines = []Machine{}
+	for i := range q.Tasks {
+		q.Tasks[i].Levels = []DVSLevel{}
+	}
+	if q.Fingerprint() != want {
+		t.Error("empty (vs nil) machine and level slices changed the digest")
+	}
+}
+
+// TestFingerprintCoversAllFields walks every exported field of the
+// model structs by reflection and requires a registered mutation that
+// moves the digest. Unlike the hand-written tables above, this fails
+// the moment someone adds a field and forgets to hash it — the digest
+// is a cache key, and an unhashed field silently serves wrong cached
+// schedules.
+func TestFingerprintCoversAllFields(t *testing.T) {
+	base := genHeteroFingerprintProblem(5)
+	if len(base.Tasks[0].Levels) == 0 {
+		base.Tasks[0].Levels = []DVSLevel{{Mult: 1, Power: base.Tasks[0].Power}}
+	}
+	mutations := map[string]func(*Problem){
+		"Problem.Name":        func(p *Problem) { p.Name += "x" },
+		"Problem.Tasks":       func(p *Problem) { p.AddTask(Task{Name: "zz", Resource: "Z", Delay: 1}) },
+		"Problem.Constraints": func(p *Problem) { p.MinSep(p.Tasks[0].Name, p.Tasks[1].Name, 99) },
+		"Problem.Pmax":        func(p *Problem) { p.Pmax++ },
+		"Problem.Pmin":        func(p *Problem) { p.Pmin++ },
+		"Problem.BasePower":   func(p *Problem) { p.BasePower++ },
+		"Problem.Machines":    func(p *Problem) { p.Machines[0].Name += "x" },
+		"Task.Name":           func(p *Problem) { p.Tasks[0].Name += "x" },
+		"Task.Resource":       func(p *Problem) { p.Tasks[0].Resource += "x" },
+		"Task.Delay":          func(p *Problem) { p.Tasks[0].Delay++ },
+		"Task.Power":          func(p *Problem) { p.Tasks[0].Power++ },
+		"Task.Levels":         func(p *Problem) { p.Tasks[0].Levels[0].Mult++ },
+		"Task.Machine":        func(p *Problem) { p.Tasks[0].Machine += "x" },
+		"Constraint.From":     func(p *Problem) { p.Constraints[0].From += "x" },
+		"Constraint.To":       func(p *Problem) { p.Constraints[0].To += "x" },
+		"Constraint.Min":      func(p *Problem) { p.Constraints[0].Min += 3 },
+		"Constraint.Max":      func(p *Problem) { p.Constraints[0].Max += 3 },
+		"Constraint.HasMax":   func(p *Problem) { p.Constraints[0].HasMax = !p.Constraints[0].HasMax },
+		"Machine.Name":        func(p *Problem) { p.Machines[0].Name += "x" },
+		"Machine.Speed":       func(p *Problem) { p.Machines[0].Speed++ },
+		"Machine.PowerScale":  func(p *Problem) { p.Machines[0].PowerScale++ },
+		"DVSLevel.Mult":       func(p *Problem) { p.Tasks[0].Levels[0].Mult++ },
+		"DVSLevel.Power":      func(p *Problem) { p.Tasks[0].Levels[0].Power++ },
+	}
+	if len(base.Constraints) == 0 {
+		base.MinSep(base.Tasks[0].Name, base.Tasks[1].Name, 2)
+	}
+	want := base.Fingerprint()
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Problem{}),
+		reflect.TypeOf(Task{}),
+		reflect.TypeOf(Constraint{}),
+		reflect.TypeOf(Machine{}),
+		reflect.TypeOf(DVSLevel{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			key := typ.Name() + "." + f.Name
+			mutate, ok := mutations[key]
+			if !ok {
+				t.Errorf("%s: no fingerprint-sensitivity mutation registered; is the new field hashed?", key)
+				continue
+			}
+			q := base.Clone()
+			mutate(q)
+			if q.Fingerprint() == want {
+				t.Errorf("%s: mutation did not change the fingerprint", key)
+			}
 		}
 	}
 }

@@ -38,10 +38,21 @@ type Task struct {
 	// subsystems and heaters are resources too.
 	Resource string
 	// Delay is the execution delay d(v) in time units; it must be > 0.
+	// It is the nominal delay: the chosen machine speed and DVS level
+	// scale it (see EffDelay); with no machines and no levels it is
+	// the effective delay, exactly as in the paper.
 	Delay Time
 	// Power is the power consumption p(v) in watts while the task
 	// executes; it must be >= 0. Energy consumption is Delay*Power.
+	// Tasks with an explicit Levels curve draw the level's power
+	// instead.
 	Power float64
+	// Levels is the task's optional DVS duration-power tradeoff curve.
+	// Empty means the single implicit nominal level {Mult: 1, Power}.
+	Levels []DVSLevel `json:",omitempty"`
+	// Machine optionally pins the task to the named machine. Empty
+	// means any machine (or none, when the problem declares none).
+	Machine string `json:",omitempty"`
 }
 
 // Energy returns the task's total energy expenditure d(v)*p(v) in joules.
@@ -90,13 +101,25 @@ type Problem struct {
 	// schedule (the rover's CPU in Table 2 is "constant"). It is added
 	// to the power profile but is not a schedulable task.
 	BasePower float64
+	// Machines is the optional heterogeneous machine set. Empty means
+	// the paper's single-system model: no assignment dimension, tasks
+	// serialized by resource only.
+	Machines []Machine `json:",omitempty"`
 }
 
 // Clone returns a deep copy of the problem.
 func (p *Problem) Clone() *Problem {
 	q := *p
 	q.Tasks = append([]Task(nil), p.Tasks...)
+	for i := range q.Tasks {
+		if len(q.Tasks[i].Levels) > 0 {
+			q.Tasks[i].Levels = append([]DVSLevel(nil), q.Tasks[i].Levels...)
+		}
+	}
 	q.Constraints = append([]Constraint(nil), p.Constraints...)
+	if len(p.Machines) > 0 {
+		q.Machines = append([]Machine(nil), p.Machines...)
+	}
 	return &q
 }
 
@@ -235,11 +258,26 @@ func (p *Problem) Validate() error {
 	if p.BasePower < 0 {
 		return fmt.Errorf("model: negative base power %g", p.BasePower)
 	}
+	if err := p.validateMachines(); err != nil {
+		return err
+	}
 	if p.Pmax != 0 {
-		for _, t := range p.Tasks {
-			if t.Power+p.BasePower > p.Pmax {
-				return fmt.Errorf("model: task %q alone (%g W + base %g W) exceeds Pmax %g W",
-					t.Name, t.Power, p.BasePower, p.Pmax)
+		if !p.Heterogeneous() {
+			for _, t := range p.Tasks {
+				if t.Power+p.BasePower > p.Pmax {
+					return fmt.Errorf("model: task %q alone (%g W + base %g W) exceeds Pmax %g W",
+						t.Name, t.Power, p.BasePower, p.Pmax)
+				}
+			}
+		} else {
+			// A task must have at least one (machine, level) choice
+			// whose effective power fits under the budget; TaskChoices
+			// already filters solo-overbudget choices out.
+			for i, t := range p.Tasks {
+				if len(p.TaskChoices(i)) == 0 {
+					return fmt.Errorf("model: task %q has no machine/level choice within Pmax %g W (base %g W)",
+						t.Name, p.Pmax, p.BasePower)
+				}
 			}
 		}
 	}

@@ -24,7 +24,7 @@ func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
 	if len(st.structEdges) == 0 {
 		return sigma
 	}
-	tasks := st.c.Prob.Tasks
+	tasks := st.tasks
 	pmax := st.c.Prob.Pmax
 	sigma = sigma.Clone()
 	st.syncProfile(sigma)

@@ -3,6 +3,7 @@ package sched
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/spec"
@@ -67,12 +68,22 @@ func FuzzPipeline(f *testing.F) {
 				return
 			}
 		}
+		for _, task := range p.Tasks {
+			if len(task.Levels) > 4 {
+				return
+			}
+		}
+		if len(p.Machines) > 4 {
+			return
+		}
 		opts := Options{MaxBacktracks: 300, MaxSpikeRounds: 500, MaxScans: 2}
 		r, err := Run(p, opts)
 		if err != nil {
 			return // infeasibility and budget exhaustion are legal outcomes
 		}
-		if rep := verify.Check(p, r.Schedule); !rep.OK() {
+		// CheckAssigned with a nil assignment is exactly Check, so one
+		// oracle call covers degenerate and heterogeneous inputs alike.
+		if rep := verify.CheckAssigned(p, r.Schedule, r.Assignment); !rep.OK() {
 			t.Fatalf("pipeline emitted an invalid schedule for:\n%s\n%v", input, rep.Err())
 		}
 		// The incremental core (profile tracker + slack cache) is an
@@ -87,6 +98,10 @@ func FuzzPipeline(f *testing.F) {
 		if !r.Schedule.Equal(nr.Schedule) {
 			t.Fatalf("incremental and naive schedules diverge for:\n%s\nincremental %v\nnaive %v",
 				input, r.Schedule.Start, nr.Schedule.Start)
+		}
+		if !reflect.DeepEqual(r.Assignment, nr.Assignment) {
+			t.Fatalf("incremental and naive assignments diverge for:\n%s\nincremental %v\nnaive %v",
+				input, r.Assignment, nr.Assignment)
 		}
 	})
 }

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rover"
+	"repro/internal/spec"
+)
+
+// The degenerate-case golden suite pins the scheduler's observable
+// output — start times, power profile, stats, fingerprint, and the
+// interchange JSON — for every single-machine, single-level problem in
+// the repository: the testdata spec documents and the paper's rover
+// iteration graphs. The goldens were captured before the heterogeneous
+// machine/DVS representation landed; the suite therefore proves, byte
+// for byte, that the paper's problems are the degenerate case of the
+// generalized representation rather than a separately maintained code
+// path. Regenerate (a conscious act, like changing the fingerprint
+// encoding) with:
+//
+//	GOLDEN_UPDATE=1 go test ./internal/sched -run TestGoldenDegenerate
+const goldenDir = "../../testdata/golden"
+
+// goldenDoc is one recorded pipeline outcome. Floats are stored both
+// as hex-encoded IEEE-754 bits (the comparison key: byte identity, not
+// approximate equality) and as text (for humans reading the diff).
+type goldenDoc struct {
+	Fingerprint string       `json:"fingerprint"`
+	Starts      []model.Time `json:"starts"`
+	Finish      model.Time   `json:"finish"`
+	EnergyBits  string       `json:"energy_cost_bits"`
+	EnergyText  string       `json:"energy_cost"`
+	UtilBits    string       `json:"utilization_bits"`
+	UtilText    string       `json:"utilization"`
+	Profile     []goldenSeg  `json:"profile"`
+	Stats       Stats        `json:"stats"`
+	ScheduleJS  string       `json:"schedule_json"`
+}
+
+type goldenSeg struct {
+	T0    model.Time
+	T1    model.Time
+	PBits string
+}
+
+func (s goldenSeg) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		T0    model.Time `json:"t0"`
+		T1    model.Time `json:"t1"`
+		PBits string     `json:"p_bits"`
+	}{s.T0, s.T1, s.PBits})
+}
+
+func (s *goldenSeg) UnmarshalJSON(data []byte) error {
+	var v struct {
+		T0    model.Time `json:"t0"`
+		T1    model.Time `json:"t1"`
+		PBits string     `json:"p_bits"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	s.T0, s.T1, s.PBits = v.T0, v.T1, v.PBits
+	return nil
+}
+
+func bits(f float64) string { return fmt.Sprintf("%016x", math.Float64bits(f)) }
+
+// goldenOptions are the option sets each case is pinned under: the
+// paper's plain deterministic pipeline, and the extended pipeline with
+// compaction and a restart portfolio (covering the perturbed searches
+// and the parallel reduction).
+func goldenOptions() map[string]Options {
+	return map[string]Options{
+		"default":          {},
+		"compact-restarts": {Seed: 9, Compact: true, Restarts: 4, Workers: 2},
+	}
+}
+
+// goldenCases enumerates every degenerate problem the suite pins.
+func goldenCases(t testing.TB) map[string]*model.Problem {
+	cases := make(map[string]*model.Problem)
+	docs, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no testdata spec documents found")
+	}
+	for _, path := range docs {
+		p, err := spec.ParseFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if p.Heterogeneous() {
+			continue // pinned by the hetero differential suite instead
+		}
+		cases["spec-"+filepath.Base(path)] = p
+	}
+	for _, c := range []rover.Case{rover.Best, rover.Typical, rover.Worst} {
+		for _, k := range []rover.IterationKind{rover.Cold, rover.ColdPreheat, rover.Warm} {
+			cases[fmt.Sprintf("rover-%d-%d", int(c), int(k))] = rover.BuildIteration(c, k)
+		}
+	}
+	return cases
+}
+
+func captureGolden(t testing.TB, p *model.Problem, opts Options) *goldenDoc {
+	r, err := MinPower(p.Clone(), opts)
+	if err != nil {
+		t.Fatalf("pipeline failed: %v", err)
+	}
+	js, err := spec.FormatScheduleJSON(p, r.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &goldenDoc{
+		Fingerprint: p.Fingerprint(),
+		Starts:      r.Schedule.Start,
+		Finish:      r.Finish(),
+		EnergyBits:  bits(r.EnergyCost()),
+		EnergyText:  strconv.FormatFloat(r.EnergyCost(), 'g', -1, 64),
+		UtilBits:    bits(r.Utilization()),
+		UtilText:    strconv.FormatFloat(r.Utilization(), 'g', -1, 64),
+		Stats:       r.Stats,
+		ScheduleJS:  string(js),
+	}
+	for _, s := range r.Profile.Segs {
+		doc.Profile = append(doc.Profile, goldenSeg{T0: s.T0, T1: s.T1, PBits: bits(s.P)})
+	}
+	return doc
+}
+
+// TestGoldenDegenerate replays every degenerate case and compares the
+// full observable outcome against the committed pre-refactor goldens.
+func TestGoldenDegenerate(t *testing.T) {
+	update := os.Getenv("GOLDEN_UPDATE") != ""
+	if update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := goldenCases(t)
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := cases[name]
+		for oname, opts := range goldenOptions() {
+			label := name + "-" + oname
+			t.Run(label, func(t *testing.T) {
+				got := captureGolden(t, p, opts)
+				path := filepath.Join(goldenDir, label+".json")
+				if update {
+					data, err := json.MarshalIndent(got, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with GOLDEN_UPDATE=1 to capture): %v", err)
+				}
+				var want goldenDoc
+				if err := json.Unmarshal(data, &want); err != nil {
+					t.Fatal(err)
+				}
+				gotData, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantData, err := json.MarshalIndent(&want, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(gotData) != string(wantData) {
+					t.Errorf("golden mismatch for %s\n got: %s\nwant: %s", label, gotData, wantData)
+				}
+			})
+		}
+	}
+}

@@ -117,7 +117,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 		// when v has positive slack, also capped by the slack so the
 		// schedule stays time-valid without rescheduling.
 		need := st.spikeEnd(sigma, t) - sigma.Start[v]
-		dd := st.c.Prob.Tasks[v].Delay
+		dd := st.tasks[v].Delay
 		if dd > need {
 			dd = need
 		}
@@ -208,7 +208,7 @@ type slackedTask struct {
 // outcome identical to any comparison sort).
 func (st *state) activeBySlack(sigma schedule.Schedule, t model.Time) []slackedTask {
 	out := st.active[:0]
-	tasks := st.c.Prob.Tasks
+	tasks := st.tasks
 	for v := range tasks {
 		if sigma.Start[v] <= t && t < sigma.Start[v]+tasks[v].Delay {
 			out = append(out, slackedTask{v: v, slack: st.slackOf(sigma, v)})
@@ -229,7 +229,7 @@ func (st *state) slackedBefore(a, b slackedTask) bool {
 	if a.slack != b.slack {
 		return a.slack > b.slack
 	}
-	pa, pb := st.c.Prob.Tasks[a.v].Power, st.c.Prob.Tasks[b.v].Power
+	pa, pb := st.tasks[a.v].Power, st.tasks[b.v].Power
 	if pa != pb {
 		return pa > pb
 	}

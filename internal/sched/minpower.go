@@ -138,7 +138,7 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 	prob := st.c.Prob
 	prof := st.prof(sigma)
 	curU := prof.Utilization(prob.Pmin)
-	tau := sigma.Finish(prob.Tasks)
+	tau := sigma.Finish(st.tasks)
 
 	// End of the gap beginning at t, for the finish-at-gap-end slot.
 	// The segments are contiguous and time-ordered, so the maximal gap
@@ -172,7 +172,7 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 		if st.pollCancel() != nil {
 			return sigma, false
 		}
-		d := prob.Tasks[v].Delay
+		d := st.tasks[v].Delay
 		sl := st.slackOf(sigma, v)
 		// Latest start keeping the task active at t, clipped by slack.
 		latest := t
@@ -207,9 +207,9 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 		if ok {
 			np := st.prof(next)
 			if np.Valid(prob.Pmax) &&
-				next.Finish(prob.Tasks) <= tau &&
+				next.Finish(st.tasks) <= tau &&
 				np.Utilization(prob.Pmin) > curU+utilEps &&
-				schedule.CheckTimeValid(st.g, st.c, next) == nil {
+				schedule.CheckTimeValidTasks(st.g, st.c, st.tasks, next) == nil {
 				st.st.Moves++
 				return next, true
 			}
@@ -234,9 +234,8 @@ type gapCand struct {
 // finish then index. The result lives in state-owned buffers reused
 // across calls.
 func (st *state) gapCandidates(sigma schedule.Schedule, t model.Time) []int {
-	prob := st.c.Prob
 	cs := st.gapCands[:0]
-	for v, task := range prob.Tasks {
+	for v, task := range st.tasks {
 		fin := sigma.Start[v] + task.Delay
 		if fin > t {
 			continue // still running at or after t; delaying cannot help

@@ -183,10 +183,39 @@ type Result struct {
 	Profile power.Profile
 	// Stats describes the heuristic effort expended.
 	Stats Stats
+	// Tasks is the effective task view the schedule refers to: for a
+	// heterogeneous problem, each task carries the delay and power of
+	// its chosen machine and DVS level; for a degenerate problem it is
+	// exactly Compiled.Prob.Tasks.
+	Tasks []model.Task
+	// Assignment records the chosen (machine, level) per task; nil for
+	// a degenerate problem.
+	Assignment model.Assignment
 }
 
 // Finish returns the schedule's finish time tau.
-func (r *Result) Finish() model.Time { return r.Schedule.Finish(r.Compiled.Prob.Tasks) }
+func (r *Result) Finish() model.Time { return r.Schedule.Finish(r.Tasks) }
+
+// EffectiveProblem returns the problem view the schedule executes:
+// the original problem for the degenerate case (no copy — byte-level
+// identity for every downstream renderer), or a clone whose tasks
+// carry their chosen effective delay and power, with the chosen
+// machine recorded as the task's pin, for a heterogeneous one.
+func (r *Result) EffectiveProblem() *model.Problem {
+	if !r.Compiled.Hetero {
+		return r.Compiled.Prob
+	}
+	q := r.Compiled.Prob.Clone()
+	for i := range q.Tasks {
+		q.Tasks[i].Delay = r.Tasks[i].Delay
+		q.Tasks[i].Power = r.Tasks[i].Power
+		q.Tasks[i].Levels = nil
+		if r.Assignment != nil && r.Assignment[i].Machine >= 0 {
+			q.Tasks[i].Machine = r.Compiled.Prob.Machines[r.Assignment[i].Machine].Name
+		}
+	}
+	return q
+}
 
 // EnergyCost returns Ec_sigma(Pmin) for the problem's Pmin.
 func (r *Result) EnergyCost() float64 { return r.Profile.EnergyCost(r.Compiled.Prob.Pmin) }
@@ -437,7 +466,7 @@ func (st *state) pruned(sigma schedule.Schedule) bool {
 		return false
 	}
 	cur := st.inc.Load()
-	return cur != nil && sigma.Finish(st.c.Prob.Tasks) > cur.finish
+	return cur != nil && sigma.Finish(st.tasks) > cur.finish
 }
 
 func (st *state) runTo(upTo stage) (*Result, error) {
@@ -493,6 +522,28 @@ type state struct {
 	rng  *rand.Rand
 	st   Stats
 	prio []int // candidate tie-break priority (identity unless perturbed)
+
+	// tasks is the effective task view all three stages operate on. For
+	// a degenerate problem it aliases c.Prob.Tasks and is never written;
+	// for a heterogeneous one it is a state-owned copy whose Delay and
+	// Power are overwritten at timing-visit time with the values of the
+	// chosen (machine, level). The backing array is stable for the
+	// state's lifetime, so the power tracker can hold a reference to it.
+	tasks []model.Task
+	// assign records the chosen (machine, level) per task; entries are
+	// meaningful only for tasks currently visited by the timing search.
+	// Nil for degenerate problems.
+	assign model.Assignment
+	// machEFT, choiceOrdBufs, and choiceKey are scratch for the timing
+	// stage's earliest-finish choice ordering: machEFT is a per-machine
+	// completion bound, choiceOrdBufs holds one reusable ordering buffer
+	// per search depth (the recursion below a choice must not clobber
+	// the orderings of the depths above it), and choiceKey is the
+	// transient sort key, safe to share across depths because it is
+	// consumed before the recursion descends.
+	machEFT       []model.Time
+	choiceOrdBufs [][]int
+	choiceKey     []model.Time
 
 	// baseMark checkpoints the freshly cloned base graph so reset can
 	// roll every restart's edges back instead of re-cloning; rngSrc and
@@ -581,6 +632,13 @@ func newState(ctx context.Context, c *schedule.Compiled, opts Options, inc *atom
 	st.feasBuf = make([]int, st.g.N())
 	st.visited = make([]bool, n)
 	st.skipGen = make([]int, n)
+	if c.Hetero {
+		st.tasks = append([]model.Task(nil), c.Prob.Tasks...)
+		st.assign = make(model.Assignment, n)
+		st.machEFT = make([]model.Time, len(c.Prob.Machines))
+	} else {
+		st.tasks = c.Prob.Tasks
+	}
 	return st
 }
 
@@ -602,6 +660,9 @@ func (st *state) reset(r int) {
 	}
 	st.timingMark = 0
 	st.structEdges = st.structEdges[:0]
+	if st.c.Hetero {
+		copy(st.tasks, st.c.Prob.Tasks)
+	}
 	st.perturb(r)
 }
 
@@ -619,13 +680,22 @@ func (st *state) perturb(r int) {
 }
 
 func (st *state) result(sigma schedule.Schedule) *Result {
-	return &Result{
+	res := &Result{
 		Compiled: st.c,
 		Schedule: sigma,
 		Graph:    st.g,
-		Profile:  power.Build(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower),
+		Profile:  power.Build(st.tasks, sigma, st.c.Prob.BasePower),
 		Stats:    st.st,
+		Tasks:    st.tasks,
 	}
+	if st.c.Hetero {
+		// Detach the task view and assignment from the state: the next
+		// restart overwrites both in place. (Degenerate results alias
+		// Prob.Tasks, which nothing mutates.)
+		res.Tasks = append([]model.Task(nil), st.tasks...)
+		res.Assignment = st.assign.Clone()
+	}
+	return res
 }
 
 // delay constrains task v to start no earlier than newStart by adding
@@ -698,7 +768,7 @@ func (st *state) syncProfile(sigma schedule.Schedule) {
 		return
 	}
 	if st.tr == nil {
-		st.tr = power.NewTracker(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower)
+		st.tr = power.NewTracker(st.tasks, sigma, st.c.Prob.BasePower)
 	} else {
 		st.tr.Reset(sigma)
 	}
@@ -710,7 +780,7 @@ func (st *state) syncProfile(sigma schedule.Schedule) {
 // are owned by the tracker and must not be retained across moves.
 func (st *state) prof(sigma schedule.Schedule) power.Profile {
 	if st.opts.Naive {
-		return power.Build(st.c.Prob.Tasks, sigma, st.c.Prob.BasePower)
+		return power.Build(st.tasks, sigma, st.c.Prob.BasePower)
 	}
 	return st.tr.Profile()
 }

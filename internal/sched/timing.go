@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/model"
 	"repro/internal/schedule"
 )
 
@@ -50,60 +51,93 @@ func (st *state) timing() (schedule.Schedule, error) {
 			return true
 		}
 		for _, c := range st.candidates(count, visited, dist) {
-			// Cooperative cancellation: once the poll latches an error
-			// every recursion level bails on its next candidate, so the
-			// whole search unwinds within one check interval.
-			if st.pollCancel() != nil {
-				return false
-			}
-			cp := st.g.Mark()
-			res := st.c.Prob.Tasks[c].Resource
-			d := st.c.Prob.Tasks[c].Delay
-			feasible := true
-			var saved []int
-			if st.opts.FullRecompute {
-				// Serialize every untraversed same-resource task after
-				// c, then recompute from scratch.
-				for u := 0; u < n; u++ {
-					if u != c && !visited[u] && st.c.Prob.Tasks[u].Resource == res {
-						st.g.AddEdge(c, u, d)
+			for _, ci := range st.choiceOrder(count, c, visited, dist) {
+				// Cooperative cancellation: once the poll latches an
+				// error every recursion level bails on its next try, so
+				// the whole search unwinds within one check interval.
+				if st.pollCancel() != nil {
+					return false
+				}
+				ch := st.c.Choices[c][ci]
+				cp := st.g.Mark()
+				res := st.tasks[c].Resource
+				d := ch.Delay
+				feasible := true
+				var saved []int
+				if st.opts.FullRecompute {
+					// Serialize c after every traversed task sharing its
+					// machine, and every untraversed same-resource task
+					// after c, then recompute from scratch. Machine mates
+					// on c's own resource are skipped: the earlier task's
+					// resource edge into c already carries the same
+					// weight, which is why a problem whose machines
+					// mirror its resources schedules identically to one
+					// with no machines at all.
+					if ch.Machine >= 0 {
+						for u := 0; u < n; u++ {
+							if visited[u] && st.assign[u].Machine == ch.Machine && st.tasks[u].Resource != res {
+								st.g.AddEdge(u, c, st.tasks[u].Delay)
+							}
+						}
 					}
-				}
-				if nd, ok := st.g.LongestFrom(st.c.Anchor); ok {
-					saved, dist = dist, nd
+					for u := 0; u < n; u++ {
+						if u != c && !visited[u] && st.tasks[u].Resource == res {
+							st.g.AddEdge(c, u, d)
+						}
+					}
+					if nd, ok := st.g.LongestFrom(st.c.Anchor); ok {
+						saved, dist = dist, nd
+					} else {
+						feasible = false
+					}
 				} else {
-					feasible = false
-				}
-			} else {
-				saved = st.savedBuf(count)
-				copy(saved, dist)
-				for u := 0; u < n; u++ {
-					if u != c && !visited[u] && st.c.Prob.Tasks[u].Resource == res {
-						if !st.g.AddEdgeRelax(dist, c, u, d) {
-							feasible = false
-							break
+					saved = st.savedBuf(count)
+					copy(saved, dist)
+					if ch.Machine >= 0 {
+						for u := 0; u < n; u++ {
+							if visited[u] && st.assign[u].Machine == ch.Machine && st.tasks[u].Resource != res {
+								if !st.g.AddEdgeRelax(dist, u, c, st.tasks[u].Delay) {
+									feasible = false
+									break
+								}
+							}
+						}
+					}
+					if feasible {
+						for u := 0; u < n; u++ {
+							if u != c && !visited[u] && st.tasks[u].Resource == res {
+								if !st.g.AddEdgeRelax(dist, c, u, d) {
+									feasible = false
+									break
+								}
+							}
 						}
 					}
 				}
-			}
-			if feasible {
-				visited[c] = true
-				if visit(count + 1) {
-					return true
+				if feasible {
+					if st.c.Hetero {
+						st.assign[c] = model.Choice{Machine: ch.Machine, Level: ch.Level}
+						st.tasks[c].Delay = ch.Delay
+						st.tasks[c].Power = ch.Power
+					}
+					visited[c] = true
+					if visit(count + 1) {
+						return true
+					}
+					visited[c] = false
 				}
-				visited[c] = false
-			}
-			st.g.Rollback(cp)
-			if saved != nil {
-				if st.opts.FullRecompute {
-					dist = saved
-				} else {
-					copy(dist, saved)
+				st.g.Rollback(cp)
+				if saved != nil {
+					if st.opts.FullRecompute {
+						dist = saved
+					} else {
+						copy(dist, saved)
+					}
 				}
-			}
-			st.st.Backtracks++
-			if st.st.Backtracks > budget {
-				return false
+				st.st.Backtracks++
+				if st.st.Backtracks > budget {
+					return false
+				}
 			}
 		}
 		return false
@@ -148,6 +182,72 @@ func (st *state) candidates(depth int, visited []bool, dist []int) []int {
 	st.sorter.cand, st.sorter.dist, st.sorter.prio = cand, dist, st.prio
 	sort.Sort(&st.sorter)
 	return cand
+}
+
+// choiceOrder returns the order — as indices into st.c.Choices[c] — in
+// which the search tries task c's (machine, level) choices: earliest
+// estimated finish first. A choice's estimate is max(current ASAP start
+// of c, latest completion of the visited tasks on the choice's machine)
+// plus its effective delay; the second term is exactly the bound the
+// machine serialization edges will enforce, so the rule steers the
+// search away from piling every task onto the fastest machine when a
+// slower idle one finishes it sooner. Ties keep the choice list's own
+// (delay, power, machine, level) preference order. A degenerate problem
+// has exactly one choice per task, so the ordering degenerates to the
+// single index 0 and the search is the paper's.
+//
+// The returned slice is depth's reusable buffer, invalidated by the
+// next call at the same depth (the recursion below runs at deeper
+// depths and cannot clobber it).
+func (st *state) choiceOrder(depth, c int, visited []bool, dist []int) []int {
+	choices := st.c.Choices[c]
+	ord := st.choiceOrdBuf(depth)
+	for i := range choices {
+		ord = append(ord, i)
+	}
+	st.choiceOrdBufs[depth] = ord
+	if len(choices) <= 1 {
+		return ord
+	}
+	// Latest completion per machine over the visited tasks: the bound
+	// the machine serialization edges of a machine-sharing choice would
+	// impose on c's start.
+	avail := st.machEFT
+	for m := range avail {
+		avail[m] = 0
+	}
+	for u := 0; u < st.c.NumTasks(); u++ {
+		if visited[u] && st.assign[u].Machine >= 0 {
+			if end := dist[u] + st.tasks[u].Delay; end > avail[st.assign[u].Machine] {
+				avail[st.assign[u].Machine] = end
+			}
+		}
+	}
+	key := st.choiceKey[:0]
+	for _, ch := range choices {
+		start := dist[c]
+		if ch.Machine >= 0 && avail[ch.Machine] > start {
+			start = avail[ch.Machine]
+		}
+		key = append(key, start+ch.Delay)
+	}
+	st.choiceKey = key
+	// Insertion sort: choice lists are tiny, and its stability is what
+	// preserves the preference order on ties.
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && key[ord[j]] < key[ord[j-1]]; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	return ord
+}
+
+// choiceOrdBuf returns depth's reusable choice-ordering buffer, emptied.
+func (st *state) choiceOrdBuf(depth int) []int {
+	for len(st.choiceOrdBufs) <= depth {
+		st.choiceOrdBufs = append(st.choiceOrdBufs, []int(nil))
+	}
+	return st.choiceOrdBufs[depth][:0]
 }
 
 // savedBuf returns depth's reusable distance-snapshot buffer.

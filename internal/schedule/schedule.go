@@ -27,6 +27,14 @@ type Compiled struct {
 	// min/max separations). Schedulers clone or extend it with
 	// serialization, delay, and lock edges.
 	Base *graph.Graph
+	// Choices holds, per task, the admissible (machine, level) options
+	// with effective delays and powers, in the scheduler's preference
+	// order (shortest delay first). For a degenerate problem every task
+	// has exactly one choice carrying its nominal delay and power.
+	Choices [][]model.TaskChoice
+	// Hetero caches Prob.Heterogeneous(): false selects the paper's
+	// degenerate code paths (no assignment bookkeeping at all).
+	Hetero bool
 }
 
 // Compile validates the problem and lowers its constraints to graph
@@ -61,6 +69,11 @@ func Compile(p *model.Problem) (*Compiled, error) {
 		if con.HasMax {
 			c.Base.AddEdge(v, u, -con.Max)
 		}
+	}
+	c.Hetero = p.Heterogeneous()
+	c.Choices = make([][]model.TaskChoice, n)
+	for i := range c.Choices {
+		c.Choices[i] = p.TaskChoices(i)
 	}
 	return c, nil
 }
@@ -145,6 +158,16 @@ func Slacks(g *graph.Graph, c *Compiled, s Schedule) []model.Time {
 // holds, and tasks sharing a resource do not overlap. A nil error means
 // sigma is time-valid.
 func CheckTimeValid(g *graph.Graph, c *Compiled, s Schedule) error {
+	return CheckTimeValidTasks(g, c, c.Prob.Tasks, s)
+}
+
+// CheckTimeValidTasks is CheckTimeValid against an explicit (effective)
+// task view: heterogeneous schedulers pass the tasks carrying the
+// chosen machine/level delays, whose serialization the check must use.
+// Machine exclusivity is enforced by the scheduler's machine
+// serialization edges, which are part of g and therefore checked here
+// like every other constraint edge.
+func CheckTimeValidTasks(g *graph.Graph, c *Compiled, tasks []model.Task, s Schedule) error {
 	if len(s.Start) != c.NumTasks() {
 		return fmt.Errorf("schedule: has %d starts for %d tasks", len(s.Start), c.NumTasks())
 	}
@@ -165,7 +188,7 @@ func CheckTimeValid(g *graph.Graph, c *Compiled, s Schedule) error {
 				name(c, e.To), name(c, e.From), e.W, sigma(e.To), sigma(e.From)+e.W)
 		}
 	}
-	return CheckSerialized(c.Prob.Tasks, s)
+	return CheckSerialized(tasks, s)
 }
 
 // CheckSerialized verifies that tasks mapped to the same resource never

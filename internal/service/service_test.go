@@ -352,3 +352,40 @@ func TestOptionsDigestCoversAllFields(t *testing.T) {
 		}
 	}
 }
+
+// TestKeySeparatesHeteroDimensions pins the cache-key contract for the
+// machine/DVS fields: a problem and its heterogeneous variants must
+// never share a key, or the cache would serve a schedule computed for
+// different hardware.
+func TestKeySeparatesHeteroDimensions(t *testing.T) {
+	base := twoTask(1)
+	variants := map[string]func(*model.Problem){
+		"machine added": func(p *model.Problem) {
+			p.Machines = []model.Machine{{Name: "m", Speed: 1, PowerScale: 1}}
+		},
+		"level added": func(p *model.Problem) {
+			p.Tasks[0].Levels = []model.DVSLevel{
+				{Mult: 1, Power: p.Tasks[0].Power},
+				{Mult: 2, Power: p.Tasks[0].Power / 2},
+			}
+		},
+		"machine and pin": func(p *model.Problem) {
+			p.Machines = []model.Machine{{Name: "m", Speed: 2, PowerScale: 1}}
+			p.Tasks[0].Machine = "m"
+		},
+	}
+	want := Key(base, sched.Options{}, StageMinPower)
+	seen := map[string]string{}
+	for name, mutate := range variants {
+		q := base.Clone()
+		mutate(q)
+		got := Key(q, sched.Options{}, StageMinPower)
+		if got == want {
+			t.Errorf("%s: hetero variant shares the degenerate problem's cache key", name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s and %s share a cache key", name, prev)
+		}
+		seen[got] = name
+	}
+}

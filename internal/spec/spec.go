@@ -10,6 +10,9 @@
 //	pmin <watts>
 //	base <watts>                        # constant load (e.g. CPU)
 //	task <name> <resource> <delay> <power>
+//	machine <name> <speed> <powerscale> # heterogeneous machine set
+//	level <task> <mult> <power>         # DVS duration-power point
+//	pin <task> <machine>                # restrict task to one machine
 //	<from> -> <to> [<min>,]             # min separation of start times
 //	<from> -> <to> [<min>,<max>]        # min/max separation window
 //	precede <from> <to>                 # from finishes before to starts
@@ -103,6 +106,45 @@ func parseDirective(p *model.Problem, f []string) error {
 			return fmt.Errorf("task %s: bad power %q", f[1], f[4])
 		}
 		p.AddTask(model.Task{Name: f[1], Resource: f[2], Delay: delay, Power: pw})
+	case "machine":
+		if len(f) != 4 {
+			return fmt.Errorf("machine wants <name> <speed> <powerscale>")
+		}
+		speed, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return fmt.Errorf("machine %s: bad speed %q", f[1], f[2])
+		}
+		scale, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return fmt.Errorf("machine %s: bad power scale %q", f[1], f[3])
+		}
+		p.Machines = append(p.Machines, model.Machine{Name: f[1], Speed: speed, PowerScale: scale})
+	case "level":
+		if len(f) != 4 {
+			return fmt.Errorf("level wants <task> <mult> <power>")
+		}
+		mult, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return fmt.Errorf("level %s: bad multiplier %q", f[1], f[2])
+		}
+		pw, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return fmt.Errorf("level %s: bad power %q", f[1], f[3])
+		}
+		i, ok := taskIndex(p, f[1])
+		if !ok {
+			return fmt.Errorf("level: unknown task %q (declare the task first)", f[1])
+		}
+		p.Tasks[i].Levels = append(p.Tasks[i].Levels, model.DVSLevel{Mult: mult, Power: pw})
+	case "pin":
+		if len(f) != 3 {
+			return fmt.Errorf("pin wants <task> <machine>")
+		}
+		i, ok := taskIndex(p, f[1])
+		if !ok {
+			return fmt.Errorf("pin: unknown task %q (declare the task first)", f[1])
+		}
+		p.Tasks[i].Machine = f[2]
 	case "precede":
 		if len(f) != 3 {
 			return fmt.Errorf("precede wants <from> <to>")
@@ -128,6 +170,15 @@ func parseDirective(p *model.Problem, f []string) error {
 		return fmt.Errorf("unknown directive %q", f[0])
 	}
 	return nil
+}
+
+func taskIndex(p *model.Problem, name string) (int, bool) {
+	for i := range p.Tasks {
+		if p.Tasks[i].Name == name {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 func parseWatts(f []string, dst *float64) error {
@@ -195,8 +246,25 @@ func Format(p *model.Problem) string {
 		fmt.Fprintf(&b, "base %g\n", p.BasePower)
 	}
 	b.WriteString("\n")
+	for _, m := range p.Machines {
+		fmt.Fprintf(&b, "machine %s %g %g\n", m.Name, m.Speed, m.PowerScale)
+	}
+	if len(p.Machines) > 0 {
+		b.WriteString("\n")
+	}
 	for _, t := range p.Tasks {
 		fmt.Fprintf(&b, "task %s %s %d %g\n", t.Name, t.Resource, t.Delay, t.Power)
+	}
+	// Level and pin lines follow the task block so a future Parse sees
+	// every task before the directives referencing it; a degenerate
+	// problem emits none, keeping its spec text byte-identical.
+	for _, t := range p.Tasks {
+		for _, l := range t.Levels {
+			fmt.Fprintf(&b, "level %s %g %g\n", t.Name, l.Mult, l.Power)
+		}
+		if t.Machine != "" {
+			fmt.Fprintf(&b, "pin %s %s\n", t.Name, t.Machine)
+		}
 	}
 	b.WriteString("\n")
 	for _, c := range p.Constraints {

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -36,7 +37,7 @@ func TestParseSample(t *testing.T) {
 	if len(p.Tasks) != 2 {
 		t.Fatalf("tasks = %d, want 2", len(p.Tasks))
 	}
-	if p.Tasks[1] != (model.Task{Name: "tx", Resource: "radio", Delay: 3, Power: 7}) {
+	if !reflect.DeepEqual(p.Tasks[1], model.Task{Name: "tx", Resource: "radio", Delay: 3, Power: 7}) {
 		t.Fatalf("task tx = %+v", p.Tasks[1])
 	}
 	if len(p.Constraints) != 4 {
@@ -190,8 +191,16 @@ func problemsEqual(a, b *model.Problem) bool {
 	if len(a.Tasks) != len(b.Tasks) || len(a.Constraints) != len(b.Constraints) {
 		return false
 	}
+	if len(a.Machines) != len(b.Machines) {
+		return false
+	}
+	for i := range a.Machines {
+		if a.Machines[i] != b.Machines[i] {
+			return false
+		}
+	}
 	for i := range a.Tasks {
-		if a.Tasks[i] != b.Tasks[i] {
+		if !reflect.DeepEqual(a.Tasks[i], b.Tasks[i]) {
 			return false
 		}
 	}

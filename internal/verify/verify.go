@@ -24,6 +24,8 @@ const (
 	KindConstraint Kind = "timing-constraint" // min/max separation violated
 	KindResource   Kind = "resource-conflict" // same-resource overlap
 	KindSpike      Kind = "power-spike"       // P(t) > Pmax
+	KindMachine    Kind = "machine-conflict"  // same-machine overlap
+	KindAssignment Kind = "bad-assignment"    // assignment does not fit the problem
 )
 
 // Violation is one independently detected problem with a schedule.
@@ -74,9 +76,24 @@ func (r Report) Err() error {
 
 // Check independently validates schedule s against problem p and
 // recomputes its metrics. It never consults the scheduler's constraint
-// graph or profile code.
+// graph or profile code. For a heterogeneous problem use CheckAssigned;
+// Check validates under the nominal (degenerate) task view.
 func Check(p *model.Problem, s schedule.Schedule) Report {
+	return CheckAssigned(p, s, nil)
+}
+
+// CheckAssigned is Check under a machine/level assignment: every task's
+// delay and power are the effective values of its assigned (machine,
+// level), and tasks sharing a machine must be serialized like tasks
+// sharing a resource. A nil assignment is the degenerate case and
+// checks the problem exactly as Check always has.
+func CheckAssigned(p *model.Problem, s schedule.Schedule, a model.Assignment) Report {
 	var rep Report
+	tasks, err := p.EffectiveTasks(a)
+	if err != nil {
+		rep.Violations = append(rep.Violations, Violation{Kind: KindAssignment, Detail: err.Error()})
+		return rep
+	}
 	if len(s.Start) != len(p.Tasks) {
 		rep.Violations = append(rep.Violations, Violation{
 			Kind:   KindStart,
@@ -86,7 +103,7 @@ func Check(p *model.Problem, s schedule.Schedule) Report {
 	}
 
 	start := make(map[string]model.Time, len(p.Tasks))
-	for i, t := range p.Tasks {
+	for i, t := range tasks {
 		start[t.Name] = s.Start[i]
 		if s.Start[i] < 0 {
 			rep.Violations = append(rep.Violations, Violation{
@@ -120,32 +137,55 @@ func Check(p *model.Problem, s schedule.Schedule) Report {
 	}
 
 	// Resource serialization by pairwise overlap scan.
-	for i := range p.Tasks {
-		for j := i + 1; j < len(p.Tasks); j++ {
-			a, b := p.Tasks[i], p.Tasks[j]
-			if a.Resource != b.Resource {
+	for i := range tasks {
+		for j := i + 1; j < len(tasks); j++ {
+			ti, tj := tasks[i], tasks[j]
+			if ti.Resource != tj.Resource {
 				continue
 			}
-			aEnd := s.Start[i] + a.Delay
-			bEnd := s.Start[j] + b.Delay
-			if s.Start[i] < bEnd && s.Start[j] < aEnd {
+			iEnd := s.Start[i] + ti.Delay
+			jEnd := s.Start[j] + tj.Delay
+			if s.Start[i] < jEnd && s.Start[j] < iEnd {
 				rep.Violations = append(rep.Violations, Violation{
 					Kind: KindResource,
 					Detail: fmt.Sprintf("%q [%d,%d) overlaps %q [%d,%d) on %s",
-						a.Name, s.Start[i], aEnd, b.Name, s.Start[j], bEnd, a.Resource),
+						ti.Name, s.Start[i], iEnd, tj.Name, s.Start[j], jEnd, ti.Resource),
 				})
 			}
 		}
 	}
 
+	// Machine serialization: two tasks assigned the same machine must
+	// never overlap, whatever their resources. (Same-resource pairs are
+	// already reported above; repeating them as machine conflicts would
+	// double-count one overlap.)
+	if a != nil && len(p.Machines) > 0 {
+		for i := range tasks {
+			for j := i + 1; j < len(tasks); j++ {
+				if a[i].Machine < 0 || a[i].Machine != a[j].Machine || tasks[i].Resource == tasks[j].Resource {
+					continue
+				}
+				iEnd := s.Start[i] + tasks[i].Delay
+				jEnd := s.Start[j] + tasks[j].Delay
+				if s.Start[i] < jEnd && s.Start[j] < iEnd {
+					rep.Violations = append(rep.Violations, Violation{
+						Kind: KindMachine,
+						Detail: fmt.Sprintf("%q [%d,%d) overlaps %q [%d,%d) on machine %s",
+							tasks[i].Name, s.Start[i], iEnd, tasks[j].Name, s.Start[j], jEnd, p.Machines[a[i].Machine].Name),
+					})
+				}
+			}
+		}
+	}
+
 	// Power by per-second sampling.
-	rep.Metrics = sampleMetrics(p, s)
+	rep.Metrics = sampleMetrics(p, tasks, s)
 	if p.Pmax > 0 {
 		tau := rep.Metrics.Finish
 		inSpike := false
 		spikeFrom := model.Time(0)
 		for t := model.Time(0); t <= tau; t++ {
-			over := t < tau && powerAt(p, s, t) > p.Pmax
+			over := t < tau && powerAt(p, tasks, s, t) > p.Pmax
 			switch {
 			case over && !inSpike:
 				inSpike, spikeFrom = true, t
@@ -160,7 +200,7 @@ func Check(p *model.Problem, s schedule.Schedule) Report {
 	}
 	if p.Pmin > 0 {
 		for t := model.Time(0); t < rep.Metrics.Finish; t++ {
-			if powerAt(p, s, t) < p.Pmin {
+			if powerAt(p, tasks, s, t) < p.Pmin {
 				rep.GapSeconds++
 			}
 		}
@@ -169,9 +209,9 @@ func Check(p *model.Problem, s schedule.Schedule) Report {
 }
 
 // powerAt sums the power of tasks active at second t plus base power.
-func powerAt(p *model.Problem, s schedule.Schedule, t model.Time) float64 {
+func powerAt(p *model.Problem, tasks []model.Task, s schedule.Schedule, t model.Time) float64 {
 	sum := p.BasePower
-	for i, task := range p.Tasks {
+	for i, task := range tasks {
 		if s.Start[i] <= t && t < s.Start[i]+task.Delay {
 			sum += task.Power
 		}
@@ -180,9 +220,9 @@ func powerAt(p *model.Problem, s schedule.Schedule, t model.Time) float64 {
 }
 
 // sampleMetrics integrates the power curve one second at a time.
-func sampleMetrics(p *model.Problem, s schedule.Schedule) Metrics {
+func sampleMetrics(p *model.Problem, tasks []model.Task, s schedule.Schedule) Metrics {
 	var m Metrics
-	for i, t := range p.Tasks {
+	for i, t := range tasks {
 		if end := s.Start[i] + t.Delay; end > m.Finish {
 			m.Finish = end
 		}
@@ -191,9 +231,9 @@ func sampleMetrics(p *model.Problem, s schedule.Schedule) Metrics {
 		m.Utilization = 1
 		return m
 	}
-	m.Floor = powerAt(p, s, 0)
+	m.Floor = powerAt(p, tasks, s, 0)
 	for t := model.Time(0); t < m.Finish; t++ {
-		pw := powerAt(p, s, t)
+		pw := powerAt(p, tasks, s, t)
 		m.Energy += pw
 		if pw > m.Peak {
 			m.Peak = pw

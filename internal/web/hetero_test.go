@@ -1,0 +1,119 @@
+package web
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// heteroSpec is a small heterogeneous problem exercising all three new
+// directives: machines, DVS levels, and a pin.
+const heteroSpec = `problem hetero-up
+pmax 20
+machine slow 1 1
+machine fast 2 1.5
+task a R 6 4
+task b S 2 3
+level b 1 3
+level b 2 1.5
+pin b slow
+`
+
+// TestUploadHeteroThenSchedule uploads a heterogeneous spec and renders
+// it in every schedule format; the handlers must accept the new
+// directives with the old query syntax unchanged.
+func TestUploadHeteroThenSchedule(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/problems", "text/plain", strings.NewReader(heteroSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+	for _, q := range []string{
+		"problem=hetero-up",
+		"problem=hetero-up&format=ascii",
+		"problem=hetero-up&format=dot",
+		"problem=hetero-up&format=json",
+		"problem=hetero-up&format=ascii&seed=3&restarts=2&workers=2",
+	} {
+		code, body, _ := get(t, ts.URL+"/schedule?"+q)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status = %d: %s", q, code, body)
+		}
+	}
+}
+
+// TestUploadRejectsOversizedHetero mirrors the task-count bound for the
+// two new search-space dimensions: machine count and per-task DVS
+// levels get a 400, and an admissible-but-unschedulable machine
+// pinning gets a 422 from the feasibility probe.
+func TestUploadRejectsOversizedHetero(t *testing.T) {
+	_, ts := testServer(t)
+	var machines strings.Builder
+	machines.WriteString("problem too-many-machines\ntask a R 1 1\n")
+	for i := 0; i <= maxSpecMachines; i++ {
+		fmt.Fprintf(&machines, "machine m%d 1 1\n", i)
+	}
+	var levels strings.Builder
+	levels.WriteString("problem too-many-levels\nmachine m 1 1\ntask a R 4 1\n")
+	for i := 0; i <= maxSpecLevels; i++ {
+		fmt.Fprintf(&levels, "level a %d 1\n", i+1)
+	}
+	cases := map[string]struct {
+		text string
+		want int
+	}{
+		"machines over bound": {machines.String(), http.StatusBadRequest},
+		"levels over bound":   {levels.String(), http.StatusBadRequest},
+		"pin to unknown machine": {
+			"problem bad-pin\nmachine m 1 1\ntask a R 2 1\npin a nope\n",
+			http.StatusBadRequest,
+		},
+		"same-machine pin conflict": {
+			// Both tasks pinned to one machine must serialize, but the
+			// window forces them to start together: unschedulable.
+			"problem pin-clash\nmachine m 1 1\ntask a R 2 1\ntask b S 2 1\npin a m\npin b m\na -> b [0,0]\n",
+			http.StatusUnprocessableEntity,
+		},
+	}
+	for name, tc := range cases {
+		resp, err := http.Post(ts.URL+"/problems", "text/plain", strings.NewReader(tc.text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestVerifyEndpointHetero runs the standalone verify endpoint on a
+// heterogeneous spec; the oracle must check the machine assignment (a
+// task on the fast machine finishes early, which plain Check would
+// reject as a delay mismatch).
+func TestVerifyEndpointHetero(t *testing.T) {
+	s := NewServer(sched.Options{})
+	ts := httptest.NewServer(http.HandlerFunc(s.VerifyHandlerFunc))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "text/plain", strings.NewReader(heteroSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "finish=") {
+		t.Errorf("unexpected body: %s", body)
+	}
+}

@@ -30,6 +30,13 @@ const (
 	maxSpecBytes = 1 << 20
 	// maxSpecTasks bounds the task count of an uploaded problem.
 	maxSpecTasks = 500
+	// maxSpecMachines bounds the machine count of an uploaded problem;
+	// the backtracker branches over machines, so this is a search-space
+	// bound like maxSpecTasks, not a parser limit.
+	maxSpecMachines = 16
+	// maxSpecLevels bounds the DVS levels of any single task, for the
+	// same reason.
+	maxSpecLevels = 8
 	// maxRestarts bounds the restarts= query knob; each restart is a
 	// full pipeline run.
 	maxRestarts = 64
@@ -183,18 +190,23 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Render against the effective problem: for heterogeneous runs the
+	// bars and profiles must reflect the chosen machine/level delays and
+	// powers, not the nominal ones. For degenerate problems this is the
+	// compiled problem itself, so the rendered bytes are unchanged.
+	ep := res.EffectiveProblem()
 	switch q.Get("format") {
 	case "", "svg":
 		w.Header().Set("Content-Type", "image/svg+xml")
-		fmt.Fprint(w, gantt.New(p, res.Schedule).SVG())
+		fmt.Fprint(w, gantt.New(ep, res.Schedule).SVG())
 	case "ascii":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, gantt.New(p, res.Schedule).ASCII(1))
+		fmt.Fprint(w, gantt.New(ep, res.Schedule).ASCII(1))
 	case "dot":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, dot.Scheduled(p, res.Schedule))
+		fmt.Fprint(w, dot.Scheduled(ep, res.Schedule))
 	case "json":
-		data, err := spec.FormatScheduleJSON(p, res.Schedule)
+		data, err := spec.FormatScheduleJSON(ep, res.Schedule)
 		if err != nil {
 			writeJSONError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -226,6 +238,18 @@ func parseBoundedSpec(w http.ResponseWriter, r *http.Request) (*model.Problem, e
 		err := fmt.Errorf("spec has %d tasks (max %d)", len(p.Tasks), maxSpecTasks)
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return nil, err
+	}
+	if len(p.Machines) > maxSpecMachines {
+		err := fmt.Errorf("spec has %d machines (max %d)", len(p.Machines), maxSpecMachines)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return nil, err
+	}
+	for _, task := range p.Tasks {
+		if len(task.Levels) > maxSpecLevels {
+			err := fmt.Errorf("task %s has %d DVS levels (max %d)", task.Name, len(task.Levels), maxSpecLevels)
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -264,7 +288,7 @@ func (s *Server) VerifyHandlerFunc(w http.ResponseWriter, r *http.Request) {
 		writeScheduleError(w, err)
 		return
 	}
-	rep := verify.Check(p, res.Schedule)
+	rep := verify.CheckAssigned(p, res.Schedule, res.Assignment)
 	if !rep.OK() {
 		writeJSONError(w, http.StatusInternalServerError, rep.Err().Error())
 		return
