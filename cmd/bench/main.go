@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -25,6 +27,8 @@ import (
 
 	"repro/internal/benchkit"
 	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/store"
 )
 
 type record struct {
@@ -51,6 +55,7 @@ func main() {
 	naive := flag.Bool("naive", true, "also measure the Naive ablation per size")
 	restarts := flag.Bool("restarts", true, "also measure the restart portfolio (sequential and parallel) on the 50-task instance")
 	machines := flag.Bool("machines", true, "also measure the heterogeneous (4-machine, DVS) 50-task instance")
+	serving := flag.Bool("serving", true, "also measure the serving tier (warm batch dispatch, persistent-store reads)")
 	flag.Parse()
 
 	ns := benchkit.Sizes
@@ -89,6 +94,10 @@ func main() {
 	}
 	if *machines {
 		rec.Benchmarks = append(rec.Benchmarks, measureMachines(50, 4))
+	}
+	if *serving {
+		rec.Benchmarks = append(rec.Benchmarks, measureServiceBatch())
+		rec.Benchmarks = append(rec.Benchmarks, measureStoreGet())
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -195,6 +204,99 @@ func measureMachines(n, m int) entry {
 		Name:        name,
 		Package:     "repro/internal/benchkit",
 		Description: desc,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// measureServiceBatch runs the serving tier's warm bulk path — one
+// ScheduleBatchCtx pass of 64 requests over 16 cached problems —
+// mirroring BenchmarkServiceBatch in internal/benchkit.
+func measureServiceBatch() entry {
+	svc := service.New(service.Config{})
+	base := make([]service.Request, 16)
+	for i := range base {
+		p := benchkit.Generate(10, 1).Clone()
+		p.Name = fmt.Sprintf("svcbatch-%02d", i)
+		base[i] = service.Request{Problem: p, Opts: benchkit.Options(10), Stage: service.StageMinPower}
+	}
+	reqs := make([]service.Request, 64)
+	for i := range reqs {
+		reqs[i] = base[i%len(base)]
+	}
+	ctx := context.Background()
+	for _, r := range svc.ScheduleBatchCtx(ctx, reqs) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", r.Err)
+			os.Exit(1)
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range svc.ScheduleBatchCtx(ctx, reqs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	name := "BenchmarkServiceBatch"
+	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %12d B/op %8d allocs/op\n",
+		name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	return entry{
+		Name:        name,
+		Package:     "repro/internal/benchkit",
+		Description: "one warm ScheduleBatchCtx pass of 64 requests over 16 cached problems (batch dispatch overhead, no compute)",
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// measureStoreGet runs a point read from the persistent result store
+// over 1024 ~2KiB records, mirroring BenchmarkStoreGet in
+// internal/benchkit.
+func measureStoreGet() entry {
+	dir, err := os.MkdirTemp("", "bench-store")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(filepath.Join(dir, "bench.log"), store.Options{NoAutoCompact: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer st.Close()
+	val := make([]byte, 2048)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	const n = 1024
+	for i := 0; i < n; i++ {
+		if err := st.Put(fmt.Sprintf("sr1/key-%04d", i), val); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := st.Get(fmt.Sprintf("sr1/key-%04d", i%n)); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	name := "BenchmarkStoreGet"
+	fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %12d B/op %8d allocs/op\n",
+		name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	return entry{
+		Name:        name,
+		Package:     "repro/internal/benchkit",
+		Description: "point read from the persistent result store with a populated index (1024 records of ~2KiB)",
 		NsPerOp:     res.NsPerOp(),
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		AllocsPerOp: res.AllocsPerOp(),

@@ -1,0 +1,77 @@
+// Command loadgen drives a serving tier — one serve process or a
+// router fronting several — with Zipf-skewed closed-loop load and
+// reports latency quantiles, throughput, and cache hit rates measured
+// from the target's own /stats counters.
+//
+//	loadgen -target http://localhost:8080 -duration 5s -workers 8 -zipf 1.1
+//
+// The Zipf skew concentrates requests on a hot head of the problem
+// pool (exercising the in-memory L1 cache) while the long tail probes
+// the persistent L2 store and the compute path. Assertion flags turn
+// a run into a CI check: -min-l2-hits proves warm-start worked after
+// a restart, -max-p99 enforces a latency budget; violations exit 1.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://localhost:8080", "base URL of the serve process or router")
+		problems = flag.Int("problems", 32, "distinct problems in the pool")
+		tasks    = flag.Int("tasks", 20, "tasks per synthetic problem")
+		seed     = flag.Int64("seed", 1, "base seed for problems and Zipf draws")
+		zipfS    = flag.Float64("zipf", 1.1, "Zipf skew parameter s (> 1)")
+		workers  = flag.Int("workers", 4, "concurrent closed-loop workers")
+		duration = flag.Duration("duration", 5*time.Second, "load-generation duration")
+		batch    = flag.Int("batch", 1, "items per request (>1 uses POST /schedule/batch)")
+		register = flag.Bool("register", true, "register the problem pool before the run")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+
+		minL2      = flag.Int64("min-l2-hits", -1, "assert at least this many L2 hits (negative disables)")
+		minHitRate = flag.Float64("min-hit-rate", -1, "assert at least this combined hit rate (negative disables)")
+		maxP99     = flag.Duration("max-p99", 0, "assert p99 latency at most this (0 disables)")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration+2*time.Minute)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Target:   *target,
+		Problems: *problems,
+		Tasks:    *tasks,
+		Seed:     *seed,
+		Zipf:     *zipfS,
+		Workers:  *workers,
+		Duration: *duration,
+		Batch:    *batch,
+		Register: *register,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Println(rep)
+	}
+
+	if err := rep.Assert(*minL2, *minHitRate, *maxP99); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command router fronts a fleet of serve processes as one endpoint.
+// It maps every request onto a backend by rendezvous-hashing the
+// request's content address (problem name or spec fingerprint), so
+// each backend's caches serve a stable slice of the key space;
+// because the scheduling pipeline is deterministic, any backend can
+// answer any request identically and routing is purely a cache-
+// locality optimization — there is no replication protocol to run.
+//
+//	router -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// Single requests (GET /schedule, GET /simulate, POST /problems,
+// POST /verify) forward to the owning backend and retry once against
+// the next replica if it is unreachable. POST /schedule/batch splits
+// per item across shards and stitches the responses back in order.
+// GET /stats aggregates every shard's metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		backends = flag.String("backends", "", "comma-separated backend base URLs (required)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-backend request budget")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http header read timeout")
+		readTimeout       = flag.Duration("read-timeout", 15*time.Second, "http request read timeout")
+		writeTimeout      = flag.Duration("write-timeout", 120*time.Second, "http response write timeout")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http keep-alive idle timeout")
+		shutdownTimeout   = flag.Duration("shutdown-timeout", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	urls := strings.Split(*backends, ",")
+	rt, err := router.New(urls, &http.Client{Timeout: *timeout})
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("routing %d backends on %s\n", len(urls), *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("router: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+
+	fmt.Println("router: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("router: http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("router: %v", err)
+	}
+}

@@ -15,6 +15,12 @@
 // -pprof to additionally mount net/http/pprof under /debug/pprof/ for
 // CPU, heap, and contention profiling of a live server.
 //
+// Pass -cache-dir to back the in-memory cache with a persistent
+// content-addressed store: results survive restarts (warm start), and
+// the graceful drain flushes and fsyncs the store before exit. In a
+// sharded deployment behind cmd/router, give each backend its own
+// -shard-id (labels its /stats) and cache directory.
+//
 // The server is hardened for unattended operation: every request runs
 // under a compute budget (-request-timeout), admission control sheds
 // work beyond -queue with 429 + Retry-After, protocol timeouts bound
@@ -31,7 +37,9 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -40,6 +48,7 @@ import (
 	"repro/internal/rover"
 	"repro/internal/sched"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/web"
 )
 
@@ -50,6 +59,8 @@ func main() {
 		restarts     = flag.Int("restarts", 0, "default restart portfolio size per schedule (0 = single run; requests may override with restarts=)")
 		schedWorkers = flag.Int("sched-workers", 0, "concurrent restart workers inside each pipeline run; any value yields identical results (0 = GOMAXPROCS)")
 		cacheSize    = flag.Int("cache", 1024, "schedule cache capacity in entries (negative disables)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent result store (empty disables)")
+		shardID      = flag.String("shard-id", "", "serving-tier shard label reported in /stats")
 		workers      = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 
@@ -65,14 +76,42 @@ func main() {
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	// The persistent store is per shard: distinct shards own distinct
+	// key slices behind the router, so their log files never need to
+	// merge, and a restart warm-starts from exactly its own slice.
+	var st *store.Store
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			log.Fatalf("serve: cache dir: %v", err)
+		}
+		name := "results.log"
+		if *shardID != "" {
+			name = "shard-" + *shardID + ".log"
+		}
+		var err error
+		st, err = store.Open(filepath.Join(*cacheDir, name), store.Options{})
+		if err != nil {
+			log.Fatalf("serve: open store: %v", err)
+		}
+		if n := st.RecoveredDrops(); n > 0 {
+			log.Printf("serve: store recovery dropped %d corrupt record(s)", n)
+		}
+		fmt.Printf("store: %d warm entries (%d bytes)\n", st.Len(), st.Size())
+	}
+
+	cfg := service.Config{
 		CacheSize:      *cacheSize,
 		Workers:        *workers,
 		MaxQueue:       *queue,
 		DefaultTimeout: *requestTimeout,
-	})
+	}
+	if st != nil {
+		cfg.Store = st
+	}
+	svc := service.New(cfg)
 	svc.Publish("sched_service")
 	srv := web.NewServerWith(sched.Options{Seed: *seed, Restarts: *restarts, Workers: *schedWorkers}, svc)
+	srv.SetShardID(*shardID)
 	srv.Add(paperex.Nine())
 	for _, c := range rover.Cases {
 		srv.Add(rover.BuildIteration(c, rover.Cold))
@@ -131,6 +170,14 @@ func main() {
 	}
 	if err := svc.Drain(sctx); err != nil {
 		log.Printf("serve: worker drain: %v", err)
+	}
+	// Close after the drain: every write-through from in-flight work has
+	// landed, so the final fsync makes the whole run's results durable
+	// for the next warm start.
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("serve: store close: %v", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)

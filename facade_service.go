@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // Scheduling service layer (see internal/service): a concurrency-safe
@@ -22,6 +23,13 @@ type (
 	PipelineStage = service.Stage
 	// WorkerPool is a bounded worker pool for batch evaluation.
 	WorkerPool = service.Pool
+	// ResultStore is a persistent content-addressed result store (an
+	// append-log with crash-safe recovery); wire one into
+	// ServiceConfig.Store to back the in-memory cache with a
+	// second-level tier that survives restarts.
+	ResultStore = store.Store
+	// ResultStoreOptions tunes a ResultStore's bounds and compaction.
+	ResultStoreOptions = store.Options
 )
 
 // Pipeline stages for SchedulingService requests.
@@ -44,6 +52,13 @@ var (
 
 // NewService creates a scheduling service.
 func NewService(cfg ServiceConfig) *SchedulingService { return service.New(cfg) }
+
+// OpenResultStore opens (or creates) a persistent result store at
+// path, recovering from a torn tail if the last process crashed
+// mid-write. Close it after draining the service that uses it.
+func OpenResultStore(path string, opts ResultStoreOptions) (*ResultStore, error) {
+	return store.Open(path, opts)
+}
 
 // SharedService returns the process-wide default scheduling service.
 func SharedService() *SchedulingService { return service.Shared() }

@@ -1,0 +1,311 @@
+// Package loadgen drives a serving tier (one serve process or a
+// router fronting several) with Zipf-skewed closed-loop load and
+// reports latency quantiles, throughput, and cache effectiveness.
+//
+// The generator registers a pool of deterministic synthetic problems
+// (benchkit instances), then runs W workers, each looping: draw a
+// problem index from a Zipf distribution, request its schedule, record
+// the latency. Zipf skew is the realistic regime for a
+// content-addressed cache — a hot head that should live in L1, a long
+// tail that exercises L2 and the compute path — so the reported
+// hit-rate split is the serving tier's actual figure of merit.
+// Cache-effectiveness numbers are measured from the target's own
+// /stats counters (deltas across the run), which works against both a
+// single serve process and a router's aggregated stats document.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchkit"
+	"repro/internal/service"
+	"repro/internal/spec"
+	"repro/internal/web"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	Target   string        // base URL of the serve process or router
+	Problems int           // distinct problems in the pool
+	Tasks    int           // tasks per synthetic problem
+	Seed     int64         // base seed for problems and the Zipf draws
+	Zipf     float64       // Zipf s parameter (must be > 1; larger = more skew)
+	Workers  int           // concurrent closed-loop workers
+	Duration time.Duration // how long to generate load
+	Batch    int           // items per request: <= 1 uses GET /schedule, else POST /schedule/batch
+	Register bool          // register the problem pool before the run (off to re-drive an already-registered tier)
+}
+
+// Report is the outcome of one load run. Latencies are per request
+// (a batch request is one latency sample covering all its items).
+type Report struct {
+	Requests   int           `json:"requests"`
+	Items      int           `json:"items"` // scheduled items (== Requests unless batching)
+	Errors     int           `json:"errors"`
+	Elapsed    float64       `json:"elapsed_seconds"`
+	Throughput float64       `json:"throughput_rps"` // items per second
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+
+	// Cache-effectiveness deltas from the target's /stats counters.
+	Hits    int64   `json:"hits"`
+	HitsL2  int64   `json:"hits_l2"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"` // (hits+hits_l2) / (hits+hits_l2+misses)
+}
+
+// String renders the human-readable report.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"requests=%d items=%d errors=%d elapsed=%.2fs throughput=%.1f/s p50=%s p99=%s hits=%d hits_l2=%d misses=%d hit_rate=%.3f",
+		r.Requests, r.Items, r.Errors, r.Elapsed, r.Throughput, r.P50, r.P99,
+		r.Hits, r.HitsL2, r.Misses, r.HitRate)
+}
+
+// Run executes one load run against cfg.Target. The context bounds
+// the whole run (registration included); cfg.Duration bounds the
+// load-generation phase.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Zipf <= 1 {
+		return nil, fmt.Errorf("loadgen: zipf s must be > 1, got %g", cfg.Zipf)
+	}
+	if cfg.Problems < 1 || cfg.Workers < 1 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: need problems >= 1, workers >= 1, duration > 0")
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	target := strings.TrimSuffix(cfg.Target, "/")
+
+	names := make([]string, cfg.Problems)
+	for i := range names {
+		names[i] = fmt.Sprintf("load-%04d", i)
+	}
+	if cfg.Register {
+		if err := register(ctx, client, target, names, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	before, err := statsSnapshot(ctx, client, target)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats before run: %w", err)
+	}
+
+	lctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  int
+		items     int
+		errCount  int
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
+			zipf := rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.Problems-1))
+			var local []time.Duration
+			var reqs, its, errs int
+			for lctx.Err() == nil {
+				n, lat, err := oneRequest(lctx, client, target, names, zipf, cfg.Batch)
+				if err != nil {
+					if lctx.Err() != nil {
+						break // the run ended mid-request; not a target failure
+					}
+					errs++
+					continue
+				}
+				reqs++
+				its += n
+				local = append(local, lat)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			requests += reqs
+			items += its
+			errCount += errs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := statsSnapshot(ctx, client, target)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats after run: %w", err)
+	}
+
+	rep := &Report{
+		Requests: requests,
+		Items:    items,
+		Errors:   errCount,
+		Elapsed:  elapsed.Seconds(),
+		Hits:     after.Hits - before.Hits,
+		HitsL2:   after.HitsL2 - before.HitsL2,
+		Misses:   after.Misses - before.Misses,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(items) / elapsed.Seconds()
+	}
+	if served := rep.Hits + rep.HitsL2 + rep.Misses; served > 0 {
+		rep.HitRate = float64(rep.Hits+rep.HitsL2) / float64(served)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50 = quantile(latencies, 0.50)
+	rep.P99 = quantile(latencies, 0.99)
+	return rep, nil
+}
+
+// register uploads the problem pool. Each upload runs the server's
+// feasibility probe, so on a warm store this is also the first wave of
+// L2 hits.
+func register(ctx context.Context, client *http.Client, target string, names []string, cfg Config) error {
+	for i, name := range names {
+		p := benchkit.Generate(cfg.Tasks, cfg.Seed+int64(i))
+		p.Name = name
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/problems", strings.NewReader(spec.Format(p)))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("loadgen: register %s: %w", name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("loadgen: register %s: status %d: %s", name, resp.StatusCode, body)
+		}
+	}
+	return nil
+}
+
+// oneRequest issues one closed-loop request — a single GET /schedule,
+// or a POST /schedule/batch of batch Zipf draws — and returns how many
+// items it scheduled plus its latency.
+func oneRequest(ctx context.Context, client *http.Client, target string, names []string, zipf *rand.Zipf, batch int) (int, time.Duration, error) {
+	var req *http.Request
+	var err error
+	n := 1
+	if batch <= 1 {
+		name := names[zipf.Uint64()]
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			target+"/schedule?problem="+name+"&format=json", nil)
+	} else {
+		n = batch
+		items := make([]web.BatchItem, batch)
+		for i := range items {
+			items[i] = web.BatchItem{Problem: names[zipf.Uint64()]}
+		}
+		var body []byte
+		body, err = json.Marshal(web.BatchRequest{Items: items})
+		if err == nil {
+			req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+				target+"/schedule/batch", strings.NewReader(string(body)))
+			if req != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+		}
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, 0, err
+	}
+	lat := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return n, lat, nil
+}
+
+// statsSnapshot fetches the target's service counters, accepting both
+// stats shapes: a serve process's flat document and a router's
+// aggregated one.
+func statsSnapshot(ctx context.Context, client *http.Client, target string) (service.Stats, error) {
+	var zero service.Stats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/stats", nil)
+	if err != nil {
+		return zero, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return zero, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return zero, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var routed struct {
+		Aggregate *service.Stats `json:"aggregate"`
+	}
+	if err := json.Unmarshal(body, &routed); err == nil && routed.Aggregate != nil {
+		return *routed.Aggregate, nil
+	}
+	var flat web.StatsDoc
+	if err := json.Unmarshal(body, &flat); err != nil {
+		return zero, err
+	}
+	return flat.Stats, nil
+}
+
+// quantile returns the q-quantile of sorted latencies (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ErrAssertion marks a failed -min/-max assertion so callers can
+// distinguish "the tier is unhealthy" from "the run itself broke".
+var ErrAssertion = errors.New("loadgen assertion failed")
+
+// Assert checks CI-style bounds on a report: minL2 requires at least
+// that many L2 hits (negative disables), minHitRate a floor on the
+// combined hit rate (negative disables), and maxP99 a latency budget
+// (zero disables). All violations are reported at once.
+func (r *Report) Assert(minL2 int64, minHitRate float64, maxP99 time.Duration) error {
+	var fails []string
+	if minL2 >= 0 && r.HitsL2 < minL2 {
+		fails = append(fails, fmt.Sprintf("hits_l2=%d < %d", r.HitsL2, minL2))
+	}
+	if minHitRate >= 0 && r.HitRate < minHitRate {
+		fails = append(fails, fmt.Sprintf("hit_rate=%.3f < %.3f", r.HitRate, minHitRate))
+	}
+	if maxP99 > 0 && r.P99 > maxP99 {
+		fails = append(fails, fmt.Sprintf("p99=%s > %s", r.P99, maxP99))
+	}
+	if r.Errors > 0 {
+		fails = append(fails, fmt.Sprintf("errors=%d", r.Errors))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%w: %s", ErrAssertion, strings.Join(fails, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/web"
+)
+
+func testTier(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(web.NewServer(sched.Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunSingle(t *testing.T) {
+	ts := testTier(t)
+	rep, err := Run(context.Background(), Config{
+		Target:   ts.URL,
+		Problems: 4,
+		Tasks:    10,
+		Seed:     1,
+		Zipf:     1.2,
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Register: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Items != rep.Requests {
+		t.Errorf("requests=%d items=%d, want some and equal", rep.Requests, rep.Items)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors=%d, want 0", rep.Errors)
+	}
+	// The pool is tiny and Zipf-skewed: the closed loop must revisit
+	// problems, so the cache serves most of the run.
+	if rep.Hits == 0 {
+		t.Errorf("hits=0 after %d requests over 4 problems", rep.Requests)
+	}
+	if rep.HitRate <= 0 {
+		t.Errorf("hit_rate=%f, want > 0", rep.HitRate)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Errorf("quantiles out of order: p50=%s p99=%s", rep.P50, rep.P99)
+	}
+	if err := rep.Assert(-1, 0.1, 0); err != nil {
+		t.Errorf("healthy run failed assertions: %v", err)
+	}
+	if err := rep.Assert(1, -1, 0); err == nil {
+		t.Errorf("no store configured, but the min-l2-hits assertion passed")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	ts := testTier(t)
+	rep, err := Run(context.Background(), Config{
+		Target:   ts.URL,
+		Problems: 4,
+		Tasks:    10,
+		Seed:     2,
+		Zipf:     1.2,
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Batch:    3,
+		Register: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors=%d, want 0", rep.Errors)
+	}
+	if rep.Items != 3*rep.Requests {
+		t.Errorf("items=%d for %d batch requests, want x3", rep.Items, rep.Requests)
+	}
+}
+
+func TestStatsSnapshotShapes(t *testing.T) {
+	// A router-shaped /stats document: the aggregate is what counts.
+	agg := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"aggregate":{"hits":7,"hits_l2":3,"misses":2},"shards":[]}`)
+	}))
+	t.Cleanup(agg.Close)
+	st, err := statsSnapshot(context.Background(), http.DefaultClient, agg.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 7 || st.HitsL2 != 3 || st.Misses != 2 {
+		t.Errorf("aggregate shape misparsed: %+v", st)
+	}
+
+	// A flat serve-process document.
+	flat := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"shard_id":"s0","hits":5,"hits_l2":1,"misses":4}`)
+	}))
+	t.Cleanup(flat.Close)
+	st, err = statsSnapshot(context.Background(), http.DefaultClient, flat.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 5 || st.HitsL2 != 1 || st.Misses != 4 {
+		t.Errorf("flat shape misparsed: %+v", st)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Target: "http://x", Problems: 4, Zipf: 1.0, Workers: 1, Duration: time.Second},
+		{Target: "http://x", Problems: 0, Zipf: 1.1, Workers: 1, Duration: time.Second},
+		{Target: "http://x", Problems: 4, Zipf: 1.1, Workers: 0, Duration: time.Second},
+		{Target: "http://x", Problems: 4, Zipf: 1.1, Workers: 1},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %+v: expected an error", cfg)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/spec"
+	"repro/internal/web"
+)
+
+// rawBatch is the wire shape of POST /schedule/batch with the items
+// left opaque, so the router can regroup them across shards without
+// re-encoding anything a backend will parse.
+type rawBatch struct {
+	Items []json.RawMessage `json:"items"`
+}
+
+// batch splits POST /schedule/batch across shards: each item routes by
+// its content address, one sub-batch flies to each owning backend
+// concurrently, and the per-item responses are stitched back in
+// request order. Because every backend computes deterministically, the
+// stitched document is byte-identical to what a single process would
+// have produced for the whole batch.
+//
+// Anything the router cannot confidently split — oversized or
+// malformed documents, empty or over-long item lists, items that do
+// not decode — is forwarded whole to the empty-key owner instead:
+// determinism makes that merely a load-balancing miss, and
+// document-level errors come back as the canonical backend bytes.
+func (rt *Router) batch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	items, keys, ok := splitBatch(body)
+	if !ok {
+		rt.forward(w, r, "", body)
+		return
+	}
+
+	groups := make(map[int][]int)
+	for i, k := range keys {
+		owner := rt.rank(k)[0]
+		groups[owner] = append(groups[owner], i)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		failed  []int
+		results = make([]json.RawMessage, len(items))
+	)
+	run := func(b int, idxs []int, retry bool) {
+		defer wg.Done()
+		if retry {
+			rt.retries.Add(1)
+		}
+		got, err := rt.sendSubBatch(r, b, items, idxs)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if !retry {
+				failed = append(failed, idxs...)
+				return
+			}
+			for _, i := range idxs {
+				results[i] = errorItem(err)
+			}
+			return
+		}
+		for j, i := range idxs {
+			results[i] = got[j]
+		}
+	}
+	for b, idxs := range groups {
+		wg.Add(1)
+		go run(b, idxs, false)
+	}
+	wg.Wait()
+
+	if len(failed) > 0 {
+		// One retry: regroup each failed item onto its next-ranked
+		// replica and resend. With a single backend that replica is the
+		// owner again, which doubles as a plain resend.
+		retryGroups := make(map[int][]int)
+		for _, i := range failed {
+			order := rt.rank(keys[i])
+			next := order[min(1, len(order)-1)]
+			retryGroups[next] = append(retryGroups[next], i)
+		}
+		for b, idxs := range retryGroups {
+			wg.Add(1)
+			go run(b, idxs, true)
+		}
+		wg.Wait()
+	}
+
+	data, err := json.Marshal(rawBatch{Items: results})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// splitBatch decodes a batch document into routable items. ok=false
+// means the router should not split — the document is out of bounds or
+// would not survive a round-trip through the router's decoder — and
+// must instead be forwarded whole.
+func splitBatch(body []byte) (items []json.RawMessage, keys []string, ok bool) {
+	if len(body) > maxBatchBytes {
+		return nil, nil, false
+	}
+	var doc rawBatch
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, nil, false
+	}
+	if len(doc.Items) == 0 || len(doc.Items) > maxBatchItems {
+		return nil, nil, false
+	}
+	keys = make([]string, len(doc.Items))
+	for i, raw := range doc.Items {
+		var it web.BatchItem
+		if err := json.Unmarshal(raw, &it); err != nil {
+			return nil, nil, false
+		}
+		keys[i] = itemKey(it)
+	}
+	return doc.Items, keys, true
+}
+
+// itemKey is an item's routing key: registered problems route by name
+// (co-locating them with their upload), inline specs by fingerprint —
+// the very content address the backend caches under, so repeats of the
+// same problem always land on the shard holding its cached result.
+// Items the backend will reject route by the empty key; the rejection
+// bytes are deterministic wherever they are computed.
+func itemKey(it web.BatchItem) string {
+	if it.Problem != "" {
+		return "name/" + it.Problem
+	}
+	if it.Spec != "" && len(it.Spec) <= maxSpecBytes {
+		if p, err := spec.ParseString(it.Spec); err == nil {
+			return "fp/" + p.Fingerprint()
+		}
+	}
+	return ""
+}
+
+// sendSubBatch posts the given items to one backend's batch endpoint
+// and returns the per-item response documents, in the order sent.
+func (rt *Router) sendSubBatch(r *http.Request, b int, items []json.RawMessage, idxs []int) ([]json.RawMessage, error) {
+	sub := rawBatch{Items: make([]json.RawMessage, len(idxs))}
+	for j, i := range idxs {
+		sub.Items[j] = items[i]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	be := rt.backends[b]
+	u := *be.url
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/schedule/batch"
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("backend %s: status %d", be.name, resp.StatusCode)
+	}
+	var out rawBatch
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("backend %s: %v", be.name, err)
+	}
+	if len(out.Items) != len(idxs) {
+		return nil, fmt.Errorf("backend %s: %d items back for %d sent", be.name, len(out.Items), len(idxs))
+	}
+	return out.Items, nil
+}
+
+// errorItem synthesizes a per-item result for an item whose shard
+// (and retry replica) could not be reached at all.
+func errorItem(err error) json.RawMessage {
+	data, mErr := json.Marshal(web.BatchItemResult{
+		Status: http.StatusBadGateway,
+		Error:  "all replicas failed: " + err.Error(),
+	})
+	if mErr != nil {
+		return json.RawMessage(`{"status":502,"error":"all replicas failed"}`)
+	}
+	return data
+}

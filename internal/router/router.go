@@ -1,0 +1,268 @@
+// Package router is the thin serving-tier front: it spreads requests
+// over N backend serve processes by consistent hashing of each
+// request's content address, so every shard's caches (in-memory L1,
+// persistent L2) see a stable slice of the key space and cache hits
+// stay network-local.
+//
+// # Why rendezvous hashing
+//
+// The shard function is rendezvous (highest-random-weight) hashing:
+// for a key k, every backend b gets the score
+// SHA-256(b || 0x00 || k) and the highest score owns the key; the
+// runner-up is the retry replica. Compared to a ring with virtual
+// nodes, rendezvous needs no vnode-count tuning to reach uniform
+// balance (every (backend, key) pair is an independent draw), has no
+// state to persist or rebuild — the backend list is the whole
+// configuration, so every router instance computes identical
+// placements — and losing a backend remaps exactly the keys it owned,
+// like a ring. Its O(N) score scan per lookup is irrelevant at
+// serving-tier fan-outs (N is single-digit to low double-digit).
+//
+// The backends need no coordination layer on top: the scheduling
+// pipeline is deterministic, so two shards given the same request
+// compute byte-identical results. Routing is therefore purely an
+// efficiency concern (cache locality), never a correctness one — a
+// misrouted or failed-over request costs a cold compute, not a wrong
+// answer.
+//
+// Routing keys: requests that name a registered problem
+// (GET /schedule, GET /simulate, POST /problems, POST /verify) hash
+// "name/<problem>"; batch items carrying an inline spec hash
+// "fp/<Problem.Fingerprint()>", the same content address the backend
+// caches under. Unroutable inputs (malformed documents, missing
+// parameters) hash the empty key so some deterministic backend
+// produces the canonical error response.
+package router
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/web"
+)
+
+// Bounds mirrored from the backend contract (internal/web): the
+// router enforces the same byte limits before buffering bodies.
+const (
+	maxSpecBytes  = 1 << 20
+	maxBatchBytes = 8 << 20
+	maxBatchItems = 256
+)
+
+// Router fans requests out to a fixed set of backend serve processes.
+// Create one with New.
+type Router struct {
+	backends []backend
+	client   *http.Client
+	retries  atomic.Int64
+}
+
+type backend struct {
+	name string // scoring identity: the normalized URL string
+	url  *url.URL
+}
+
+// New creates a router over the given backend base URLs (e.g.
+// "http://127.0.0.1:8081"). A nil client selects one with sane
+// serving-tier timeouts.
+func New(backendURLs []string, client *http.Client) (*Router, error) {
+	if len(backendURLs) == 0 {
+		return nil, fmt.Errorf("router: no backends")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	rt := &Router{client: client}
+	seen := make(map[string]bool)
+	for _, raw := range backendURLs {
+		raw = strings.TrimSuffix(strings.TrimSpace(raw), "/")
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: bad backend url %q", raw)
+		}
+		if seen[raw] {
+			return nil, fmt.Errorf("router: duplicate backend %q", raw)
+		}
+		seen[raw] = true
+		rt.backends = append(rt.backends, backend{name: raw, url: u})
+	}
+	if len(rt.backends) == 0 {
+		return nil, fmt.Errorf("router: no backends")
+	}
+	return rt, nil
+}
+
+// Retries reports how many requests were retried against a second
+// replica after their primary backend failed.
+func (rt *Router) Retries() int64 { return rt.retries.Load() }
+
+// rank returns backend indices ordered by rendezvous score for key,
+// highest first: rank[0] is the owner, rank[1] the retry replica.
+func (rt *Router) rank(key string) []int {
+	type scored struct {
+		score uint64
+		idx   int
+	}
+	ss := make([]scored, len(rt.backends))
+	for i, b := range rt.backends {
+		h := sha256.New()
+		io.WriteString(h, b.name)
+		h.Write([]byte{0})
+		io.WriteString(h, key)
+		ss[i] = scored{score: binary.BigEndian.Uint64(h.Sum(nil)[:8]), idx: i}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score > ss[b].score
+		}
+		return ss[a].idx < ss[b].idx
+	})
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = s.idx
+	}
+	return out
+}
+
+// Handler returns the router's HTTP handler:
+//
+//	GET  /                 backend roster (HTML)
+//	GET  /schedule         forwarded to the problem's shard
+//	GET  /simulate         forwarded to the problem's shard
+//	POST /problems         forwarded to the shard owning the spec's name
+//	POST /verify           forwarded likewise
+//	POST /schedule/batch   split per item across shards, one sub-batch
+//	                       per shard, responses stitched in order
+//	GET  /stats            every shard's stats plus a summed aggregate
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", rt.index)
+	mux.HandleFunc("GET /schedule", rt.byProblem)
+	mux.HandleFunc("GET /simulate", rt.byProblem)
+	mux.HandleFunc("POST /problems", rt.bySpecName)
+	mux.HandleFunc("POST /verify", rt.bySpecName)
+	mux.HandleFunc("POST /schedule/batch", rt.batch)
+	mux.HandleFunc("GET /stats", rt.stats)
+	return mux
+}
+
+func (rt *Router) index(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<html><head><title>impacct router</title></head><body><h1>Serving tier</h1><ul>")
+	for _, b := range rt.backends {
+		fmt.Fprintf(w, "<li>%s</li>", html.EscapeString(b.name))
+	}
+	fmt.Fprint(w, `</ul><p><a href="/stats">aggregated stats</a></p></body></html>`)
+}
+
+// byProblem routes name-addressed GET endpoints.
+func (rt *Router) byProblem(w http.ResponseWriter, r *http.Request) {
+	key := ""
+	if name := r.URL.Query().Get("problem"); name != "" {
+		key = "name/" + name
+	}
+	rt.forward(w, r, key, nil)
+}
+
+// bySpecName routes spec-carrying POST endpoints by the problem name
+// inside the document, so a follow-up GET /schedule?problem=<name>
+// lands on the shard that registered it.
+func (rt *Router) bySpecName(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	key := ""
+	if len(body) <= maxSpecBytes {
+		if p, err := spec.Parse(bytes.NewReader(body)); err == nil && p.Name != "" {
+			key = "name/" + p.Name
+		}
+	}
+	// Oversized or unparseable bodies still forward (key ""): the
+	// owner of the empty key produces the canonical 413/400 bytes.
+	rt.forward(w, r, key, body)
+}
+
+// forward proxies one request to the key's owning backend, retrying
+// exactly once against the next replica if the owner is unreachable
+// (transport error — an HTTP response of any status is a backend
+// answer, not a backend failure, and is relayed as-is). body is the
+// pre-read request body for POSTs (nil = no body).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	order := rt.rank(key)
+	if len(order) > 2 {
+		order = order[:2]
+	}
+	var lastErr error
+	for attempt, idx := range order {
+		if attempt > 0 {
+			rt.retries.Add(1)
+		}
+		resp, err := rt.send(r, rt.backends[idx], body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				writeError(w, web.StatusClientClosedRequest, "client closed request")
+				return
+			}
+			lastErr = err
+			continue
+		}
+		defer resp.Body.Close()
+		copyResponse(w, resp)
+		return
+	}
+	writeError(w, http.StatusBadGateway, fmt.Sprintf("all replicas failed: %v", lastErr))
+}
+
+// send issues one proxied request.
+func (rt *Router) send(r *http.Request, b backend, body []byte) (*http.Response, error) {
+	u := *b.url
+	u.Path = strings.TrimSuffix(u.Path, "/") + r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return rt.client.Do(req)
+}
+
+// copyResponse relays a backend response verbatim (status, entity
+// headers, body bytes).
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // headers already sent
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck // headers already sent
+}

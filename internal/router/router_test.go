@@ -1,0 +1,342 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/web"
+)
+
+// newBackend boots one backend exactly as cmd/serve wires it: the web
+// handler plus the standalone /verify endpoint.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := web.NewServer(sched.Options{})
+	srv.Add(paperex.Nine())
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("POST /verify", srv.VerifyHandlerFunc)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newRouterServer(t *testing.T, backends ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(backends, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+// heteroSpec is a spec document exercising the heterogeneous-machines
+// and DVS-levels extensions, so the differential test covers the full
+// model surface over the wire.
+func heteroSpec() string {
+	p := paperex.Nine().Clone()
+	p.Name = "nine-hetero"
+	p.Machines = []model.Machine{
+		{Name: "fast", Speed: 2, PowerScale: 1.5},
+		{Name: "slow", Speed: 1, PowerScale: 1},
+	}
+	p.Tasks[0].Levels = []model.DVSLevel{{Mult: 1, Power: p.Tasks[0].Power}, {Mult: 2, Power: p.Tasks[0].Power / 3}}
+	return spec.Format(p)
+}
+
+type wireReq struct {
+	method, path, body string
+}
+
+// play replays a request stream against one base URL and returns each
+// response as "status\nbody".
+func play(t *testing.T, base string, reqs []wireReq) []string {
+	t.Helper()
+	out := make([]string, len(reqs))
+	for i, rq := range reqs {
+		var resp *http.Response
+		var err error
+		if rq.method == http.MethodGet {
+			resp, err = http.Get(base + rq.path)
+		} else {
+			resp, err = http.Post(base+rq.path, "application/json", strings.NewReader(rq.body))
+		}
+		if err != nil {
+			t.Fatalf("request %d %s %s: %v", i, rq.method, rq.path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("request %d %s %s: %v", i, rq.method, rq.path, err)
+		}
+		out[i] = fmt.Sprintf("%d\n%s", resp.StatusCode, body)
+	}
+	return out
+}
+
+// TestDifferentialSingleVsSharded is the serving tier's core
+// correctness claim: a router over two shards answers an entire
+// request stream — uploads, every pipeline stage, heterogeneous/DVS
+// problems, batches mixing names and inline specs, and the whole error
+// contract — byte-identically to one single-process server. The
+// deterministic pipeline is what makes this hold with zero
+// inter-shard coordination.
+func TestDifferentialSingleVsSharded(t *testing.T) {
+	hetero := heteroSpec()
+	batchDoc, err := json.Marshal(map[string]any{"items": []map[string]any{
+		{"problem": "nine-task-example"},
+		{"spec": hetero, "stage": "minpower"},
+		{"problem": "nine-hetero", "stage": "timing"},
+		{"problem": "no-such-problem"},
+		{"spec": "task bogus"},
+		{},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []wireReq{
+		{http.MethodPost, "/problems", hetero},
+		{http.MethodGet, "/schedule?problem=nine-hetero&format=json", ""},
+		{http.MethodGet, "/schedule?problem=nine-hetero&stage=timing&format=json", ""},
+		{http.MethodGet, "/schedule?problem=nine-hetero&stage=maxpower&format=ascii", ""},
+		{http.MethodGet, "/schedule?problem=nine-task-example&format=json&seed=7&restarts=2", ""},
+		{http.MethodGet, "/schedule?problem=no-such-problem", ""},
+		{http.MethodGet, "/schedule?problem=nine-task-example&stage=bogus", ""},
+		{http.MethodPost, "/verify", hetero},
+		{http.MethodGet, "/simulate?problem=nine-task-example&n=20&seed=5&format=json", ""},
+		{http.MethodPost, "/schedule/batch", string(batchDoc)},
+		{http.MethodPost, "/schedule/batch", "{not json"},
+		{http.MethodPost, "/schedule/batch", `{"items":[]}`},
+	}
+
+	single := newBackend(t)
+	want := play(t, single.URL, stream)
+
+	b1, b2 := newBackend(t), newBackend(t)
+	_, rts := newRouterServer(t, b1.URL, b2.URL)
+	got := play(t, rts.URL, stream)
+
+	for i := range stream {
+		if got[i] != want[i] {
+			t.Errorf("request %d (%s %s): sharded response differs from single-process\nsingle:\n%s\nsharded:\n%s",
+				i, stream[i].method, stream[i].path, want[i], got[i])
+		}
+	}
+}
+
+// TestRendezvousProperties pins the hash's contract: identical
+// placement across independent router instances, reasonable balance,
+// and minimal disruption — removing a backend remaps only the keys it
+// owned.
+func TestRendezvousProperties(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rt1, err := New(names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := New(names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtAB, err := New(names[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := make(map[string]int)
+	moved := 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("fp/%d", i)
+		o1, o2 := rt1.rank(key), rt2.rank(key)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("key %q: instances disagree: %v vs %v", key, o1, o2)
+		}
+		owner := rt1.backends[o1[0]].name
+		counts[owner]++
+		if owner != names[2] {
+			if ab := rtAB.backends[rtAB.rank(key)[0]].name; ab != owner {
+				moved++
+			}
+		}
+	}
+	for _, n := range names {
+		if counts[n] < 50 {
+			t.Errorf("backend %s owns only %d/300 keys; want a roughly uniform split (%v)", n, counts[n], counts)
+		}
+	}
+	if moved != 0 {
+		t.Errorf("removing one backend moved %d keys owned by the survivors; rendezvous must move none", moved)
+	}
+}
+
+// TestFailoverRetry kills the shard owning a key and asserts the
+// router transparently retries its requests — single and batch —
+// against the next replica.
+func TestFailoverRetry(t *testing.T) {
+	live := newBackend(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // the port is now refused: a transport error, not an HTTP answer
+
+	rt, rts := newRouterServer(t, dead.URL, live.URL)
+
+	// Find a problem name whose owner is the dead backend. Scores hash
+	// the backend URL (which carries an ephemeral port), so probe a few
+	// names instead of hardcoding one.
+	name := ""
+	for i := 0; i < 64; i++ {
+		n := fmt.Sprintf("probe-%d", i)
+		if rt.backends[rt.rank("name/" + n)[0]].name == dead.URL {
+			name = n
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no probe name hashed onto the dead backend in 64 tries")
+	}
+	p := paperex.Nine().Clone()
+	p.Name = name
+	specDoc := spec.Format(p)
+
+	// Upload routes to the dead owner, fails over to the live replica,
+	// and registers there; the follow-up GET and batch items fail over
+	// identically, so they find the registration.
+	resp, err := http.Post(rts.URL+"/problems", "text/plain", strings.NewReader(specDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload through dead owner: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(rts.URL + "/schedule?problem=" + name + "&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule through dead owner: status %d", resp.StatusCode)
+	}
+
+	doc, _ := json.Marshal(map[string]any{"items": []map[string]any{{"problem": name}}})
+	resp, err = http.Post(rts.URL+"/schedule/batch", "application/json", strings.NewReader(string(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch struct {
+		Items []web.BatchItemResult `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batch.Items) != 1 || batch.Items[0].Status != http.StatusOK {
+		t.Fatalf("batch through dead owner: %+v", batch)
+	}
+
+	if rt.Retries() < 3 {
+		t.Errorf("retries = %d, want >= 3 (upload, schedule, batch)", rt.Retries())
+	}
+}
+
+// TestAllReplicasDown pins the router's own failure mode: when every
+// replica is unreachable, single requests get a 502 and batch items
+// get per-item 502 entries.
+func TestAllReplicasDown(t *testing.T) {
+	d1 := httptest.NewServer(http.NotFoundHandler())
+	d1.Close()
+	d2 := httptest.NewServer(http.NotFoundHandler())
+	d2.Close()
+	_, rts := newRouterServer(t, d1.URL, d2.URL)
+
+	resp, err := http.Get(rts.URL + "/schedule?problem=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("single: status %d, want 502", resp.StatusCode)
+	}
+
+	doc := `{"items":[{"problem":"x"},{"problem":"y"}]}`
+	resp, err = http.Post(rts.URL+"/schedule/batch", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch struct {
+		Items []web.BatchItemResult `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("batch envelope: status %d, want 200", resp.StatusCode)
+	}
+	if len(batch.Items) != 2 {
+		t.Fatalf("batch items: %d, want 2", len(batch.Items))
+	}
+	for i, it := range batch.Items {
+		if it.Status != http.StatusBadGateway {
+			t.Errorf("item %d: status %d, want 502", i, it.Status)
+		}
+	}
+}
+
+// TestStatsAggregation drives work through the router and checks that
+// GET /stats sums the shard counters.
+func TestStatsAggregation(t *testing.T) {
+	b1, b2 := newBackend(t), newBackend(t)
+	_, rts := newRouterServer(t, b1.URL, b2.URL)
+
+	for _, path := range []string{
+		"/schedule?problem=nine-task-example&format=json",
+		"/schedule?problem=nine-task-example&stage=timing&format=json",
+	} {
+		resp, err := http.Get(rts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(rts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Shards) != 2 {
+		t.Fatalf("shards: %d, want 2", len(doc.Shards))
+	}
+	var misses int64
+	for i, sh := range doc.Shards {
+		if sh.Stats == nil {
+			t.Fatalf("shard %d: no stats (%s)", i, sh.Error)
+		}
+		misses += sh.Stats.Misses
+	}
+	if doc.Aggregate.Misses != misses || misses < 2 {
+		t.Errorf("aggregate misses %d, shard sum %d, want equal and >= 2", doc.Aggregate.Misses, misses)
+	}
+	if doc.Aggregate.UptimeSeconds < 0 {
+		t.Errorf("aggregate uptime %f, want >= 0", doc.Aggregate.UptimeSeconds)
+	}
+}

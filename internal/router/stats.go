@@ -1,0 +1,117 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/service"
+	"repro/internal/web"
+)
+
+// ShardStats is one backend's contribution to the aggregated /stats
+// document: either its stats snapshot or the error that kept the
+// router from fetching one.
+type ShardStats struct {
+	Backend string        `json:"backend"`
+	Error   string        `json:"error,omitempty"`
+	Stats   *web.StatsDoc `json:"stats,omitempty"`
+}
+
+// StatsResponse is the router's GET /stats document: the per-shard
+// snapshots plus an aggregate summing every counter across reachable
+// shards (gauges like Queued and store sizes sum too — the tier-wide
+// totals are what capacity planning wants).
+type StatsResponse struct {
+	Aggregate service.Stats `json:"aggregate"`
+	Shards    []ShardStats  `json:"shards"`
+}
+
+// stats fans GET /stats out to every backend concurrently and answers
+// with the per-shard snapshots and their sum. A dead shard degrades to
+// an error entry; the aggregate covers whoever answered.
+func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
+	shards := make([]ShardStats, len(rt.backends))
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b backend) {
+			defer wg.Done()
+			shards[i].Backend = b.name
+			u := *b.url
+			u.Path = strings.TrimSuffix(u.Path, "/") + "/stats"
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u.String(), nil)
+			if err != nil {
+				shards[i].Error = err.Error()
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				shards[i].Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				shards[i].Error = fmt.Sprintf("status %d", resp.StatusCode)
+				return
+			}
+			var doc web.StatsDoc
+			if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+				shards[i].Error = err.Error()
+				return
+			}
+			shards[i].Stats = &doc
+		}(i, b)
+	}
+	wg.Wait()
+
+	var agg service.Stats
+	for _, sh := range shards {
+		if sh.Stats != nil {
+			addStats(&agg, sh.Stats.Stats)
+		}
+	}
+	data, err := json.MarshalIndent(StatsResponse{Aggregate: agg, Shards: shards}, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// addStats folds one shard's snapshot into the aggregate. Counters and
+// capacity gauges sum; StartTime keeps the earliest boot and
+// UptimeSeconds the shortest uptime (the weakest-link warm-up age of
+// the tier); ComputeNS merges per bucket.
+func addStats(agg *service.Stats, s service.Stats) {
+	agg.Hits += s.Hits
+	agg.Misses += s.Misses
+	agg.Joins += s.Joins
+	agg.Evictions += s.Evictions
+	agg.Inflight += s.Inflight
+	agg.Entries += s.Entries
+	agg.HitsL2 += s.HitsL2
+	agg.StoreEntries += s.StoreEntries
+	agg.StoreBytes += s.StoreBytes
+	agg.StorePutErrors += s.StorePutErrors
+	agg.Canceled += s.Canceled
+	agg.DeadlineExceeded += s.DeadlineExceeded
+	agg.Shed += s.Shed
+	agg.Panics += s.Panics
+	agg.Queued += s.Queued
+	if agg.StartTime == 0 || (s.StartTime != 0 && s.StartTime < agg.StartTime) {
+		agg.StartTime = s.StartTime
+	}
+	if agg.UptimeSeconds == 0 || (s.UptimeSeconds != 0 && s.UptimeSeconds < agg.UptimeSeconds) {
+		agg.UptimeSeconds = s.UptimeSeconds
+	}
+	if len(s.ComputeNS) > 0 && agg.ComputeNS == nil {
+		agg.ComputeNS = make(map[string]int64)
+	}
+	for k, v := range s.ComputeNS {
+		agg.ComputeNS[k] += v
+	}
+}

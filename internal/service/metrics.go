@@ -6,6 +6,7 @@ import (
 	"expvar"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // metrics is the service's counter set. The counters are expvar values
@@ -13,11 +14,13 @@ import (
 // auto-published: tests create many Services, and expvar.Publish
 // panics on duplicate names. Publish exports one service explicitly.
 type metrics struct {
-	hits      expvar.Int // cache hits
+	hits      expvar.Int // L1 (in-memory LRU) cache hits
+	hitsL2    expvar.Int // persistent-store hits rehydrated into L1
 	misses    expvar.Int // computes (cache misses that started a flight)
 	joins     expvar.Int // singleflight joins onto an in-flight compute
 	evictions expvar.Int // LRU evictions
 	inflight  expvar.Int // currently computing flights (gauge)
+	storeErrs expvar.Int // persistent-store write-through failures
 
 	// Failure-mode counters, per request: canceled requests, requests
 	// whose deadline passed (before or during compute), requests shed
@@ -96,6 +99,18 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	Inflight  int64 `json:"inflight"`
 	Entries   int   `json:"entries"`
+	// HitsL2 counts requests served by rehydrating a record from the
+	// persistent store; StoreEntries/StoreBytes/StorePutErrors describe
+	// that store (all zero when no store is configured).
+	HitsL2         int64 `json:"hits_l2"`
+	StoreEntries   int   `json:"store_entries"`
+	StoreBytes     int64 `json:"store_bytes"`
+	StorePutErrors int64 `json:"store_put_errors"`
+	// StartTime is the service's creation time in Unix seconds;
+	// UptimeSeconds is measured against the monotonic clock, so shard
+	// uptimes stay comparable under wall-clock adjustments.
+	StartTime     int64   `json:"start_time"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Canceled and DeadlineExceeded count requests terminated by their
 	// context; Shed counts requests rejected by admission control;
 	// Panics counts computes contained at the panic boundary. Queued is
@@ -116,6 +131,12 @@ func (s *Service) Stats() Stats {
 	entries := s.cache.len()
 	queued := s.queued
 	s.mu.Unlock()
+	var storeEntries int
+	var storeBytes int64
+	if s.store != nil {
+		storeEntries = s.store.Len()
+		storeBytes = s.store.Size()
+	}
 	return Stats{
 		Hits:             s.met.hits.Value(),
 		Misses:           s.met.misses.Value(),
@@ -123,6 +144,12 @@ func (s *Service) Stats() Stats {
 		Evictions:        s.met.evictions.Value(),
 		Inflight:         s.met.inflight.Value(),
 		Entries:          entries,
+		HitsL2:           s.met.hitsL2.Value(),
+		StoreEntries:     storeEntries,
+		StoreBytes:       storeBytes,
+		StorePutErrors:   s.met.storeErrs.Value(),
+		StartTime:        s.started.Unix(),
+		UptimeSeconds:    time.Since(s.started).Seconds(),
 		Canceled:         s.met.canceled.Value(),
 		DeadlineExceeded: s.met.deadlineExceeded.Value(),
 		Shed:             s.met.shed.Value(),
@@ -136,11 +163,29 @@ func (s *Service) Stats() Stats {
 // the underlying counters, so a single Vars call wired into an expvar
 // page stays current. Metric names: hits, misses, joins, evictions,
 // inflight, canceled, deadline_exceeded, shed, panics, queued,
-// last_panic (the contained stack, metrics-only), cache_entries, and
+// last_panic (the contained stack, metrics-only), cache_entries,
+// hits_l2 / store_entries / store_bytes / store_put_errors for the
+// persistent tier, start_time / uptime_seconds, and
 // compute_ns_<stage> per stage bucket.
 func (s *Service) Vars() *expvar.Map {
 	m := new(expvar.Map)
 	m.Set("hits", &s.met.hits)
+	m.Set("hits_l2", &s.met.hitsL2)
+	m.Set("store_put_errors", &s.met.storeErrs)
+	m.Set("store_entries", expvar.Func(func() any {
+		if s.store == nil {
+			return 0
+		}
+		return s.store.Len()
+	}))
+	m.Set("store_bytes", expvar.Func(func() any {
+		if s.store == nil {
+			return int64(0)
+		}
+		return s.store.Size()
+	}))
+	m.Set("start_time", expvar.Func(func() any { return s.started.Unix() }))
+	m.Set("uptime_seconds", expvar.Func(func() any { return time.Since(s.started).Seconds() }))
 	m.Set("misses", &s.met.misses)
 	m.Set("joins", &s.met.joins)
 	m.Set("evictions", &s.met.evictions)

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+)
+
+// BlobStore is the persistent second-level cache interface, satisfied
+// by *store.Store. The service treats it as a byte-addressed L2 under
+// the in-memory LRU: on an L1 miss it probes the store before
+// computing, and every clean compute is written through. Keys are the
+// same content-addressed strings as the LRU's (problem fingerprint +
+// stage + options digest), so a store outlives process restarts and
+// can be consulted by any replica — the pipeline is deterministic, so
+// a record written by one process is byte-for-byte the record any
+// other process would have written.
+type BlobStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte) error
+	Len() int
+	Size() int64
+}
+
+// storeKeyPrefix version-tags persisted records: the payload is a gob
+// encoding of portableResult, so any change to that struct must bump
+// the prefix (old records then simply miss and are recomputed).
+const storeKeyPrefix = "sr1/"
+
+// portableResult is the persisted subset of sched.Result: the decision
+// variables (start times, machine/level assignment) plus the outputs
+// that must survive byte-for-byte (power profile segments — the
+// pipeline's float accumulation order is part of the contract — and
+// the heuristic-effort stats). Everything else in a Result is
+// recomputed deterministically from the problem at rehydration.
+type portableResult struct {
+	Start      []model.Time
+	Segs       []power.Segment
+	Stats      sched.Stats
+	Tasks      []model.Task // effective task view; nil when degenerate
+	Assignment model.Assignment
+}
+
+// encodeResult serializes a computed result for the store.
+func encodeResult(res *sched.Result) ([]byte, error) {
+	pr := portableResult{
+		Start: res.Schedule.Start,
+		Segs:  res.Profile.Segs,
+		Stats: res.Stats,
+	}
+	if res.Compiled.Hetero {
+		pr.Tasks = res.Tasks
+		pr.Assignment = res.Assignment
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&pr); err != nil {
+		return nil, fmt.Errorf("service: encode result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResult rehydrates a persisted record into a *sched.Result for
+// problem p. The problem is compiled afresh (cheap and deterministic);
+// the profile and stats are restored verbatim rather than recomputed,
+// so a rehydrated result is indistinguishable from the original to
+// every service consumer. Result.Graph is the one exception: the
+// search's working constraint graph is not persisted and stays nil —
+// no consumer outside the sched package reads it.
+//
+// Any decode or shape mismatch (e.g. a record written for a different
+// problem revision that happened to collide) returns an error and the
+// caller treats it as a store miss.
+func decodeResult(p *model.Problem, data []byte) (*sched.Result, error) {
+	var pr portableResult
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("service: decode result: %w", err)
+	}
+	q := p.Clone()
+	comp, err := schedule.Compile(q)
+	if err != nil {
+		return nil, fmt.Errorf("service: rehydrate compile: %w", err)
+	}
+	if len(pr.Start) != len(q.Tasks) {
+		return nil, fmt.Errorf("service: rehydrate: %d starts for a %d-task problem", len(pr.Start), len(q.Tasks))
+	}
+	tasks := pr.Tasks
+	if tasks == nil {
+		tasks = comp.Prob.Tasks
+	} else if len(tasks) != len(q.Tasks) {
+		return nil, fmt.Errorf("service: rehydrate: %d effective tasks for a %d-task problem", len(tasks), len(q.Tasks))
+	}
+	return &sched.Result{
+		Compiled:   comp,
+		Schedule:   schedule.Schedule{Start: pr.Start},
+		Profile:    power.Profile{Segs: pr.Segs},
+		Stats:      pr.Stats,
+		Tasks:      tasks,
+		Assignment: pr.Assignment,
+	}, nil
+}
+
+// persistCodec carries a request's L2 hooks through do into compute.
+// It is nil for requests that have no persistent representation (Memo
+// flights, or a service without a store).
+type persistCodec struct {
+	key    string                    // store key (version-prefixed cache key)
+	decode func([]byte) (any, error) // store hit -> live value
+	encode func(any) ([]byte, error) // computed value -> store record
+}
+
+// scheduleCodec builds the L2 codec for a Schedule request on problem
+// p. The closure keeps p alive only until the request resolves.
+func (s *Service) scheduleCodec(key string, p *model.Problem) *persistCodec {
+	if s.store == nil {
+		return nil
+	}
+	return &persistCodec{
+		key: storeKeyPrefix + key,
+		decode: func(data []byte) (any, error) {
+			return decodeResult(p, data)
+		},
+		encode: func(v any) ([]byte, error) {
+			return encodeResult(v.(*sched.Result))
+		},
+	}
+}

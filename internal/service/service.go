@@ -108,6 +108,13 @@ type Config struct {
 	// DefaultTimeout is the per-request compute budget applied when
 	// the caller's context carries no deadline of its own (0 = none).
 	DefaultTimeout time.Duration
+	// Store is an optional persistent second-level cache (see
+	// BlobStore): probed on LRU misses, written through on every clean
+	// compute. Nil disables the tier. The store's records are
+	// content-addressed by the same keys as the LRU, so it may be
+	// shared across restarts (warm start) but must not be shared by
+	// two live processes.
+	Store BlobStore
 }
 
 // Service fronts the scheduling pipeline with a content-addressed
@@ -128,6 +135,12 @@ type Service struct {
 	maxQueue       int
 	defaultTimeout time.Duration
 	wg             sync.WaitGroup
+
+	// store is the optional persistent L2 (nil = disabled); started
+	// anchors the uptime metrics (its monotonic reading survives wall
+	// clock adjustments).
+	store   BlobStore
+	started time.Time
 }
 
 // call is one in-flight computation; waiters block on done. waiters is
@@ -165,6 +178,8 @@ func New(cfg Config) *Service {
 		slots:          make(chan struct{}, cfg.Workers),
 		maxQueue:       cfg.MaxQueue,
 		defaultTimeout: cfg.DefaultTimeout,
+		store:          cfg.Store,
+		started:        time.Now(),
 	}
 	s.cache = newLRU(cfg.CacheSize, &s.met.evictions)
 	return s
@@ -213,7 +228,8 @@ func (s *Service) Schedule(p *model.Problem, opts sched.Options, stage Stage) (*
 // computing for the remaining waiters and is canceled only when the
 // last one leaves.
 func (s *Service) ScheduleCtx(ctx context.Context, p *model.Problem, opts sched.Options, stage Stage) (*sched.Result, error) {
-	v, err := s.do(ctx, Key(p, opts, stage), stage.String(), func(cctx context.Context) (any, error) {
+	key := Key(p, opts, stage)
+	v, err := s.do(ctx, key, stage.String(), s.scheduleCodec(key, p), func(cctx context.Context) (any, error) {
 		q := p.Clone()
 		switch stage {
 		case StageTiming:
@@ -245,7 +261,7 @@ func (s *Service) Memo(key string, fn func() (any, error)) (any, error) {
 // context (detached from any single caller, canceled when the last
 // waiter leaves) and should poll it if it runs long.
 func (s *Service) MemoCtx(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
-	return s.do(ctx, "memo:"+key, "memo", fn)
+	return s.do(ctx, "memo:"+key, "memo", nil, fn)
 }
 
 // testHook is the chaos-test injection point: when set, every compute
@@ -314,7 +330,7 @@ func (s *Service) acquireCompute(ctx context.Context) error {
 // do is the shared cache + singleflight + admission core. Errors are
 // returned to every waiter of the computing flight but are never
 // cached: a later identical request retries from scratch.
-func (s *Service) do(ctx context.Context, key, bucket string, fn func(context.Context) (any, error)) (any, error) {
+func (s *Service) do(ctx context.Context, key, bucket string, codec *persistCodec, fn func(context.Context) (any, error)) (any, error) {
 	ctx, release := s.withBudget(ctx)
 	defer release()
 	if err := ctx.Err(); err != nil {
@@ -334,6 +350,23 @@ func (s *Service) do(ctx context.Context, key, bucket string, fn func(context.Co
 		return s.wait(ctx, key, c)
 	}
 	s.mu.Unlock()
+
+	// L2 probe: a persisted result skips admission control entirely —
+	// rehydration is a disk read plus a compile, orders of magnitude
+	// cheaper than the pipeline. An undecodable record degrades to a
+	// miss. Two racing probes may both rehydrate and both fill L1;
+	// that is benign (identical content, last write wins).
+	if codec != nil {
+		if data, ok := s.store.Get(codec.key); ok {
+			if v, err := codec.decode(data); err == nil {
+				s.met.hitsL2.Add(1)
+				s.mu.Lock()
+				s.cache.add(key, v)
+				s.mu.Unlock()
+				return v, nil
+			}
+		}
+	}
 
 	// No cached value and no flight to join: this request must
 	// compute, so it passes admission control before becoming a flight
@@ -372,7 +405,7 @@ func (s *Service) do(ctx context.Context, key, bucket string, fn func(context.Co
 	s.met.inflight.Add(1)
 	s.wg.Add(1)
 	s.mu.Unlock()
-	go s.compute(cctx, key, bucket, c, fn)
+	go s.compute(cctx, key, bucket, codec, c, fn)
 	return s.wait(ctx, key, c)
 }
 
@@ -381,7 +414,7 @@ func (s *Service) do(ctx context.Context, key, bucket string, fn func(context.Co
 // error wrapping ErrInternal, and the process keeps serving. Only a
 // compute that finished cleanly and was never canceled may populate
 // the cache.
-func (s *Service) compute(ctx context.Context, key, bucket string, c *call, fn func(context.Context) (any, error)) {
+func (s *Service) compute(ctx context.Context, key, bucket string, codec *persistCodec, c *call, fn func(context.Context) (any, error)) {
 	defer s.wg.Done()
 	defer func() { <-s.slots }()
 	start := time.Now()
@@ -408,10 +441,21 @@ func (s *Service) compute(ctx context.Context, key, bucket string, c *call, fn f
 	// Never cache a canceled compute, even one that happened to finish
 	// between the cancellation and this check: only results every
 	// still-interested caller could have observed are cacheable.
-	if c.err == nil && ctx.Err() == nil {
+	cacheable := c.err == nil && ctx.Err() == nil
+	if cacheable {
 		s.cache.add(key, c.val)
 	}
 	s.mu.Unlock()
+	// Write-through to the persistent tier outside the lock: the store
+	// serializes internally, and an encode or disk failure only costs
+	// a future recompute, never the response.
+	if cacheable && codec != nil {
+		if data, err := codec.encode(c.val); err != nil {
+			s.met.storeErrs.Add(1)
+		} else if err := s.store.Put(codec.key, data); err != nil {
+			s.met.storeErrs.Add(1)
+		}
+	}
 	c.cancel()
 	close(c.done)
 }

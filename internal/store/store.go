@@ -1,0 +1,374 @@
+// Package store is a persistent, content-addressed result cache: an
+// append-only log of key→value records with an in-memory index. It is
+// the second cache level under internal/service's LRU — the service's
+// keys are already content hashes (problem fingerprint + options
+// digest + stage), so the store never needs invalidation, only
+// last-write-wins replacement of byte-identical recomputations.
+//
+// On-disk format (little-endian, one record after another, no file
+// header):
+//
+//	record := keyLen uint32 | valLen uint32 | crc uint32 | key | val
+//
+// where crc is the IEEE CRC-32 of key||val. The format is crash-safe
+// by construction: a record is visible only if its full frame is on
+// disk and its CRC matches. Open replays the log to rebuild the index,
+// stopping at the first incomplete or corrupt frame and truncating the
+// file there (a torn tail from a crash mid-append loses at most the
+// records after the tear, never the prefix). Duplicate keys resolve
+// last-write-wins, so a replayed log converges to the same index the
+// writing process had.
+//
+// Appends are buffered in user space only as a single write(2) per
+// record; Sync flushes the OS cache with fsync. Callers that need
+// durability at a point in time (graceful shutdown) call Sync or
+// Close; in between, a crash can lose only suffix records, which for a
+// content-addressed cache means recomputing them.
+//
+// When the log's dead weight (overwritten duplicates) exceeds half the
+// file beyond Options.CompactMinBytes, Put compacts: live records are
+// rewritten to a temp file which atomically replaces the log. The cost
+// is bounded by the live set, and the rewrite is itself crash-safe
+// (the original log is replaced only by a fully synced temp file).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Options tunes a Store. The zero value selects sensible defaults.
+type Options struct {
+	// MaxValueBytes bounds a single value (default 16 MiB). Larger
+	// Puts are rejected; larger lengths found during recovery are
+	// treated as corruption (the tail is truncated there).
+	MaxValueBytes int
+	// MaxKeyBytes bounds a key (default 4 KiB), same recovery role.
+	MaxKeyBytes int
+	// CompactMinBytes is the log size below which compaction is never
+	// attempted (default 1 MiB), bounding compaction frequency.
+	CompactMinBytes int64
+	// NoAutoCompact disables the automatic compaction check inside
+	// Put; Compact can still be called explicitly. Tests use it to pin
+	// log layouts.
+	NoAutoCompact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxValueBytes == 0 {
+		o.MaxValueBytes = 16 << 20
+	}
+	if o.MaxKeyBytes == 0 {
+		o.MaxKeyBytes = 4 << 10
+	}
+	if o.CompactMinBytes == 0 {
+		o.CompactMinBytes = 1 << 20
+	}
+	return o
+}
+
+const headerSize = 12 // keyLen + valLen + crc, uint32 each
+
+// entry locates one live value inside the log.
+type entry struct {
+	off     int64 // offset of the value bytes
+	vlen    int
+	recSize int64 // full record size including header and key
+}
+
+// Store is an append-log key→value store with an in-memory index. All
+// methods are safe for concurrent use; reads and writes serialize on
+// one mutex (records are small, so the critical sections are a pread
+// or a write syscall).
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	index map[string]entry
+	size  int64 // current append offset == file size
+	live  int64 // bytes occupied by live (indexed) records
+	opts  Options
+	drops int64 // records dropped by recovery (corrupt/torn tail)
+}
+
+// Open opens or creates the log at path and rebuilds the index from
+// it. A torn or corrupt tail is truncated away; the number of records
+// lost that way is reported by RecoveredDrops.
+func Open(path string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, path: path, index: make(map[string]entry), opts: opts}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the log from the start, indexing every intact record
+// (last write wins) and truncating the file at the first frame that is
+// incomplete, oversized, or fails its CRC.
+func (s *Store) recover() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fileSize := fi.Size()
+	var off int64
+	var hdr [headerSize]byte
+	crcTable := crc32.IEEETable
+	for off < fileSize {
+		if fileSize-off < headerSize {
+			s.drops++
+			break
+		}
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			return fmt.Errorf("store: recover read: %w", err)
+		}
+		klen := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		vlen := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		crc := binary.LittleEndian.Uint32(hdr[8:12])
+		if klen <= 0 || klen > s.opts.MaxKeyBytes || vlen < 0 || vlen > s.opts.MaxValueBytes {
+			s.drops++
+			break
+		}
+		recSize := int64(headerSize + klen + vlen)
+		if off+recSize > fileSize {
+			s.drops++ // torn tail: the frame promises more bytes than exist
+			break
+		}
+		buf := make([]byte, klen+vlen)
+		if _, err := s.f.ReadAt(buf, off+headerSize); err != nil {
+			return fmt.Errorf("store: recover read: %w", err)
+		}
+		if crc32.Checksum(buf, crcTable) != crc {
+			s.drops++
+			break
+		}
+		key := string(buf[:klen])
+		if old, ok := s.index[key]; ok {
+			s.live -= old.recSize
+		}
+		s.index[key] = entry{off: off + headerSize + int64(klen), vlen: vlen, recSize: recSize}
+		s.live += recSize
+		off += recSize
+	}
+	if off < fileSize {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	s.size = off
+	return nil
+}
+
+// RecoveredDrops reports how many records (or partial frames) the
+// opening scan discarded as torn or corrupt.
+func (s *Store) RecoveredDrops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	val := make([]byte, e.vlen)
+	if _, err := s.f.ReadAt(val, e.off); err != nil {
+		// An unreadable record (disk fault) degrades to a miss; the
+		// caller recomputes and the next Put overwrites the index slot.
+		return nil, false
+	}
+	return val, true
+}
+
+// Put appends a record for key and updates the index. The store keeps
+// its own copy of val. Oversized keys or values are rejected.
+func (s *Store) Put(key string, val []byte) error {
+	if len(key) == 0 || len(key) > s.opts.MaxKeyBytes {
+		return fmt.Errorf("store: key length %d out of range [1,%d]", len(key), s.opts.MaxKeyBytes)
+	}
+	if len(val) > s.opts.MaxValueBytes {
+		return fmt.Errorf("store: value length %d exceeds %d", len(val), s.opts.MaxValueBytes)
+	}
+	rec := make([]byte, headerSize+len(key)+len(val))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(val)))
+	copy(rec[headerSize:], key)
+	copy(rec[headerSize+len(key):], val)
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[headerSize:]))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	// A single write(2) at the append offset: a crash mid-write tears
+	// at most this one record, which recovery truncates away.
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if old, ok := s.index[key]; ok {
+		s.live -= old.recSize
+	}
+	recSize := int64(len(rec))
+	s.index[key] = entry{off: s.size + headerSize + int64(len(key)), vlen: len(val), recSize: recSize}
+	s.live += recSize
+	s.size += recSize
+	if !s.opts.NoAutoCompact && s.size >= s.opts.CompactMinBytes && s.live*2 < s.size {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Size returns the log's on-disk size in bytes.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Sync flushes the log to stable storage (fsync).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log. The store is unusable afterwards;
+// Get misses and Put errors.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	s.index = make(map[string]entry)
+	if err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the log to contain only live records. It is called
+// automatically by Put when dead weight exceeds half the file (beyond
+// Options.CompactMinBytes) and may be called explicitly.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked streams every live record into path+".compact", syncs
+// it, and atomically renames it over the log. On any error the
+// original log is left untouched.
+func (s *Store) compactLocked() error {
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	newIndex := make(map[string]entry, len(s.index))
+	var off int64
+	var hdr [headerSize]byte
+	for key, e := range s.index {
+		val := make([]byte, e.vlen)
+		if _, err := s.f.ReadAt(val, e.off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact read: %w", err)
+		}
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(val)))
+		crc := crc32.ChecksumIEEE(append([]byte(key), val...))
+		binary.LittleEndian.PutUint32(hdr[8:12], crc)
+		if _, err := tmp.WriteAt(hdr[:], off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+		if _, err := tmp.WriteAt([]byte(key), off+headerSize); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+		if _, err := tmp.WriteAt(val, off+headerSize+int64(len(key))); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+		recSize := int64(headerSize + len(key) + len(val))
+		newIndex[key] = entry{off: off + headerSize + int64(len(key)), vlen: len(val), recSize: recSize}
+		off += recSize
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	old := s.f
+	s.f = tmp
+	s.index = newIndex
+	s.size = off
+	s.live = off
+	old.Close()
+	return nil
+}
+
+// CorruptForTest flips one byte at the given file offset, bypassing
+// the index. It exists for corruption-recovery tests; production code
+// must never call it. The store should be Closed first.
+func CorruptForTest(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil && err != io.EOF {
+		return err
+	}
+	b[0] ^= 0xFF
+	_, err = f.WriteAt(b[:], off)
+	return err
+}

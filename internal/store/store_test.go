@@ -1,0 +1,299 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{})
+	vals := map[string][]byte{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := bytes.Repeat([]byte{byte(i)}, i+1)
+		vals[k] = v
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, want := range vals {
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%q) = %v, %v; want %v", k, got, ok, want)
+		}
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get(absent) hit")
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestWarmStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{})
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A Get/Put on a closed store degrades gracefully.
+	if _, ok := s.Get("k0"); ok {
+		t.Fatal("Get on closed store hit")
+	}
+	if err := s.Put("k0", []byte("x")); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+
+	r := openT(t, path, Options{})
+	if r.RecoveredDrops() != 0 {
+		t.Fatalf("clean reopen dropped %d records", r.RecoveredDrops())
+	}
+	if r.Len() != 50 {
+		t.Fatalf("reopened Len = %d, want 50", r.Len())
+	}
+	for i := 0; i < 50; i++ {
+		got, ok := r.Get(fmt.Sprintf("k%d", i))
+		if !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("reopened Get(k%d) = %q, %v", i, got, ok)
+		}
+	}
+}
+
+// TestTornTailTruncated crashes mid-append by chopping bytes off the
+// file end: every intact prefix record survives, the torn one is
+// dropped, and the file is truncated so later appends are clean.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("v"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := s.Size()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear off the last 37 bytes: record 9's frame is incomplete.
+	if err := os.Truncate(path, full-37); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, path, Options{})
+	if r.RecoveredDrops() == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	if r.Len() != 9 {
+		t.Fatalf("Len after torn tail = %d, want 9", r.Len())
+	}
+	if _, ok := r.Get("k9"); ok {
+		t.Fatal("torn record k9 still visible")
+	}
+	// The truncated store accepts new appends and they round-trip
+	// through another reopen.
+	if err := r.Put("k9", []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := openT(t, path, Options{})
+	if got, ok := r2.Get("k9"); !ok || string(got) != "again" {
+		t.Fatalf("post-recovery append lost: %q, %v", got, ok)
+	}
+	if r2.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r2.Len())
+	}
+}
+
+// TestFlippedCRCByte corrupts one payload byte of a middle record: the
+// records before it survive, the corrupt one and everything after are
+// truncated (the log has no record boundaries to resync on), and the
+// store keeps working.
+func TestFlippedCRCByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{})
+	var offs []int64
+	for i := 0; i < 10; i++ {
+		offs = append(offs, s.Size())
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("v"), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a value byte inside record 6 (offset + header + key "k6").
+	if err := CorruptForTest(path, offs[6]+headerSize+2+10); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, path, Options{})
+	if r.RecoveredDrops() == 0 {
+		t.Fatal("flipped byte not detected")
+	}
+	if r.Len() != 6 {
+		t.Fatalf("Len after corruption = %d, want 6 (k0..k5)", r.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := r.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("intact prefix record k%d lost", i)
+		}
+	}
+	if _, ok := r.Get("k6"); ok {
+		t.Fatal("corrupt record k6 still visible")
+	}
+	if r.Size() != offs[6] {
+		t.Fatalf("file not truncated at corruption: size %d, want %d", r.Size(), offs[6])
+	}
+}
+
+// TestDuplicateKeyLastWriteWins overwrites keys repeatedly and checks
+// both the live index and a recovery replay resolve to the last write.
+func TestDuplicateKeyLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{NoAutoCompact: true})
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10; i++ {
+			v := fmt.Sprintf("round%d-val%d", round, i)
+			if err := s.Put(fmt.Sprintf("k%d", i), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check := func(st *Store, label string) {
+		t.Helper()
+		if st.Len() != 10 {
+			t.Fatalf("%s: Len = %d, want 10", label, st.Len())
+		}
+		for i := 0; i < 10; i++ {
+			want := fmt.Sprintf("round4-val%d", i)
+			got, ok := st.Get(fmt.Sprintf("k%d", i))
+			if !ok || string(got) != want {
+				t.Fatalf("%s: Get(k%d) = %q, %v; want %q", label, i, got, ok, want)
+			}
+		}
+	}
+	check(s, "live")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, path, Options{NoAutoCompact: true})
+	check(r, "replayed")
+	// Compaction drops the 40 dead duplicates but preserves the
+	// last-write-wins view, including across another reopen.
+	before := r.Size()
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before, r.Size())
+	}
+	check(r, "compacted")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(openT(t, path, Options{}), "compacted+replayed")
+}
+
+func TestAutoCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{CompactMinBytes: 4096})
+	val := bytes.Repeat([]byte("x"), 512)
+	// Hammer one key: dead weight accumulates until auto-compaction
+	// kicks in, so the file can never grow past ~2x the live set.
+	for i := 0; i < 100; i++ {
+		if err := s.Put("hot", val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Size() > 8192 {
+		t.Fatalf("auto-compaction never ran: size %d", s.Size())
+	}
+	if got, ok := s.Get("hot"); !ok || !bytes.Equal(got, val) {
+		t.Fatal("hot key lost across auto-compaction")
+	}
+}
+
+func TestBoundsRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{MaxValueBytes: 128, MaxKeyBytes: 16})
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte("k"), 17)), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if err := s.Put("k", bytes.Repeat([]byte("v"), 129)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	if err := s.Put("k", bytes.Repeat([]byte("v"), 128)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentHammer is the -race gate: concurrent Puts, Gets, and
+// explicit Compacts over a shared hot key set must never tear a value
+// (every Get observes some complete previously-Put payload).
+func TestConcurrentHammer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{CompactMinBytes: 2048})
+	const (
+		workers = 8
+		keys    = 16
+		iters   = 200
+	)
+	payload := func(k, ver int) []byte {
+		return bytes.Repeat([]byte{byte('a' + k)}, 32+ver%7)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w + i) % keys
+				key := fmt.Sprintf("k%d", k)
+				if w%2 == 0 {
+					if err := s.Put(key, payload(k, i)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if v, ok := s.Get(key); ok {
+					if len(v) == 0 || v[0] != byte('a'+k) {
+						t.Errorf("torn read for %s: %q", key, v)
+						return
+					}
+				}
+				if w == 0 && i%50 == 0 {
+					if err := s.Compact(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Fatal("hammer left an empty store")
+	}
+}

@@ -1,0 +1,149 @@
+package web
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+func postBatch(t *testing.T, url string, body string) (int, BatchResponse, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/schedule/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("decode batch response: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, doc, string(raw)
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := NewServer(sched.Options{})
+	nine := paperex.Nine()
+	s.Add(nine)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	inline := spec.Format(nine)
+	body, err := json.Marshal(BatchRequest{Items: []BatchItem{
+		{Problem: "nine-task-example"},
+		{Problem: "nine-task-example", Stage: "timing"},
+		{Spec: inline, Stage: "minpower"},
+		{Problem: "no-such-problem"},
+		{Problem: "nine-task-example", Stage: "bogus"},
+		{},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, doc, raw := postBatch(t, ts.URL, string(body))
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, raw)
+	}
+	if len(doc.Items) != 6 {
+		t.Fatalf("got %d items, want 6: %s", len(doc.Items), raw)
+	}
+	wantStatus := []int{200, 200, 200, 404, 400, 400}
+	for i, want := range wantStatus {
+		if doc.Items[i].Status != want {
+			t.Errorf("item %d: status %d, want %d (%s)", i, doc.Items[i].Status, want, doc.Items[i].Error)
+		}
+	}
+	// The inline spec is the same problem as the registered name: same
+	// fingerprint, same schedule bytes, and the service must have
+	// deduplicated them (one minpower compute, one timing compute).
+	if doc.Items[0].Fingerprint != doc.Items[2].Fingerprint {
+		t.Errorf("fingerprints differ for identical problems")
+	}
+	if string(doc.Items[0].Schedule) != string(doc.Items[2].Schedule) {
+		t.Errorf("schedules differ for identical problems")
+	}
+	if doc.Items[0].Finish == 0 {
+		t.Errorf("item 0 has no finish time")
+	}
+	if stats := s.Service().Stats(); stats.Misses != 2 {
+		t.Errorf("batch did not dedup identical items: %+v", stats)
+	}
+
+	// Batch-vs-single consistency: the embedded schedule document is
+	// the compacted form of the single endpoint's JSON.
+	resp, err := http.Get(ts.URL + "/schedule?problem=nine-task-example&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	singleRaw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _ := json.Marshal(json.RawMessage(singleRaw))
+	if string(single) != string(doc.Items[0].Schedule) {
+		t.Errorf("batch schedule differs from single endpoint:\n%s\nvs\n%s", doc.Items[0].Schedule, single)
+	}
+}
+
+func TestBatchBounds(t *testing.T) {
+	s := NewServer(sched.Options{})
+	s.Add(paperex.Nine())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Malformed document.
+	code, _, _ := postBatch(t, ts.URL, "{not json")
+	if code != http.StatusBadRequest {
+		t.Errorf("malformed: status %d, want 400", code)
+	}
+	// Empty batch.
+	code, _, _ = postBatch(t, ts.URL, `{"items":[]}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("empty: status %d, want 400", code)
+	}
+	// Too many items.
+	items := make([]BatchItem, maxBatchItems+1)
+	for i := range items {
+		items[i] = BatchItem{Problem: "nine-task-example"}
+	}
+	body, _ := json.Marshal(BatchRequest{Items: items})
+	code, _, _ = postBatch(t, ts.URL, string(body))
+	if code != http.StatusBadRequest {
+		t.Errorf("too many items: status %d, want 400", code)
+	}
+	// Oversized document: 413 like the single-spec contract.
+	huge := `{"items":[{"spec":"` + strings.Repeat("x", maxBatchBytes) + `"}]}`
+	code, _, _ = postBatch(t, ts.URL, huge)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized: status %d, want 413", code)
+	}
+	// Per-item option bounds surface as per-item 400s, not batch
+	// failures.
+	bad := maxRestarts + 1
+	body, _ = json.Marshal(BatchRequest{Items: []BatchItem{
+		{Problem: "nine-task-example", Restarts: &bad},
+		{Problem: "nine-task-example", Workers: &bad},
+	}})
+	code, doc, raw := postBatch(t, ts.URL, string(body))
+	if code != http.StatusOK {
+		t.Fatalf("bounds batch: status %d: %s", code, raw)
+	}
+	for i := range doc.Items {
+		if doc.Items[i].Status != http.StatusBadRequest {
+			t.Errorf("item %d: status %d, want 400", i, doc.Items[i].Status)
+		}
+	}
+}

@@ -23,26 +23,36 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck // headers already sent
 }
 
-// writeScheduleError maps a scheduling-service failure onto the HTTP
-// contract:
+// scheduleErrorStatus maps a scheduling-service failure onto the HTTP
+// contract shared by the single and batch endpoints:
 //
-//	ErrOverloaded    → 429 + Retry-After (admission control shed it)
+//	ErrOverloaded    → 429 (admission control shed it; single requests
+//	                   also carry Retry-After)
 //	ErrInternal      → 500, generic body (the stack lives in metrics)
 //	DeadlineExceeded → 504 (the request's compute budget ran out)
 //	Canceled         → 499 (the client went away first)
 //	anything else    → 422 (the problem itself is unschedulable)
-func writeScheduleError(w http.ResponseWriter, err error) {
+func scheduleErrorStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, service.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeJSONError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+		return http.StatusTooManyRequests, "server overloaded, retry later"
 	case errors.Is(err, service.ErrInternal):
-		writeJSONError(w, http.StatusInternalServerError, "internal error")
+		return http.StatusInternalServerError, "internal error"
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSONError(w, http.StatusGatewayTimeout, "scheduling deadline exceeded")
+		return http.StatusGatewayTimeout, "scheduling deadline exceeded"
 	case errors.Is(err, context.Canceled):
-		writeJSONError(w, StatusClientClosedRequest, "client closed request")
+		return StatusClientClosedRequest, "client closed request"
 	default:
-		writeJSONError(w, http.StatusUnprocessableEntity, "scheduling failed: "+err.Error())
+		return http.StatusUnprocessableEntity, "scheduling failed: " + err.Error()
 	}
+}
+
+// writeScheduleError emits scheduleErrorStatus as a whole-response
+// JSON error.
+func writeScheduleError(w http.ResponseWriter, err error) {
+	status, msg := scheduleErrorStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSONError(w, status, msg)
 }

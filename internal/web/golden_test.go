@@ -14,9 +14,13 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// computeNS scrubs the one nondeterministic field of /stats (elapsed
-// compute time) so the rest of the document can be compared exactly.
-var computeNS = regexp.MustCompile(`"compute_ns": \{[^{}]*\}`)
+// The nondeterministic fields of /stats (elapsed compute time and the
+// wall/monotonic clock anchors) are scrubbed so the rest of the
+// document can be compared exactly.
+var (
+	computeNS = regexp.MustCompile(`"compute_ns": \{[^{}]*\}`)
+	clockFlds = regexp.MustCompile(`"(start_time|uptime_seconds)": [0-9.e+-]+`)
+)
 
 // TestGolden locks the /schedule JSON representation across all three
 // pipeline stages, plus the /stats counters after exactly that request
@@ -46,6 +50,7 @@ func TestGolden(t *testing.T) {
 			t.Fatalf("%s: status %d: %s", tc.path, code, body)
 		}
 		got := computeNS.ReplaceAllString(body, `"compute_ns": {}`)
+		got = clockFlds.ReplaceAllString(got, `"$1": 0`)
 		path := filepath.Join("testdata", tc.golden)
 		if *update {
 			if err := os.MkdirAll("testdata", 0o755); err != nil {

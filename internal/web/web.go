@@ -58,6 +58,7 @@ type Server struct {
 	problems map[string]*model.Problem
 	opts     sched.Options
 	svc      *service.Service
+	shardID  string
 }
 
 // NewServer creates an empty server with the given scheduler options
@@ -103,6 +104,10 @@ func (s *Server) Names() []string {
 //	                           (default svg), seed=N, restarts=N,
 //	                           workers=N (restart fan-out; results are
 //	                           identical for every value)
+//	POST /schedule/batch       bulk scheduling: one JSON document of
+//	                           items (registered names or inline
+//	                           specs), one worker-pool pass, per-item
+//	                           status in the response (see batch.go)
 //	POST /problems             register a problem from a spec document
 //	GET /simulate?problem=X    Monte-Carlo fault campaign; optional
 //	                           n=, seed=, faults=, format=json|html
@@ -111,15 +116,35 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.index)
 	mux.HandleFunc("GET /schedule", s.schedule)
+	mux.HandleFunc("POST /schedule/batch", s.scheduleBatch)
 	mux.HandleFunc("POST /problems", s.upload)
 	mux.HandleFunc("GET /simulate", s.simulate)
 	mux.HandleFunc("GET /stats", s.stats)
 	return mux
 }
 
+// StatsDoc is the /stats response: the service snapshot plus the
+// serving-tier identity of this process, so a router aggregating
+// shard stats can label each line.
+type StatsDoc struct {
+	ShardID string `json:"shard_id"`
+	service.Stats
+}
+
+// SetShardID labels this server's /stats responses (routers aggregate
+// them per shard). The empty default is fine for single-node serving.
+func (s *Server) SetShardID(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shardID = id
+}
+
 // stats serves the scheduling service's metrics snapshot as JSON.
 func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
-	data, err := json.MarshalIndent(s.svc.Stats(), "", "  ")
+	s.mu.RLock()
+	shard := s.shardID
+	s.mu.RUnlock()
+	data, err := json.MarshalIndent(StatsDoc{ShardID: shard, Stats: s.svc.Stats()}, "", "  ")
 	if err != nil {
 		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -234,22 +259,9 @@ func parseBoundedSpec(w http.ResponseWriter, r *http.Request) (*model.Problem, e
 		}
 		return nil, err
 	}
-	if len(p.Tasks) > maxSpecTasks {
-		err := fmt.Errorf("spec has %d tasks (max %d)", len(p.Tasks), maxSpecTasks)
+	if err := checkSpecBounds(p); err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return nil, err
-	}
-	if len(p.Machines) > maxSpecMachines {
-		err := fmt.Errorf("spec has %d machines (max %d)", len(p.Machines), maxSpecMachines)
-		writeJSONError(w, http.StatusBadRequest, err.Error())
-		return nil, err
-	}
-	for _, task := range p.Tasks {
-		if len(task.Levels) > maxSpecLevels {
-			err := fmt.Errorf("task %s has %d DVS levels (max %d)", task.Name, len(task.Levels), maxSpecLevels)
-			writeJSONError(w, http.StatusBadRequest, err.Error())
-			return nil, err
-		}
 	}
 	return p, nil
 }

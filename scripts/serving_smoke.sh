@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Serving-tier smoke test: boot two persistent backends behind the
+# router, drive Zipf-skewed load through the tier, then restart the
+# backends and prove the persistent store warm-starts — the post-restart
+# run must serve L2 hits (results computed before the restart) within a
+# p99 latency budget. This is the end-to-end check that write-through,
+# fsync-on-drain, recovery, and consistent routing compose.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+cache="$(mktemp -d)"
+pids=()
+cleanup() {
+  kill "${pids[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$bin" "$cache"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$bin" ./cmd/serve ./cmd/router ./cmd/loadgen
+
+b1=http://127.0.0.1:18081
+b2=http://127.0.0.1:18082
+front=http://127.0.0.1:18080
+
+wait_ready() {
+  for _ in $(seq 100); do
+    if curl -fsS "$1/stats" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "backend $1 never became ready" >&2
+  exit 1
+}
+
+start_backends() {
+  "$bin/serve" -addr 127.0.0.1:18081 -shard-id a -cache-dir "$cache" &
+  pid_a=$!
+  "$bin/serve" -addr 127.0.0.1:18082 -shard-id b -cache-dir "$cache" &
+  pid_b=$!
+  pids+=("$pid_a" "$pid_b")
+  wait_ready "$b1"
+  wait_ready "$b2"
+}
+
+echo "== boot 2 backends + router"
+start_backends
+"$bin/router" -addr 127.0.0.1:18080 -backends "$b1,$b2" &
+pids+=($!)
+wait_ready "$front"
+
+echo "== cold run (populates L1 + persistent store)"
+"$bin/loadgen" -target "$front" -duration 5s -workers 4 -zipf 1.1 \
+  -problems 24 -tasks 15 -seed 7
+
+echo "== restart backends (graceful drain flushes + fsyncs the store)"
+kill -TERM "$pid_a" "$pid_b"
+wait "$pid_a" "$pid_b" || true
+start_backends
+
+echo "== warm run (must serve L2 hits from the recovered store)"
+"$bin/loadgen" -target "$front" -duration 5s -workers 4 -zipf 1.1 \
+  -problems 24 -tasks 15 -seed 7 \
+  -min-l2-hits 1 -max-p99 2s -json
+
+echo "== serving smoke passed"
