@@ -81,7 +81,10 @@ func main() {
 	}
 	for _, n := range ns {
 		rec.Benchmarks = append(rec.Benchmarks, measure(n, false))
-		if *naive {
+		// The Naive ablation rebuilds the profile and slack from scratch
+		// per probe; past the scale tier that is hours per run, and the
+		// before/after story is already told by the smaller sizes.
+		if *naive && n <= benchkit.ScaleTier {
 			rec.Benchmarks = append(rec.Benchmarks, measure(n, true))
 		}
 	}

@@ -1,22 +1,36 @@
 // Command benchgate compares two `go test -bench` outputs (typically
 // the PR head and its merge-base) and exits non-zero when any
 // benchmark matching -pattern regressed by more than -max-regress in
-// ns/op. CI runs it after benchstat so the human-readable diff is
-// archived either way; benchgate is the machine verdict.
+// ns/op or more than -max-alloc-regress in allocs/op. CI runs it after
+// benchstat so the human-readable diff is archived either way;
+// benchgate is the machine verdict.
+//
+// The allocation gate is what locks in the flat-memory scheduler core:
+// ns/op on a shared CI machine is noisy, but allocs/op is exact and
+// deterministic, so an accidental per-probe allocation on the hot path
+// shows up as a precise integer jump even when the timing gate would
+// have absorbed it in noise.
 //
 // Benchmarks are matched by name with the -cpu suffix stripped
 // (BenchmarkPipeline200-8 and BenchmarkPipeline200-4 compare). With
-// -count > 1 the minimum ns/op per name is used: the minimum is the
-// run least disturbed by scheduler noise, which keeps the gate from
-// flagging phantom regressions on shared CI machines.
+// -count > 1 the minimum per name is used for both metrics: the
+// minimum is the run least disturbed by scheduler noise, which keeps
+// the gate from flagging phantom regressions on shared CI machines.
 //
 // A base file with no matching benchmarks (the merge-base predates the
 // benchmark suite) passes with a notice, so the gate can be enabled in
-// the same PR that introduces the benchmarks.
+// the same PR that introduces the benchmarks. A benchmark that stopped
+// reporting allocations skips the allocation gate only when the base
+// did not report them either.
+//
+// -json replaces the table with a machine-readable report on stdout
+// (the exit code is unchanged), for archiving the verdict as a CI
+// artifact next to the benchstat diff.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +44,8 @@ func main() {
 	headFile := flag.String("head", "", "bench output of the PR head")
 	pattern := flag.String("pattern", "^BenchmarkPipeline", "regexp of benchmark names to gate")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression (0.15 = +15%)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.10, "maximum allowed allocs/op regression (0.10 = +10%); negative disables the allocation gate")
+	jsonOut := flag.Bool("json", false, "emit the verdicts as JSON on stdout instead of a table")
 	flag.Parse()
 	if *baseFile == "" || *headFile == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
@@ -52,33 +68,71 @@ func main() {
 		os.Exit(2)
 	}
 
-	verdicts, failed := gate(base, head, re, *maxRegress)
+	verdicts, failed := gate(base, head, re, *maxRegress, *maxAllocRegress)
+	if *jsonOut {
+		report := struct {
+			Pattern         string    `json:"pattern"`
+			MaxRegress      float64   `json:"max_regress"`
+			MaxAllocRegress float64   `json:"max_alloc_regress"`
+			Failed          bool      `json:"failed"`
+			Verdicts        []verdict `json:"verdicts"`
+		}{*pattern, *maxRegress, *maxAllocRegress, failed, verdicts}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	if len(verdicts) == 0 {
 		fmt.Printf("benchgate: no benchmarks matching %q in base output; nothing to gate\n", *pattern)
 		return
 	}
-	fmt.Printf("%-32s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	fmt.Printf("%-32s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "head ns/op", "delta", "base allocs", "head allocs", "delta")
 	for _, v := range verdicts {
-		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %s\n", v.name, v.base, v.head, v.delta*100, v.mark)
+		alloc := fmt.Sprintf("%12s %12s %8s", "-", "-", "")
+		if v.BaseAllocs >= 0 && v.HeadAllocs >= 0 {
+			alloc = fmt.Sprintf("%12.0f %12.0f %+7.1f%%", v.BaseAllocs, v.HeadAllocs, v.AllocDelta*100)
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %s %s\n", v.Name, v.BaseNs, v.HeadNs, v.NsDelta*100, alloc, v.Mark)
 	}
 	if failed {
-		fmt.Printf("benchgate: FAIL — regression above +%.0f%%\n", *maxRegress*100)
+		fmt.Printf("benchgate: FAIL — regression above +%.0f%% ns/op or +%.0f%% allocs/op\n",
+			*maxRegress*100, *maxAllocRegress*100)
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
 }
 
+// sample is one benchmark's metrics, minimized across repeated runs.
+// allocs is -1 when the run did not report allocations.
+type sample struct {
+	ns     float64
+	allocs float64
+}
+
 type verdict struct {
-	name       string
-	base, head float64
-	delta      float64
-	mark       string
+	Name       string  `json:"name"`
+	BaseNs     float64 `json:"base_ns_per_op"`
+	HeadNs     float64 `json:"head_ns_per_op"`
+	NsDelta    float64 `json:"ns_delta"`
+	BaseAllocs float64 `json:"base_allocs_per_op"` // -1 when unreported
+	HeadAllocs float64 `json:"head_allocs_per_op"` // -1 when unreported
+	AllocDelta float64 `json:"alloc_delta"`
+	Mark       string  `json:"mark,omitempty"`
 }
 
 // gate compares every base benchmark matching re against the head run.
 // A matching benchmark missing from head fails the gate (a silently
-// deleted benchmark must not disable its own regression check).
-func gate(base, head map[string]float64, re *regexp.Regexp, maxRegress float64) ([]verdict, bool) {
+// deleted benchmark must not disable its own regression check), and so
+// does a benchmark that reported allocations in base but not in head
+// (dropping ReportAllocs must not disable the allocation gate).
+func gate(base, head map[string]sample, re *regexp.Regexp, maxRegress, maxAllocRegress float64) ([]verdict, bool) {
 	var names []string
 	for name := range base {
 		if re.MatchString(name) {
@@ -92,17 +146,40 @@ func gate(base, head map[string]float64, re *regexp.Regexp, maxRegress float64) 
 		b := base[name]
 		h, ok := head[name]
 		if !ok {
-			out = append(out, verdict{name: name, base: b, head: 0, delta: 0, mark: "MISSING"})
+			out = append(out, verdict{Name: name, BaseNs: b.ns, BaseAllocs: b.allocs, HeadAllocs: -1, Mark: "MISSING"})
 			failed = true
 			continue
 		}
-		delta := h/b - 1
-		mark := ""
-		if delta > maxRegress {
-			mark = "REGRESSION"
+		v := verdict{
+			Name:   name,
+			BaseNs: b.ns, HeadNs: h.ns, NsDelta: h.ns/b.ns - 1,
+			BaseAllocs: b.allocs, HeadAllocs: h.allocs,
+		}
+		if v.NsDelta > maxRegress {
+			v.Mark = "REGRESSION"
 			failed = true
 		}
-		out = append(out, verdict{name: name, base: b, head: h, delta: delta, mark: mark})
+		if maxAllocRegress >= 0 && b.allocs >= 0 {
+			switch {
+			case h.allocs < 0:
+				v.Mark = "NO ALLOCS"
+				failed = true
+			case b.allocs == 0:
+				// A zero-alloc benchmark must stay zero-alloc: any
+				// relative threshold on a zero base is meaningless.
+				if h.allocs > 0 {
+					v.Mark = "ALLOC REGRESSION"
+					failed = true
+				}
+			default:
+				v.AllocDelta = h.allocs/b.allocs - 1
+				if v.AllocDelta > maxAllocRegress {
+					v.Mark = "ALLOC REGRESSION"
+					failed = true
+				}
+			}
+		}
+		out = append(out, v)
 	}
 	return out, failed
 }
@@ -115,22 +192,32 @@ func sortStrings(s []string) {
 	}
 }
 
-func parseFile(path string) (map[string]float64, error) {
+func parseFile(path string) (map[string]sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string]float64{}
+	out := map[string]sample{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
-		name, ns, ok := parseLine(sc.Text())
+		name, s, ok := parseLine(sc.Text())
 		if !ok {
 			continue
 		}
-		if prev, seen := out[name]; !seen || ns < prev {
-			out[name] = ns
+		prev, seen := out[name]
+		if !seen {
+			out[name] = s
+			continue
 		}
+		// Minimize each metric independently across repeated runs.
+		if s.ns < prev.ns {
+			prev.ns = s.ns
+		}
+		if s.allocs >= 0 && (prev.allocs < 0 || s.allocs < prev.allocs) {
+			prev.allocs = s.allocs
+		}
+		out[name] = prev
 	}
 	return out, sc.Err()
 }
@@ -139,22 +226,28 @@ func parseFile(path string) (map[string]float64, error) {
 // benchmark names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseLine extracts (name, ns/op) from one `go test -bench` result
-// line, e.g. "BenchmarkPipeline200-8   3   7606484 ns/op   ...".
-func parseLine(line string) (string, float64, bool) {
+// parseLine extracts the metrics from one `go test -bench` result
+// line, e.g. "BenchmarkPipeline200-8   3   7606484 ns/op   5953128 B/op   19354 allocs/op".
+func parseLine(line string) (string, sample, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", sample{}, false
 	}
+	s := sample{ns: -1, allocs: -1}
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] != "ns/op" {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return "", 0, false
+		switch fields[i+1] {
+		case "ns/op":
+			s.ns = v
+		case "allocs/op":
+			s.allocs = v
 		}
-		return cpuSuffix.ReplaceAllString(fields[0], ""), ns, true
 	}
-	return "", 0, false
+	if s.ns < 0 {
+		return "", sample{}, false
+	}
+	return cpuSuffix.ReplaceAllString(fields[0], ""), s, true
 }

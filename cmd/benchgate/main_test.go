@@ -1,14 +1,16 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"regexp"
 	"testing"
 )
 
 func TestParseLine(t *testing.T) {
-	name, ns, ok := parseLine("BenchmarkPipeline200-8   \t       3\t   7606484 ns/op\t 5953128 B/op\t   19354 allocs/op")
-	if !ok || name != "BenchmarkPipeline200" || ns != 7606484 {
-		t.Fatalf("got (%q, %v, %v)", name, ns, ok)
+	name, s, ok := parseLine("BenchmarkPipeline200-8   \t       3\t   7606484 ns/op\t 5953128 B/op\t   19354 allocs/op")
+	if !ok || name != "BenchmarkPipeline200" || s.ns != 7606484 || s.allocs != 19354 {
+		t.Fatalf("got (%q, %+v, %v)", name, s, ok)
 	}
 	if _, _, ok := parseLine("goos: linux"); ok {
 		t.Error("header line parsed as a benchmark")
@@ -16,41 +18,98 @@ func TestParseLine(t *testing.T) {
 	if _, _, ok := parseLine("ok  \trepro/internal/benchkit\t8.014s"); ok {
 		t.Error("trailer line parsed as a benchmark")
 	}
-	// Sub-benchmark names and fractional ns/op survive.
-	name, ns, ok = parseLine("BenchmarkCampaign/pooled-4-8  5  583.5 ns/op")
-	if !ok || name != "BenchmarkCampaign/pooled-4" || ns != 583.5 {
-		t.Fatalf("got (%q, %v, %v)", name, ns, ok)
+	// Sub-benchmark names and fractional ns/op survive; a line without
+	// allocation reporting marks allocs as unreported.
+	name, s, ok = parseLine("BenchmarkCampaign/pooled-4-8  5  583.5 ns/op")
+	if !ok || name != "BenchmarkCampaign/pooled-4" || s.ns != 583.5 || s.allocs != -1 {
+		t.Fatalf("got (%q, %+v, %v)", name, s, ok)
 	}
 }
 
 func TestGate(t *testing.T) {
 	re := regexp.MustCompile(`^BenchmarkPipeline`)
-	base := map[string]float64{
-		"BenchmarkPipeline50":  1000,
-		"BenchmarkPipeline200": 2000,
-		"BenchmarkOther":       1,
+	base := map[string]sample{
+		"BenchmarkPipeline50":  {ns: 1000, allocs: 100},
+		"BenchmarkPipeline200": {ns: 2000, allocs: 200},
+		"BenchmarkOther":       {ns: 1, allocs: 1},
 	}
 
-	// Within tolerance (+10%) passes; unmatched names are ignored.
-	head := map[string]float64{"BenchmarkPipeline50": 1100, "BenchmarkPipeline200": 1900, "BenchmarkOther": 99}
-	if v, failed := gate(base, head, re, 0.15); failed || len(v) != 2 {
+	// Within tolerance (+10% ns, +5% allocs) passes; unmatched names
+	// are ignored.
+	head := map[string]sample{
+		"BenchmarkPipeline50":  {ns: 1100, allocs: 105},
+		"BenchmarkPipeline200": {ns: 1900, allocs: 200},
+		"BenchmarkOther":       {ns: 99, allocs: 9999},
+	}
+	if v, failed := gate(base, head, re, 0.15, 0.10); failed || len(v) != 2 {
 		t.Fatalf("tolerated regression failed the gate: %+v", v)
 	}
 
-	// +20% on one benchmark fails.
-	head["BenchmarkPipeline200"] = 2400
-	if _, failed := gate(base, head, re, 0.15); !failed {
-		t.Fatal("+20% regression passed the gate")
+	// +20% ns/op on one benchmark fails.
+	head["BenchmarkPipeline200"] = sample{ns: 2400, allocs: 200}
+	if _, failed := gate(base, head, re, 0.15, 0.10); !failed {
+		t.Fatal("+20% ns/op regression passed the gate")
 	}
+
+	// +20% allocs/op with flat ns/op fails the allocation gate.
+	head["BenchmarkPipeline200"] = sample{ns: 2000, allocs: 240}
+	if _, failed := gate(base, head, re, 0.15, 0.10); !failed {
+		t.Fatal("+20% allocs/op regression passed the gate")
+	}
+	// ...unless the allocation gate is disabled.
+	if _, failed := gate(base, head, re, 0.15, -1); failed {
+		t.Fatal("alloc regression failed the gate with the alloc gate disabled")
+	}
+
+	// Dropping allocation reporting from head fails (the gate must not
+	// be disabled by removing ReportAllocs).
+	head["BenchmarkPipeline200"] = sample{ns: 2000, allocs: -1}
+	if _, failed := gate(base, head, re, 0.15, 0.10); !failed {
+		t.Fatal("missing head allocs passed the gate")
+	}
+	// A base without allocation reporting gates ns/op only.
+	base["BenchmarkPipeline200"] = sample{ns: 2000, allocs: -1}
+	if _, failed := gate(base, head, re, 0.15, 0.10); failed {
+		t.Fatal("alloc-free base failed the allocation gate")
+	}
+	base["BenchmarkPipeline200"] = sample{ns: 2000, allocs: 200}
+
+	// A zero-alloc benchmark must stay zero-alloc.
+	base["BenchmarkPipeline50"] = sample{ns: 1000, allocs: 0}
+	head["BenchmarkPipeline50"] = sample{ns: 1000, allocs: 1}
+	if _, failed := gate(base, head, re, 0.15, 0.10); !failed {
+		t.Fatal("zero-alloc benchmark gaining an allocation passed the gate")
+	}
+	head["BenchmarkPipeline50"] = sample{ns: 1000, allocs: 0}
+	head["BenchmarkPipeline200"] = sample{ns: 2000, allocs: 200}
 
 	// A gated benchmark deleted from head fails.
 	delete(head, "BenchmarkPipeline200")
-	if _, failed := gate(base, head, re, 0.15); !failed {
+	if _, failed := gate(base, head, re, 0.15, 0.10); !failed {
 		t.Fatal("deleted benchmark passed the gate")
 	}
 
 	// No matching base benchmarks: nothing to gate, passes.
-	if v, failed := gate(map[string]float64{"BenchmarkOther": 1}, head, re, 0.15); failed || len(v) != 0 {
+	if v, failed := gate(map[string]sample{"BenchmarkOther": {ns: 1}}, head, re, 0.15, 0.10); failed || len(v) != 0 {
 		t.Fatalf("empty base did not pass cleanly: %+v", v)
+	}
+}
+
+func TestParseFileMinimizesPerMetric(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "head.bench")
+	data := "goos: linux\n" +
+		"BenchmarkPipeline50-8  10  120 ns/op  900 B/op  11 allocs/op\n" +
+		"BenchmarkPipeline50-8  10  100 ns/op  950 B/op  12 allocs/op\n" +
+		"BenchmarkPipeline50-8  10  110 ns/op\n" +
+		"ok  \trepro/internal/benchkit\t8.014s\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out["BenchmarkPipeline50"]; got.ns != 100 || got.allocs != 11 {
+		t.Fatalf("per-metric minimum not kept: %+v", got)
 	}
 }

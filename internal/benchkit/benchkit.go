@@ -20,8 +20,16 @@ import (
 
 // Sizes is the canonical instance ladder the scheduler benchmarks and
 // cmd/bench run: small enough to iterate quickly, large enough that
-// asymptotics show.
-var Sizes = []int{10, 50, 200, 1000}
+// asymptotics show. The 5000- and 10000-task rungs are the scale tier —
+// minutes, not milliseconds, per pipeline run — exercised by the
+// nightly benchmarks and gated behind BENCH_FULL_LADDER in the
+// schedulability test so the tier-1 suite stays fast.
+var Sizes = []int{10, 50, 200, 1000, 5000, 10000}
+
+// ScaleTier is the size above which an instance belongs to the scale
+// tier: no Naive-ablation measurement (the from-scratch rebuilds take
+// hours there) and nightly-only schedulability checks.
+const ScaleTier = 1000
 
 // Generate builds the deterministic synthetic problem with n tasks for
 // the given seed. The same (n, seed) always yields the same problem.

@@ -50,6 +50,38 @@ func New(n int) *Graph {
 	}
 }
 
+// NewSized returns a graph with n vertices and no edges whose adjacency
+// lists and journal are preallocated: outDeg[v] and inDeg[v] are the
+// expected out- and in-degrees, edges the expected journal length.
+// Adjacency storage is carved out of two contiguous banks with exact
+// per-vertex capacities, so building a graph of the promised shape
+// performs three allocations total instead of O(n log deg) append
+// growth. Exceeding a promised degree is legal and merely reallocates
+// that vertex's slice.
+func NewSized(n int, outDeg, inDeg []int, edges int) *Graph {
+	g := &Graph{
+		n:       n,
+		out:     make([][]Edge, n),
+		in:      make([][]Edge, n),
+		journal: make([]Edge, 0, edges),
+	}
+	var totOut, totIn int
+	for v := 0; v < n; v++ {
+		totOut += outDeg[v]
+		totIn += inDeg[v]
+	}
+	outBank := make([]Edge, totOut)
+	inBank := make([]Edge, totIn)
+	var po, pi int
+	for v := 0; v < n; v++ {
+		g.out[v] = outBank[po : po : po+outDeg[v]]
+		po += outDeg[v]
+		g.in[v] = inBank[pi : pi : pi+inDeg[v]]
+		pi += inDeg[v]
+	}
+	return g
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -105,11 +137,38 @@ func (g *Graph) Edges() []Edge { return g.AppendEdges(nil) }
 // snapshots instead of allocating a fresh copy per call.
 func (g *Graph) AppendEdges(buf []Edge) []Edge { return append(buf, g.journal...) }
 
-// Clone returns an independent copy of the graph.
+// JournalPrefix returns the first edges added to the graph, up to the
+// checkpoint, without copying. The slice aliases the live journal: it
+// stays valid while the graph holds at least cp edges (rollbacks down
+// to cp are fine, rollbacks below it invalidate the view), and callers
+// must not modify it.
+func (g *Graph) JournalPrefix(cp Checkpoint) []Edge { return g.journal[:cp] }
+
+// Clone returns an independent copy of the graph. The copy's adjacency
+// lists are carved out of two contiguous banks with exact per-vertex
+// capacities (three bulk copies instead of re-adding every edge), so a
+// full slice means the first append past a vertex's cloned degree
+// reallocates that vertex's slice — bank neighbors can never observe
+// each other's writes.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	for _, e := range g.journal {
-		c.AddEdge(e.From, e.To, e.W)
+	m := len(g.journal)
+	c := &Graph{
+		n:       g.n,
+		out:     make([][]Edge, g.n),
+		in:      make([][]Edge, g.n),
+		journal: append(make([]Edge, 0, m+m/2+16), g.journal...),
+	}
+	outBank := make([]Edge, m)
+	inBank := make([]Edge, m)
+	var po, pi int
+	for v := 0; v < g.n; v++ {
+		do, di := len(g.out[v]), len(g.in[v])
+		c.out[v] = outBank[po : po+do : po+do]
+		copy(c.out[v], g.out[v])
+		po += do
+		c.in[v] = inBank[pi : pi+di : pi+di]
+		copy(c.in[v], g.in[v])
+		pi += di
 	}
 	return c
 }

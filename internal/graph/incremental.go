@@ -73,6 +73,70 @@ func (g *Graph) AddEdgeRelaxTouched(dist []int, from, to, w int, touched []int) 
 	return touched, true
 }
 
+// DistSave records one overwritten longest-path entry: vertex V held
+// Old before the relaxation that journaled it first touched it.
+type DistSave struct {
+	V   int
+	Old int
+}
+
+// AddEdgeRelaxUndo is AddEdgeRelaxTouched with an undo journal instead
+// of a touched set: the first time a call moves a vertex's dist entry it
+// appends (vertex, previous value) to undo, so replaying the returned
+// slice backwards — undo[i].V gets undo[i].Old, from the end down to
+// the caller's mark — restores dist exactly as it was before the call.
+// Unlike the touched set, the journal is valid even when ok is false
+// (the edge closed a positive cycle): the entries recorded up to the
+// detection point are precisely the writes that must be undone, which
+// is what lets callers keep a single live distance vector instead of
+// snapshotting it per speculative edge. Entries appear in first-touch
+// order, and a caller batching several calls into one journal restores
+// across all of them with the same backwards replay.
+func (g *Graph) AddEdgeRelaxUndo(dist []int, from, to, w int, undo []DistSave) ([]DistSave, bool) {
+	g.AddEdge(from, to, w)
+	if dist[from] == NoPath || dist[from]+w <= dist[to] {
+		return undo, true
+	}
+	undo = append(undo, DistSave{V: to, Old: dist[to]})
+	dist[to] = dist[from] + w
+
+	s := g.relaxScratch()
+	epoch := s.epoch
+	queue := s.queue[:0]
+	queue = append(queue, to)
+	s.queueGen[to] = epoch
+	s.touchGen[to] = epoch
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		s.queueGen[u] = 0
+		if s.countGen[u] != epoch {
+			s.countGen[u] = epoch
+			s.count[u] = 0
+		}
+		s.count[u]++
+		if s.count[u] > g.n {
+			s.queue = queue
+			return undo, false
+		}
+		du := dist[u]
+		for _, e := range g.out[u] {
+			if nd := du + e.W; nd > dist[e.To] {
+				if s.touchGen[e.To] != epoch {
+					undo = append(undo, DistSave{V: e.To, Old: dist[e.To]})
+					s.touchGen[e.To] = epoch
+				}
+				dist[e.To] = nd
+				if s.queueGen[e.To] != epoch {
+					queue = append(queue, e.To)
+					s.queueGen[e.To] = epoch
+				}
+			}
+		}
+	}
+	s.queue = queue
+	return undo, true
+}
+
 // LongestFromInto is LongestFrom writing into a caller-provided dist
 // slice (length >= N()) and drawing its queue and bookkeeping from the
 // graph's scratch area, so repeated calls allocate nothing. Unlike

@@ -23,6 +23,14 @@ type Tracker struct {
 	tasks []model.Task
 	base  float64
 	start []model.Time
+	// delays and powers are flat per-task banks mirroring the Delay and
+	// Power fields of tasks, refreshed on Reset (a heterogeneous
+	// scheduler rewrites the task view between restarts). The hot loops
+	// — materialize's finish-time scan and Move's breakpoint updates —
+	// read these dense 8-byte entries instead of copying ~88-byte
+	// model.Task values (runtime.duffcopy on profiles).
+	delays []model.Time
+	powers []float64
 	// buckets holds, per breakpoint time, the ordered task
 	// contributions (base is handled virtually at 0 and tau, which
 	// moves as the finish time changes). Sorted by time.
@@ -33,6 +41,14 @@ type Tracker struct {
 	free  [][]contrib
 	prof  Profile
 	dirty bool
+	// maxP and minP are the materialized profile's peak and floor,
+	// maintained for free during the segment sweep so per-probe validity
+	// checks are O(1); idx is the hierarchical spike/gap index over the
+	// materialized segments, rebuilt lazily on first query per
+	// materialization (see index.go).
+	maxP, minP float64
+	idx        segIndex
+	idxOK      bool
 }
 
 const (
@@ -54,9 +70,11 @@ type bucket struct {
 // NewTracker builds a tracker for the given tasks positioned at s.
 func NewTracker(tasks []model.Task, s schedule.Schedule, base float64) *Tracker {
 	tr := &Tracker{
-		tasks: tasks,
-		base:  base,
-		start: make([]model.Time, len(tasks)),
+		tasks:  tasks,
+		base:   base,
+		start:  make([]model.Time, len(tasks)),
+		delays: make([]model.Time, len(tasks)),
+		powers: make([]float64, len(tasks)),
 	}
 	tr.Reset(s)
 	return tr
@@ -64,7 +82,9 @@ func NewTracker(tasks []model.Task, s schedule.Schedule, base float64) *Tracker 
 
 // Reset repositions every task at the starts of s, discarding all
 // incremental state (used at stage boundaries, where the working
-// schedule is re-derived wholesale).
+// schedule is re-derived wholesale). The flat delay/power banks are
+// refreshed here too: a heterogeneous scheduler rewrites the task
+// view's effective delays and powers between restarts.
 func (tr *Tracker) Reset(s schedule.Schedule) {
 	copy(tr.start, s.Start)
 	for i := range tr.buckets {
@@ -72,9 +92,13 @@ func (tr *Tracker) Reset(s schedule.Schedule) {
 		tr.buckets[i].cs = nil
 	}
 	tr.buckets = tr.buckets[:0]
-	for v, task := range tr.tasks {
-		tr.add(tr.start[v], v, kindStart, task.Power)
-		tr.add(tr.start[v]+task.Delay, v, kindEnd, -task.Power)
+	for v := range tr.tasks {
+		tr.delays[v] = tr.tasks[v].Delay
+		tr.powers[v] = tr.tasks[v].Power
+	}
+	for v := range tr.delays {
+		tr.add(tr.start[v], v, kindStart, tr.powers[v])
+		tr.add(tr.start[v]+tr.delays[v], v, kindEnd, -tr.powers[v])
 	}
 	tr.dirty = true
 }
@@ -86,13 +110,13 @@ func (tr *Tracker) Move(v int, s model.Time) {
 	if s == tr.start[v] {
 		return
 	}
-	task := tr.tasks[v]
+	d, p := tr.delays[v], tr.powers[v]
 	old := tr.start[v]
 	tr.remove(old, v, kindStart)
-	tr.remove(old+task.Delay, v, kindEnd)
+	tr.remove(old+d, v, kindEnd)
 	tr.start[v] = s
-	tr.add(s, v, kindStart, task.Power)
-	tr.add(s+task.Delay, v, kindEnd, -task.Power)
+	tr.add(s, v, kindStart, p)
+	tr.add(s+d, v, kindEnd, -p)
 	tr.dirty = true
 }
 
@@ -197,11 +221,17 @@ func (tr *Tracker) remove(t model.Time, task, kind int) {
 // single delta (base first at 0 and tau), the running power is the
 // prefix sum of those deltas, and adjacent equal-power segments merge.
 func (tr *Tracker) materialize(segs []Segment) Profile {
+	tr.maxP = negInf
+	tr.minP = posInf
+	tr.idxOK = false
+	// The finish time is the largest breakpoint: every task's end is a
+	// breakpoint at start+delay, and any breakpoint is a start or end
+	// bounded by some end, so max(breakpoint) == max(start+delay). The
+	// bucket list is time-ordered, making this O(1) instead of an O(n)
+	// scan over the task set per materialization.
 	var tau model.Time
-	for v, task := range tr.tasks {
-		if end := tr.start[v] + task.Delay; end > tau {
-			tau = end
-		}
+	if len(tr.buckets) > 0 {
+		tau = tr.buckets[len(tr.buckets)-1].t
 	}
 	if tau == 0 {
 		return Profile{}
@@ -215,6 +245,12 @@ func (tr *Tracker) materialize(segs []Segment) Profile {
 		}
 		if t1 > tau {
 			t1 = tau
+		}
+		if cur > tr.maxP {
+			tr.maxP = cur
+		}
+		if cur < tr.minP {
+			tr.minP = cur
 		}
 		if n := len(segs); n > 0 && segs[n-1].P == cur && segs[n-1].T1 == t0 {
 			segs[n-1].T1 = t1

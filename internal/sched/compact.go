@@ -3,6 +3,7 @@ package sched
 import (
 	"sort"
 
+	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/power"
 	"repro/internal/schedule"
@@ -15,23 +16,53 @@ import (
 // pulls each task to its earliest start that keeps every timing
 // constraint (including the serialization order chosen by the timing
 // stage) and the power budget satisfied, until a fixpoint. The finish
-// time can only shrink.
+// time can only shrink. The working schedule is mutated in place.
+//
+// The timing-stage edges are read straight off the graph journal's
+// timing prefix and bucketed by head vertex (a CSR index built once per
+// pass set), so each task's leftward bound costs O(indegree) instead of
+// a scan over the whole edge set.
 //
 // After compaction the working graph is rebuilt from the timing-stage
 // edges plus one release edge per task, so the downstream min-power
 // machinery sees a consistent longest-path solution.
 func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
-	if len(st.structEdges) == 0 {
+	if st.timingMark == 0 {
 		return sigma
 	}
 	tasks := st.tasks
 	pmax := st.c.Prob.Pmax
-	sigma = sigma.Clone()
 	st.syncProfile(sigma)
+
+	// CSR index over the timing-prefix edges, bucketed by head vertex.
+	// The journal prefix view stays valid: nothing below timingMark is
+	// rolled back before the final rebuild.
+	edges := st.g.JournalPrefix(st.timingMark)
+	nv := st.g.N()
+	pos := st.csrPos[:nv+1]
+	for i := range pos {
+		pos[i] = 0
+	}
+	for _, e := range edges {
+		pos[e.To+1]++
+	}
+	for v := 1; v <= nv; v++ {
+		pos[v] += pos[v-1]
+	}
+	if cap(st.csrEdge) < len(edges) {
+		st.csrEdge = make([]graph.Edge, len(edges))
+	}
+	ce := st.csrEdge[:len(edges)]
+	cur := st.csrCur[:nv]
+	copy(cur, pos[:nv])
+	for _, e := range edges {
+		ce[cur[e.To]] = e
+		cur[e.To]++
+	}
 
 	// powerOK reports whether the current sigma respects the budget;
 	// the incremental path probes the tracker (which follows every
-	// trial shift below), the naive path rebuilds from scratch.
+	// trial shift below) in O(1), the naive path rebuilds from scratch.
 	powerOK := func() bool {
 		if pmax == 0 {
 			return true
@@ -39,13 +70,13 @@ func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
 		if st.opts.Naive {
 			return power.Build(tasks, sigma, st.c.Prob.BasePower).Valid(pmax)
 		}
-		return st.tr.Profile().Valid(pmax)
+		return st.tr.ValidMax(pmax)
 	}
 	const maxPasses = 20
 	for pass := 0; pass < maxPasses; pass++ {
 		changed := false
 		for _, v := range st.byStart(sigma, len(tasks)) {
-			lb := st.compactBound(sigma, v)
+			lb := st.compactBound(sigma, pos, ce, v)
 			if lb >= sigma.Start[v] {
 				continue
 			}
@@ -84,12 +115,9 @@ func (st *state) compact(sigma schedule.Schedule) schedule.Schedule {
 // Only incoming edges bound a leftward move: outgoing min edges relax
 // and outgoing max edges (negative weights) stay satisfied as v moves
 // earlier.
-func (st *state) compactBound(sigma schedule.Schedule, v int) model.Time {
+func (st *state) compactBound(sigma schedule.Schedule, pos []int, ce []graph.Edge, v int) model.Time {
 	lb := model.Time(0)
-	for _, e := range st.structEdges {
-		if e.To != v {
-			continue
-		}
+	for _, e := range ce[pos[v]:pos[v+1]] {
 		var from model.Time
 		if e.From != st.c.Anchor {
 			from = sigma.Start[e.From]

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/model"
-	"repro/internal/power"
 	"repro/internal/schedule"
 )
 
@@ -45,13 +44,12 @@ func (st *state) maxPower() (schedule.Schedule, error) {
 		if round > st.opts.MaxSpikeRounds {
 			return schedule.Schedule{}, fmt.Errorf("sched: spike elimination exceeded %d rounds", st.opts.MaxSpikeRounds)
 		}
-		t, spiked := firstSpike(st.prof(sigma), pmax)
+		t, spiked := st.firstSpike(sigma, pmax)
 		if !spiked {
 			return sigma, nil
 		}
 		st.st.SpikeRounds++
-		sigma, err = st.fixSpike(sigma, t)
-		if err != nil {
+		if err := st.fixSpike(sigma, t); err != nil {
 			return schedule.Schedule{}, err
 		}
 	}
@@ -60,29 +58,38 @@ func (st *state) maxPower() (schedule.Schedule, error) {
 // firstSpike returns the start of the earliest over-budget interval.
 // Equivalent to Spikes(pmax)[0].T0 without materializing the interval
 // list: profile segments are contiguous and time-ordered, so the first
-// over-budget segment starts the first spike.
-func firstSpike(p power.Profile, pmax float64) (model.Time, bool) {
-	for _, s := range p.Segs {
-		if s.P > pmax {
-			return s.T0, true
+// over-budget segment starts the first spike. The incremental path
+// answers from the tracker's segment index in O(log m); the naive path
+// walks the rebuilt profile.
+func (st *state) firstSpike(sigma schedule.Schedule, pmax float64) (model.Time, bool) {
+	if st.opts.Naive {
+		for _, s := range st.prof(sigma).Segs {
+			if s.P > pmax {
+				return s.T0, true
+			}
 		}
+		return 0, false
 	}
-	return 0, false
+	return st.tr.FirstAbove(pmax)
 }
 
 // fixSpike removes the power spike at time t by delaying simultaneous
-// tasks. Tasks are chosen by descending slack; a chosen task is delayed
-// by at most its own execution delay (the paper's delay-distance upper
-// bound), further bounded by its slack when the slack is positive.
-// Delays are realized as anchor edges followed by a longest-path
-// recomputation, so successors shift consistently; an infeasible delay
-// is rolled back and the task is skipped. The loop re-selects among the
-// (re-sorted) active tasks until P(t) <= Pmax, so a task with a capped
-// delay distance can be delayed again in a later step.
-func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Schedule, error) {
+// tasks, mutating the working schedule in place. Tasks are chosen by
+// descending slack; a chosen task is delayed by at most its own
+// execution delay (the paper's delay-distance upper bound), further
+// bounded by its slack when the slack is positive. Delays are realized
+// as anchor edges followed by an incremental longest-path update, so
+// successors shift consistently; an infeasible delay is rolled back and
+// the task is skipped. The loop re-selects among the active tasks until
+// P(t) <= Pmax, so a task with a capped delay distance can be delayed
+// again in a later step. Each selection is a single max-scan over the
+// task set under the (slack desc, power desc, index asc) order — no
+// sorted active list is materialized per iteration.
+func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) error {
 	pmax := st.c.Prob.Pmax
+	n := st.c.NumTasks()
+	tasks := st.tasks
 	rescheduled := false
-	lockCandidates := st.lockCand[:0]
 
 	// Tasks whose delay proved infeasible at this spike, marked in the
 	// reusable epoch-stamped set.
@@ -90,24 +97,30 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 	skipped := st.skipGen
 	for iter := 0; st.prof(sigma).At(t) > pmax; iter++ {
 		if err := st.pollCancel(); err != nil {
-			return schedule.Schedule{}, err
+			return err
 		}
 		if iter > st.opts.MaxSpikeRounds {
-			return schedule.Schedule{}, fmt.Errorf("sched: spike at t=%d did not converge after %d delays", t, iter)
+			return fmt.Errorf("sched: spike at t=%d did not converge after %d delays", t, iter)
 		}
-		act := st.activeBySlack(sigma, t)
-		// Pick the first eligible task: largest slack, not yet proven
-		// infeasible to delay here.
+		// Pick the max-priority eligible task: active at t, not yet
+		// proven infeasible to delay here, largest slack first (the
+		// paper's EXTRACT MAX), ties by descending power then index.
 		v := -1
 		var vSlack model.Time
-		for _, cand := range act {
-			if skipped[cand.v] != st.skipEpoch {
-				v, vSlack = cand.v, cand.slack
-				break
+		for u := 0; u < n; u++ {
+			if skipped[u] == st.skipEpoch {
+				continue
+			}
+			if !(sigma.Start[u] <= t && t < sigma.Start[u]+tasks[u].Delay) {
+				continue
+			}
+			sl := st.slackOf(sigma, u)
+			if v < 0 || st.slackedBefore(slackedTask{v: u, slack: sl}, slackedTask{v: v, slack: vSlack}) {
+				v, vSlack = u, sl
 			}
 		}
 		if v < 0 {
-			return schedule.Schedule{}, fmt.Errorf("%w: cannot remove power spike at t=%d (%.4g W > Pmax %.4g W)",
+			return fmt.Errorf("%w: cannot remove power spike at t=%d (%.4g W > Pmax %.4g W)",
 				ErrInfeasible, t, st.prof(sigma).At(t), pmax)
 		}
 
@@ -117,7 +130,7 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 		// when v has positive slack, also capped by the slack so the
 		// schedule stays time-valid without rescheduling.
 		need := st.spikeEnd(sigma, t) - sigma.Start[v]
-		dd := st.tasks[v].Delay
+		dd := tasks[v].Delay
 		if dd > need {
 			dd = need
 		}
@@ -131,47 +144,45 @@ func (st *state) fixSpike(sigma schedule.Schedule, t model.Time) (schedule.Sched
 			dd = 1
 		}
 
-		newSigma, _, ok := st.delay(sigma, v, sigma.Start[v]+dd)
-		if !ok {
+		if _, ok := st.delay(v, sigma.Start[v]+dd); !ok {
 			skipped[v] = st.skipEpoch
 			st.st.Backtracks++
-			continue
-		}
-		sigma = newSigma
-		// Remaining active tasks at t (after the successful delay) are
-		// the lock candidates of the paper's case (2).
-		lockCandidates = lockCandidates[:0]
-		for _, cand := range st.activeBySlack(sigma, t) {
-			lockCandidates = append(lockCandidates, cand.v)
 		}
 	}
-	st.lockCand = lockCandidates
 
 	// Lock the start times of the tasks that stayed at the spike time,
 	// so the subsequent rescheduling cannot push them back into a
-	// spike. Locks that would make the graph infeasible are undone;
-	// they are a heuristic, not a requirement.
+	// spike. The spike loop above exits immediately after the delay
+	// that cleared the spike (failed delays change nothing), so the
+	// active set here is exactly the paper's case (2) lock-candidate
+	// set captured after the last successful delay. Locks that would
+	// make the graph infeasible are undone; they are a heuristic, not a
+	// requirement.
 	if rescheduled && !st.opts.DisableLocks {
-		for _, v := range lockCandidates {
+		for _, cand := range st.activeBySlack(sigma, t) {
 			cp := st.g.Mark()
-			st.lock(v, sigma.Start[v])
+			st.lock(cand.v, sigma.Start[cand.v])
 			if !st.g.LongestFromInto(st.feasBuf, st.c.Anchor) {
 				st.g.Rollback(cp)
-				st.dirtySlack(v) // v lost the just-added outgoing lock edge
+				st.dirtySlack(cand.v) // v lost the just-added outgoing lock edge
 				st.st.Backtracks++
 			}
 		}
 	}
-	return sigma, nil
+	return nil
 }
 
 // spikeEnd returns the end of the maximal over-budget interval
 // containing t (falling back to t+1 when the profile no longer spikes
-// at t). It walks the contiguous segments directly, merging adjacent
-// over-budget runs exactly the way Spikes does, without materializing
-// the interval list.
+// at t). The incremental path answers from the tracker's segment index
+// in O(log m); the naive path walks the contiguous segments directly,
+// merging adjacent over-budget runs exactly the way Spikes does,
+// without materializing the interval list.
 func (st *state) spikeEnd(sigma schedule.Schedule, t model.Time) model.Time {
 	pmax := st.c.Prob.Pmax
+	if !st.opts.Naive {
+		return st.tr.RunEndAbove(t, pmax)
+	}
 	var t0, t1 model.Time
 	have := false
 	for _, s := range st.prof(sigma).Segs {
@@ -223,8 +234,8 @@ func (st *state) activeBySlack(sigma schedule.Schedule, t model.Time) []slackedT
 	return out
 }
 
-// slackedBefore is activeBySlack's strict ordering: slack desc, power
-// desc, index asc.
+// slackedBefore is the strict (slack desc, power desc, index asc)
+// total order shared by activeBySlack and fixSpike's max-scan.
 func (st *state) slackedBefore(a, b slackedTask) bool {
 	if a.slack != b.slack {
 		return a.slack > b.slack

@@ -17,6 +17,10 @@ const utilEps = 1e-9
 // choice, section 5.3) and the best schedule wins. Since the min power
 // constraint is soft, remaining gaps are tolerated.
 //
+// The working schedule is one flat bank (st.cur) mutated in place: each
+// combo restores the entry schedule from a snapshot instead of cloning,
+// and the best schedule is kept as a snapshot copied back at the end.
+//
 // Cancellation aborts the stage with the context's error rather than
 // returning the best-so-far schedule: min-power is best-effort, but a
 // partially optimized result must never masquerade as the
@@ -30,24 +34,29 @@ func (st *state) minPower(sigma schedule.Schedule) (schedule.Schedule, error) {
 	// re-derived since the last stage: re-sync the incremental core.
 	st.syncProfile(sigma)
 	st.dirtySlackAll()
-	best := sigma.Clone()
-	bestU := st.prof(sigma).Utilization(pmin)
+	entryU := st.prof(sigma).Utilization(pmin)
+	bestU := entryU
+	st.bestBuf = append(st.bestBuf[:0], sigma.Start...)
 	if bestU >= 1 {
-		return best, nil
+		return sigma, nil
 	}
+	st.comboBase = append(st.comboBase[:0], sigma.Start...)
 
 	base := st.g.Mark()
 	for _, order := range st.opts.ScanOrders {
 		for _, slot := range st.opts.SlotChoices {
 			st.g.Rollback(base)
+			copy(sigma.Start, st.comboBase)
 			st.syncProfile(sigma)
 			st.dirtySlackAll()
-			got := st.minPowerCombo(sigma.Clone(), order, slot)
+			st.curU = entryU
+			st.minPowerCombo(sigma, order, slot)
 			if st.ctxErr != nil {
 				return schedule.Schedule{}, st.ctxErr
 			}
-			if u := st.prof(got).Utilization(pmin); u > bestU+utilEps {
-				best, bestU = got.Clone(), u
+			if st.curU > bestU+utilEps {
+				bestU = st.curU
+				copy(st.bestBuf, sigma.Start)
 			}
 			if bestU >= 1 {
 				break
@@ -58,32 +67,31 @@ func (st *state) minPower(sigma schedule.Schedule) (schedule.Schedule, error) {
 	// edges were rolled back, so pin every task at its final start.
 	st.g.Rollback(base)
 	st.dirtySlackAll()
-	for v := range best.Start {
-		st.lock(v, best.Start[v])
+	copy(sigma.Start, st.bestBuf)
+	for v := range sigma.Start {
+		st.lock(v, sigma.Start[v])
 	}
-	return best, nil
+	return sigma, nil
 }
 
 // minPowerCombo runs repeated improvement scans under one heuristic
-// combination until a scan makes no progress or utilization reaches 1.
-func (st *state) minPowerCombo(sigma schedule.Schedule, order ScanOrder, slot SlotChoice) schedule.Schedule {
+// combination until a scan makes no progress or utilization reaches 1,
+// mutating the working schedule in place.
+func (st *state) minPowerCombo(sigma schedule.Schedule, order ScanOrder, slot SlotChoice) {
 	for scan := 0; scan < st.opts.MaxScans; scan++ {
 		if st.pollCancel() != nil {
-			return sigma
+			return
 		}
 		st.st.Scans++
-		next, improved := st.scanOnce(sigma, order, slot)
-		sigma = next
-		if !improved || st.prof(sigma).Utilization(st.c.Prob.Pmin) >= 1 {
-			break
+		if !st.scanOnce(sigma, order, slot) || st.curU >= 1 {
+			return
 		}
 	}
-	return sigma
 }
 
 // scanOnce performs one pass over the schedule's power gaps in the
 // given order, attempting one accepted move per gap time.
-func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotChoice) (schedule.Schedule, bool) {
+func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotChoice) bool {
 	pmin := st.c.Prob.Pmin
 	// Visit the start of every below-Pmin profile segment (not merely
 	// every maximal gap): a wide gap can require several moves at
@@ -97,7 +105,7 @@ func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotCho
 	}
 	st.gapTimes = times
 	if len(times) == 0 {
-		return sigma, false
+		return false
 	}
 	switch order {
 	case ScanReverse:
@@ -111,42 +119,47 @@ func (st *state) scanOnce(sigma schedule.Schedule, order ScanOrder, slot SlotCho
 	improved := false
 	for _, t := range times {
 		if st.pollCancel() != nil {
-			return sigma, false
+			return false
 		}
 		// Earlier moves may have already filled (or shifted) this gap.
 		if st.prof(sigma).At(t) >= pmin {
 			continue
 		}
-		if next, ok := st.fillGapAt(sigma, t, slot); ok {
-			sigma = next
+		if st.fillGapAt(sigma, t, slot) {
 			improved = true
-			if st.prof(sigma).Utilization(pmin) >= 1 {
-				return sigma, true
+			if st.curU >= 1 {
+				return true
 			}
 		}
 	}
-	return sigma, improved
+	return improved
 }
 
 // fillGapAt tries to delay one task that finished before t so it is
-// active at t. Candidates must have enough slack to reach t (the
-// paper's condition Delta(v) >= t - sigma(v) - d(v), strict activity).
-// A move is accepted when the delayed schedule is time-valid (by
-// construction of the slack bound and the longest-path recomputation),
-// power-valid, finishes no later, and strictly improves utilization.
-func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoice) (schedule.Schedule, bool) {
+// active at t, mutating the working schedule in place on acceptance.
+// Candidates must have enough slack to reach t (the paper's condition
+// Delta(v) >= t - sigma(v) - d(v), strict activity). A move is accepted
+// when the delayed schedule is time-valid (by construction of the slack
+// bound and the incremental longest-path update, re-checked against the
+// live constraint edges), power-valid, finishes no later, and strictly
+// improves utilization; a rejected move is rolled back exactly via the
+// delay's undo journal.
+func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoice) bool {
 	prob := st.c.Prob
+	curU := st.curU
 	prof := st.prof(sigma)
-	curU := prof.Utilization(prob.Pmin)
-	tau := sigma.Finish(st.tasks)
+	// The profile covers [0, Finish), so its extent is the finish time.
+	tau := prof.Duration()
 
 	// End of the gap beginning at t, for the finish-at-gap-end slot.
-	// The segments are contiguous and time-ordered, so the maximal gap
-	// containing t is the run of below-Pmin segments around it — found
-	// by a direct walk, merging adjacent runs exactly like Gaps, without
-	// materializing the interval list.
+	// The incremental path answers from the tracker's segment index in
+	// O(log m); the naive path walks the contiguous segments, merging
+	// adjacent below-Pmin runs exactly like Gaps, without materializing
+	// the interval list.
 	gapEnd := t + 1
-	{
+	if !st.opts.Naive {
+		gapEnd = st.tr.RunEndBelow(t, prob.Pmin)
+	} else {
 		var g0, g1 model.Time
 		have := false
 		for _, s := range prof.Segs {
@@ -170,7 +183,7 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 
 	for _, v := range st.gapCandidates(sigma, t) {
 		if st.pollCancel() != nil {
-			return sigma, false
+			return false
 		}
 		d := st.tasks[v].Delay
 		sl := st.slackOf(sigma, v)
@@ -203,22 +216,22 @@ func (st *state) fillGapAt(sigma schedule.Schedule, t model.Time, slot SlotChoic
 		}
 
 		cp := st.g.Mark()
-		next, changed, ok := st.delay(sigma, v, newStart)
+		changed, ok := st.delay(v, newStart)
 		if ok {
-			np := st.prof(next)
-			if np.Valid(prob.Pmax) &&
-				next.Finish(st.tasks) <= tau &&
-				np.Utilization(prob.Pmin) > curU+utilEps &&
-				schedule.CheckTimeValidTasks(st.g, st.c, st.tasks, next) == nil {
-				st.st.Moves++
-				return next, true
+			np := st.prof(sigma)
+			if st.powerValid(np, prob.Pmax) && np.Duration() <= tau {
+				if u := np.Utilization(prob.Pmin); u > curU+utilEps && st.timeValid(sigma) {
+					st.st.Moves++
+					st.curU = u
+					return true
+				}
 			}
 		}
 		st.g.Rollback(cp)
-		st.revertMove(changed, sigma)
+		st.undoDelay(changed)
 		st.st.Rejected++
 	}
-	return sigma, false
+	return false
 }
 
 // gapCand is a gap-fill candidate with its selection keys.
@@ -235,16 +248,17 @@ type gapCand struct {
 // across calls.
 func (st *state) gapCandidates(sigma schedule.Schedule, t model.Time) []int {
 	cs := st.gapCands[:0]
-	for v, task := range st.tasks {
-		fin := sigma.Start[v] + task.Delay
+	tasks := st.tasks
+	for v := range tasks {
+		fin := sigma.Start[v] + tasks[v].Delay
 		if fin > t {
 			continue // still running at or after t; delaying cannot help
 		}
 		sl := st.slackOf(sigma, v)
-		if sl < t-sigma.Start[v]-task.Delay+1 {
+		if sl < t-sigma.Start[v]-tasks[v].Delay+1 {
 			continue // cannot reach t
 		}
-		cs = append(cs, gapCand{v: v, power: task.Power, finish: fin})
+		cs = append(cs, gapCand{v: v, power: tasks[v].Power, finish: fin})
 	}
 	st.gapCands = cs
 	// Selection order: descending power, then latest finish, then index.

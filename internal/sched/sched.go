@@ -564,11 +564,10 @@ type state struct {
 	ops    int
 	ctxErr error
 
-	// timingMark and structEdges snapshot the graph at the end of the
-	// timing stage (base constraints + serialization edges); the
-	// compaction pass validates leftward moves against exactly these.
-	timingMark  graph.Checkpoint
-	structEdges []graph.Edge
+	// timingMark checkpoints the graph at the end of the timing stage
+	// (base constraints + serialization edges); the compaction pass
+	// validates leftward moves against exactly this journal prefix.
+	timingMark graph.Checkpoint
 
 	// Incremental core (inactive when opts.Naive). tr mirrors the
 	// current working schedule's power profile as a mutable segment
@@ -580,27 +579,56 @@ type state struct {
 	tr       *power.Tracker
 	slackVal []model.Time
 	slackOK  []bool
-	touch    []int // reusable buffer for the relax touched set
+
+	// cur is the working longest-path solution — one flat bank of
+	// length g.N() that every stage mutates in place. The task prefix
+	// cur[:NumTasks] IS the working schedule: stage code wraps it in a
+	// schedule.Schedule view instead of materializing per-move copies.
+	// The anchor entry stays 0 across every successful mutation: any
+	// relaxation raising dist[anchor] must traverse a lock edge
+	// (v -> anchor, -t), whose partner (anchor -> v, t) closes a
+	// positive cycle with the raising chain, which the relaxation
+	// reports as failure — so a successful delay never moves the anchor.
+	cur []int
+	// undo journals dist overwrites for the in-place mutations of cur:
+	// the timing search truncates it to per-choice marks, delay reuses
+	// it per call. Replaying it backwards restores cur exactly.
+	undo []graph.DistSave
+	// curU caches the current schedule's min-power utilization during
+	// the min-power stage (invariant: equal to
+	// prof(sigma).Utilization(Pmin) after every accepted move), so gap
+	// probes compare against a cached float instead of re-integrating
+	// the profile per gap time.
+	curU float64
+	// minDel holds each task's minimum effective delay over its
+	// (machine, level) choices: the admissible per-task lower bound the
+	// timing search's incumbent pruning uses (see timingLB).
+	minDel []model.Time
+	// specMiss counts consecutive speculative timing searches that
+	// ended in a reference rerun; at specMissLimit the worker stops
+	// speculating (see timing). Deliberately NOT cleared by reset: the
+	// signal spans the restarts a worker runs.
+	specMiss int
 
 	// Reusable scratch for the stage heuristics (see each use site);
 	// everything here is overwritten before being read, so reset does
 	// not need to clear it.
-	dist      []int         // timing stage's live longest-path solution
-	finalDist []int         // timing stage's final from-scratch check
+	dist      []int         // timing search's live longest-path solution
 	visited   []bool        // timing search visit marks
-	savedBufs [][]int       // per-depth dist snapshots for backtracking
-	candBufs  [][]int       // per-depth candidate orderings
-	sorter    candSorter    // allocation-free sort.Interface for candidates
 	order     startSorter   // allocation-free sort.Interface for compaction
-	delayDist []int         // delay's incremental relaxation input
+	delayDist []int         // FullRecompute delay's previous-solution snapshot
 	feasBuf   []int         // lock feasibility probe output
 	active    []slackedTask // tasks active at a spike time
-	lockCand  []int         // paper case (2) lock candidates
 	skipGen   []int         // epoch marks for fixSpike's skipped set
 	skipEpoch int
 	gapTimes  []model.Time // below-Pmin segment starts per scan
 	gapCands  []gapCand    // gap-fill candidates under construction
 	gapOrder  []int        // gap-fill candidates, selection-ordered
+	bestBuf   []model.Time // min-power best-schedule snapshot
+	comboBase []model.Time // min-power combo-entry schedule snapshot
+	csrPos    []int        // compact's CSR bucket offsets by head vertex
+	csrCur    []int        // compact's CSR fill cursors
+	csrEdge   []graph.Edge // compact's timing edges bucketed by head
 }
 
 func newState(ctx context.Context, c *schedule.Compiled, opts Options, inc *atomic.Pointer[incumbent]) *state {
@@ -627,11 +655,25 @@ func newState(ctx context.Context, c *schedule.Compiled, opts Options, inc *atom
 		st.slackOK = make([]bool, n)
 	}
 	st.dist = make([]int, st.g.N())
-	st.finalDist = make([]int, st.g.N())
+	st.cur = make([]int, st.g.N())
 	st.delayDist = make([]int, st.g.N())
 	st.feasBuf = make([]int, st.g.N())
 	st.visited = make([]bool, n)
 	st.skipGen = make([]int, n)
+	st.minDel = make([]model.Time, n)
+	for v := range st.minDel {
+		if chs := c.Choices[v]; len(chs) > 0 {
+			md := chs[0].Delay
+			for _, ch := range chs[1:] {
+				if ch.Delay < md {
+					md = ch.Delay
+				}
+			}
+			st.minDel[v] = md
+		}
+	}
+	st.csrPos = make([]int, st.g.N()+1)
+	st.csrCur = make([]int, st.g.N())
 	if c.Hetero {
 		st.tasks = append([]model.Task(nil), c.Prob.Tasks...)
 		st.assign = make(model.Assignment, n)
@@ -659,7 +701,7 @@ func (st *state) reset(r int) {
 		st.slackOK[i] = false
 	}
 	st.timingMark = 0
-	st.structEdges = st.structEdges[:0]
+	st.undo = st.undo[:0]
 	if st.c.Hetero {
 		copy(st.tasks, st.c.Prob.Tasks)
 	}
@@ -682,7 +724,9 @@ func (st *state) perturb(r int) {
 func (st *state) result(sigma schedule.Schedule) *Result {
 	res := &Result{
 		Compiled: st.c,
-		Schedule: sigma,
+		// Detach the schedule from the state's working bank: sigma views
+		// st.cur, which the next restart mutates in place.
+		Schedule: sigma.Clone(),
 		Graph:    st.g,
 		Profile:  power.Build(st.tasks, sigma, st.c.Prob.BasePower),
 		Stats:    st.st,
@@ -699,57 +743,50 @@ func (st *state) result(sigma schedule.Schedule) *Result {
 }
 
 // delay constrains task v to start no earlier than newStart by adding
-// an anchor edge, then updates the schedule. sigma must be the current
-// longest-path solution of the working graph; by default the update
-// relaxes incrementally from the new edge (see graph.AddEdgeRelax), so
-// only the shifted cone of successors is touched. ok is false (and the
-// edge rolled back) when the delay creates a positive cycle.
+// an anchor edge, then updates the working schedule st.cur IN PLACE. By
+// default the update relaxes incrementally from the new edge (see
+// graph.AddEdgeRelaxUndo), so only the shifted cone of successors is
+// touched. ok is false — with the edge rolled back and cur restored —
+// when the delay creates a positive cycle.
 //
 // On success the incremental core is updated for exactly the shifted
 // tasks (power-profile deltas applied, affected slack cache entries
-// invalidated), and changed lists those tasks. A caller that rejects
-// the new schedule must call revertMove(changed, sigma) alongside the
-// graph rollback; changed aliases a state-owned buffer that the next
-// delay call reuses.
-func (st *state) delay(sigma schedule.Schedule, v int, newStart model.Time) (next schedule.Schedule, changed []int, ok bool) {
+// invalidated), and changed journals every overwritten entry of cur. A
+// caller that rejects the new schedule rolls the graph back to its own
+// pre-call mark and passes changed to undoDelay; changed aliases a
+// state-owned buffer that the next delay call reuses.
+func (st *state) delay(v int, newStart model.Time) (changed []graph.DistSave, ok bool) {
 	cp := st.g.Mark()
 	if st.opts.FullRecompute {
 		st.g.AddEdge(st.c.Anchor, v, newStart)
-		dist, ok := st.g.LongestFrom(st.c.Anchor)
-		if !ok {
+		old := st.delayDist
+		copy(old, st.cur)
+		if !st.g.LongestFromInto(st.cur, st.c.Anchor) {
 			st.g.Rollback(cp)
-			return schedule.Schedule{}, nil, false
+			copy(st.cur, old)
+			return nil, false
 		}
-		next = schedule.FromDist(dist, st.c.NumTasks())
-		st.touch = st.touch[:0]
-		for w := range next.Start {
-			if next.Start[w] != sigma.Start[w] {
-				st.touch = append(st.touch, w)
+		undo := st.undo[:0]
+		for w := range st.cur {
+			if st.cur[w] != old[w] {
+				undo = append(undo, graph.DistSave{V: w, Old: old[w]})
 			}
 		}
-		st.applyMove(st.touch, next)
-		return next, st.touch, true
+		st.undo = undo
+		st.applyMove(undo)
+		return undo, true
 	}
-	dist := st.delayDist
-	copy(dist, sigma.Start)
-	dist[st.c.Anchor] = 0
-	touched, relaxOK := st.g.AddEdgeRelaxTouched(dist, st.c.Anchor, v, newStart, st.touch[:0])
-	st.touch = touched
+	undo, relaxOK := st.g.AddEdgeRelaxUndo(st.cur, st.c.Anchor, v, newStart, st.undo[:0])
+	st.undo = undo
 	if !relaxOK {
 		st.g.Rollback(cp)
-		return schedule.Schedule{}, nil, false
-	}
-	// Drop the anchor (it is not a task) from the touched set in place.
-	changed = touched[:0]
-	for _, w := range touched {
-		if w < st.c.NumTasks() {
-			changed = append(changed, w)
+		for i := len(undo) - 1; i >= 0; i-- {
+			st.cur[undo[i].V] = undo[i].Old
 		}
+		return nil, false
 	}
-	st.touch = changed
-	next = schedule.FromDist(dist, st.c.NumTasks())
-	st.applyMove(changed, next)
-	return next, changed, true
+	st.applyMove(undo)
+	return undo, true
 }
 
 // lock pins task v at start t with a pair of edges (sigma(v) >= t and
@@ -785,32 +822,41 @@ func (st *state) prof(sigma schedule.Schedule) power.Profile {
 	return st.tr.Profile()
 }
 
-// applyMove updates the incremental core after the tasks in changed
-// moved to their starts in next: the profile tracker follows each move,
-// and the slack cache invalidates the moved tasks plus their
-// constraint-graph in-neighborhood (any task with an outgoing edge into
-// a moved task reads the moved start in its slack).
-func (st *state) applyMove(changed []int, next schedule.Schedule) {
+// applyMove updates the incremental core after a delay overwrote the
+// entries journaled in changed: the profile tracker follows each moved
+// task to its new start (now live in st.cur), and the slack cache
+// invalidates the moved tasks plus their constraint-graph
+// in-neighborhood (any task with an outgoing edge into a moved task
+// reads the moved start in its slack). Anchor entries are skipped — the
+// anchor is not a task.
+func (st *state) applyMove(changed []graph.DistSave) {
 	if st.opts.Naive {
 		return
 	}
-	for _, w := range changed {
-		st.tr.Move(w, next.Start[w])
-		st.dirtySlack(w)
+	n := st.c.NumTasks()
+	for _, e := range changed {
+		if e.V < n {
+			st.tr.Move(e.V, st.cur[e.V])
+			st.dirtySlack(e.V)
+		}
 	}
 }
 
-// revertMove undoes applyMove after the caller rolled the graph back:
-// the tasks in changed return to their starts in prev, and their slack
-// neighborhood is invalidated again (the cache entries may have been
-// recomputed against the rejected schedule in between).
-func (st *state) revertMove(changed []int, prev schedule.Schedule) {
-	if st.opts.Naive {
-		return
-	}
-	for _, w := range changed {
-		st.tr.Move(w, prev.Start[w])
-		st.dirtySlack(w)
+// undoDelay reverses a successful delay the caller rejected, after the
+// caller rolled the graph back: the journal replays backwards into cur,
+// and the tracker and slack cache follow each restored task (the cache
+// entries may have been recomputed against the rejected schedule in
+// between).
+func (st *state) undoDelay(changed []graph.DistSave) {
+	n := st.c.NumTasks()
+	naive := st.opts.Naive
+	for i := len(changed) - 1; i >= 0; i-- {
+		e := changed[i]
+		st.cur[e.V] = e.Old
+		if !naive && e.V < n {
+			st.tr.Move(e.V, e.Old)
+			st.dirtySlack(e.V)
+		}
 	}
 }
 
@@ -857,6 +903,41 @@ func (st *state) pollCancel() error {
 	default:
 		return nil
 	}
+}
+
+// powerValid reports whether the profile respects the max power
+// budget: Profile.Valid on the naive path, the tracker's O(1)
+// materialized peak on the incremental one (bit-identical — both
+// compare the same exact segment powers against pmax).
+func (st *state) powerValid(np power.Profile, pmax float64) bool {
+	if st.opts.Naive {
+		return np.Valid(pmax)
+	}
+	return st.tr.ValidMax(pmax)
+}
+
+// timeValid reports whether the working schedule is time-valid. The
+// incremental path checks every live constraint edge against cur, an
+// allocation-free equivalent of schedule.CheckTimeValidTasks: start
+// nonnegativity is implied by the anchor release edges (anchor -> v,
+// w >= 0, with cur[anchor] pinned at 0), and same-resource
+// serialization needs no pairwise sweep because the timing stage links
+// every same-resource pair with an explicit serialization edge
+// (visited -> c and c -> unvisited), so edge satisfaction implies
+// non-overlap (DESIGN.md section 13). The naive path runs the full
+// check, keeping it as the oracle the differential suite compares the
+// incremental decisions against.
+func (st *state) timeValid(sigma schedule.Schedule) bool {
+	if st.opts.Naive {
+		return schedule.CheckTimeValidTasks(st.g, st.c, st.tasks, sigma) == nil
+	}
+	cur := st.cur
+	for _, e := range st.g.JournalPrefix(st.g.Mark()) {
+		if cur[e.To] < cur[e.From]+e.W {
+			return false
+		}
+	}
+	return true
 }
 
 // slackOf returns Slack(v) under sigma, served from the dirty-set cache

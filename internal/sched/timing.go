@@ -2,15 +2,106 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/model"
 	"repro/internal/schedule"
 )
 
 // timing implements the time-constrained scheduling algorithm of paper
-// Fig. 3. It traverses the constraint graph topologically, visiting one
-// candidate task at a time; visiting a candidate c serializes every
+// Fig. 3 (see timingSearch for the search itself). When the restart
+// portfolio has published an incumbent, the search first runs with
+// speculative subtree pruning: choices whose visit-order-independent
+// finish lower bound already exceeds the incumbent's finish are skipped
+// outright (DESIGN.md section 13). The speculation never leaks into
+// observable results:
+//
+//   - If the pruned search exhausts its SEARCH SPACE, every leaf hidden
+//     by a skip finishes strictly beyond the incumbent, so the whole
+//     restart is a provable reduction loser and reports errPruned (a
+//     real failure would have been a loser too: the reference search's
+//     outcome either fails identically or finishes beyond the bound
+//     that was live when its subtree was skipped).
+//   - The pruned search runs under a small speculation budget
+//     (specBacktracks), not the full MaxBacktracks: when the reference
+//     search's first solution lies inside a skipped subtree, the pruned
+//     search keeps going into space the reference never visits and
+//     would otherwise burn the entire budget before concluding anything
+//     (measured as a ~500x portfolio slowdown). Exhausting the clipped
+//     budget proves nothing about the reference — which may well
+//     succeed within its larger budget — so that outcome is
+//     inconclusive (gaveUp) and falls through to the deterministic
+//     unpruned rerun below. The speculation is profitable exactly when
+//     it reaches a verdict within the small budget; when it can't, the
+//     only cost is the wasted speculation.
+//   - If it succeeds with a finish still beyond the incumbent, the
+//     regular restart-level pruning in maxPower/runTo discards it.
+//   - Otherwise the restart might win the reduction, so the search is
+//     rerun from scratch WITHOUT pruning, reproducing the reference
+//     search — schedule, serialization edges, and stats — bit for bit.
+//     (The timing search consumes no randomness, so the rerun needs no
+//     RNG bookkeeping; Backtracks is the only stat it touches.)
+//
+// Cancellation errors always pass through unchanged.
+//
+// Because every speculation outcome is either a provable reduction
+// loser or a bit-identical rerun, WHETHER to speculate is a pure cost
+// choice — so it can be decided by an adaptive heuristic without
+// touching determinism: after specMissLimit consecutive speculations
+// that ended in a rerun (the instance ties the incumbent a lot, or
+// its skipped subtrees never exhaust), the worker stops speculating;
+// a conclusive prune re-arms it.
+func (st *state) timing() (schedule.Schedule, error) {
+	entry := st.g.Mark()
+	prune := st.inc != nil && st.specMiss < specMissLimit
+	sigma, skipped, gaveUp, err := st.timingSearch(prune)
+	if !gaveUp {
+		if !skipped {
+			return sigma, err
+		}
+		if err != nil {
+			if st.ctxErr != nil {
+				return schedule.Schedule{}, err
+			}
+			st.specMiss = 0
+			return schedule.Schedule{}, errPruned
+		}
+		if st.pruned(sigma) {
+			// Still beyond the incumbent: let the restart-level pruning
+			// in the caller discard the restart (the bound only
+			// tightens).
+			st.specMiss = 0
+			return sigma, nil
+		}
+		st.specMiss++
+	} else {
+		st.specMiss++
+	}
+	st.g.Rollback(entry)
+	if st.c.Hetero {
+		copy(st.tasks, st.c.Prob.Tasks)
+	}
+	st.st.Backtracks = 0
+	sigma, _, _, err = st.timingSearch(false)
+	return sigma, err
+}
+
+// specBacktracks is the backtrack budget of the speculative pruned
+// timing search, and specMissLimit the consecutive-useless-speculation
+// count after which a worker stops speculating. Both only trade
+// speculation cost against speculation coverage — determinism never
+// depends on them, because an exhausted speculation falls back to the
+// reference search and a skipped speculation IS the reference search.
+// Small values keep the worst case (speculation that keeps proving
+// nothing, full rerun each time) close to the unpruned baseline; the
+// conclusive cases (skip-free success, or a provable loser within the
+// budget) are where the pruning pays.
+const (
+	specBacktracks = 64
+	specMissLimit  = 3
+)
+
+// timingSearch traverses the constraint graph topologically, visiting
+// one candidate task at a time; visiting a candidate c serializes every
 // not-yet-visited task sharing c's resource after c (edge c -> u with
 // weight d(c)). If the added edges create a positive cycle the choice
 // is undone and another topological ordering is attempted, so the
@@ -19,24 +110,34 @@ import (
 // from the anchor over the final graph.
 //
 // The search maintains the longest-path solution incrementally: each
-// serialization edge is applied with graph.AddEdgeRelax, which both
-// updates only the shifted cone of successors and detects the positive
-// cycle that would make the choice infeasible, so a visit step costs
-// O(cone) instead of two full single-source recomputations. A rejected
-// step restores the saved distance vector alongside the graph rollback.
-// Options.FullRecompute falls back to whole-graph recomputation per
-// step (for ablation; the distances, and hence the search order and
-// result, are identical).
+// serialization edge is applied with graph.AddEdgeRelaxUndo, which
+// updates only the shifted cone of successors, detects the positive
+// cycle that would make the choice infeasible, and journals every
+// overwritten distance entry — so backtracking replays the journal
+// backwards instead of restoring an O(n) per-depth snapshot, and a
+// visit step costs O(cone) in both directions. Candidates are taken in
+// (current ASAP start, priority) order by lazy minimum selection: the
+// distance vector is restored between sibling candidates, so the keys
+// are fixed for the whole loop and "smallest key strictly greater than
+// the last tried key" enumerates exactly the sorted order without
+// materializing or sorting a candidate list. Options.FullRecompute
+// falls back to whole-graph recomputation per step (for ablation; the
+// distances, and hence the search order and result, are identical).
 //
-// All working storage — the distance vector, the per-depth snapshots
-// and candidate orderings, the visit marks — lives in state-owned
-// buffers recycled across restarts, so a steady-state search allocates
-// nothing.
-func (st *state) timing() (schedule.Schedule, error) {
+// With prune set, a feasible choice is additionally skipped when its
+// finish lower bound — every task's current ASAP start plus a per-task
+// minimum delay, a bound no completion of this subtree can beat —
+// strictly exceeds the portfolio incumbent's finish, and the backtrack
+// budget is clipped to specBacktracks. skipped reports whether any
+// subtree was actually skipped (see timing for why that taints the
+// outcome); gaveUp reports that the clipped budget ran out, which
+// proves nothing about the reference search and obligates the caller
+// to rerun without pruning.
+func (st *state) timingSearch(prune bool) (sigma schedule.Schedule, skipped, gaveUp bool, err error) {
 	n := st.c.NumTasks()
 	dist := st.dist
 	if !st.g.LongestFromInto(dist, st.c.Anchor) {
-		return schedule.Schedule{}, fmt.Errorf("%w: timing constraints contain a positive cycle", ErrInfeasible)
+		return schedule.Schedule{}, false, false, fmt.Errorf("%w: timing constraints contain a positive cycle", ErrInfeasible)
 	}
 
 	visited := st.visited
@@ -44,13 +145,44 @@ func (st *state) timing() (schedule.Schedule, error) {
 		visited[i] = false
 	}
 	budget := st.opts.MaxBacktracks
+	clipped := false
+	if prune && specBacktracks < budget {
+		budget = specBacktracks
+		clipped = true
+	}
+	st.undo = st.undo[:0]
 
 	var visit func(count int) bool
 	visit = func(count int) bool {
 		if count == n {
 			return true
 		}
-		for _, c := range st.candidates(count, visited, dist) {
+		haveLast := false
+		var lastD, lastP int
+		for {
+			// Lazy min-selection of the next candidate: every unvisited
+			// task with key (dist, prio) strictly greater than the last
+			// tried key, minimal among those. prio is a permutation, so
+			// keys are unique and the enumeration reproduces the sorted
+			// candidate order.
+			c := -1
+			var selD, selP int
+			for v := 0; v < n; v++ {
+				if visited[v] {
+					continue
+				}
+				dv, pv := dist[v], st.prio[v]
+				if haveLast && (dv < lastD || (dv == lastD && pv <= lastP)) {
+					continue
+				}
+				if c < 0 || dv < selD || (dv == selD && pv < selP) {
+					c, selD, selP = v, dv, pv
+				}
+			}
+			if c < 0 {
+				return false
+			}
+			haveLast, lastD, lastP = true, selD, selP
 			for _, ci := range st.choiceOrder(count, c, visited, dist) {
 				// Cooperative cancellation: once the poll latches an
 				// error every recursion level bails on its next try, so
@@ -60,7 +192,8 @@ func (st *state) timing() (schedule.Schedule, error) {
 				}
 				ch := st.c.Choices[c][ci]
 				cp := st.g.Mark()
-				res := st.tasks[c].Resource
+				um := len(st.undo)
+				res := st.c.Res[c]
 				d := ch.Delay
 				feasible := true
 				var saved []int
@@ -75,13 +208,13 @@ func (st *state) timing() (schedule.Schedule, error) {
 					// with no machines at all.
 					if ch.Machine >= 0 {
 						for u := 0; u < n; u++ {
-							if visited[u] && st.assign[u].Machine == ch.Machine && st.tasks[u].Resource != res {
+							if visited[u] && st.assign[u].Machine == ch.Machine && st.c.Res[u] != res {
 								st.g.AddEdge(u, c, st.tasks[u].Delay)
 							}
 						}
 					}
 					for u := 0; u < n; u++ {
-						if u != c && !visited[u] && st.tasks[u].Resource == res {
+						if u != c && !visited[u] && st.c.Res[u] == res {
 							st.g.AddEdge(c, u, d)
 						}
 					}
@@ -91,13 +224,10 @@ func (st *state) timing() (schedule.Schedule, error) {
 						feasible = false
 					}
 				} else {
-					saved = st.savedBuf(count)
-					copy(saved, dist)
 					if ch.Machine >= 0 {
 						for u := 0; u < n; u++ {
-							if visited[u] && st.assign[u].Machine == ch.Machine && st.tasks[u].Resource != res {
-								if !st.g.AddEdgeRelax(dist, u, c, st.tasks[u].Delay) {
-									feasible = false
+							if visited[u] && st.assign[u].Machine == ch.Machine && st.c.Res[u] != res {
+								if st.undo, feasible = st.g.AddEdgeRelaxUndo(dist, u, c, st.tasks[u].Delay, st.undo); !feasible {
 									break
 								}
 							}
@@ -105,13 +235,18 @@ func (st *state) timing() (schedule.Schedule, error) {
 					}
 					if feasible {
 						for u := 0; u < n; u++ {
-							if u != c && !visited[u] && st.tasks[u].Resource == res {
-								if !st.g.AddEdgeRelax(dist, c, u, d) {
-									feasible = false
+							if u != c && !visited[u] && st.c.Res[u] == res {
+								if st.undo, feasible = st.g.AddEdgeRelaxUndo(dist, c, u, d, st.undo); !feasible {
 									break
 								}
 							}
 						}
+					}
+				}
+				if feasible && prune {
+					if cur := st.inc.Load(); cur != nil && st.timingLB(dist, visited, c, d) > cur.finish {
+						feasible = false
+						skipped = true
 					}
 				}
 				if feasible {
@@ -127,12 +262,15 @@ func (st *state) timing() (schedule.Schedule, error) {
 					visited[c] = false
 				}
 				st.g.Rollback(cp)
-				if saved != nil {
-					if st.opts.FullRecompute {
+				if st.opts.FullRecompute {
+					if saved != nil {
 						dist = saved
-					} else {
-						copy(dist, saved)
 					}
+				} else {
+					for i := len(st.undo) - 1; i >= um; i-- {
+						dist[st.undo[i].V] = st.undo[i].Old
+					}
+					st.undo = st.undo[:um]
 				}
 				st.st.Backtracks++
 				if st.st.Backtracks > budget {
@@ -140,48 +278,58 @@ func (st *state) timing() (schedule.Schedule, error) {
 				}
 			}
 		}
-		return false
 	}
 
 	if !visit(0) {
 		if st.ctxErr != nil {
-			return schedule.Schedule{}, st.ctxErr
+			return schedule.Schedule{}, skipped, false, st.ctxErr
 		}
 		if st.st.Backtracks > budget {
-			return schedule.Schedule{}, fmt.Errorf("sched: timing search exceeded %d backtracks", budget)
+			if clipped {
+				// The speculation budget ran out, not the real one: the
+				// reference search may still succeed within
+				// MaxBacktracks, so no verdict — the caller reruns.
+				return schedule.Schedule{}, skipped, true, nil
+			}
+			return schedule.Schedule{}, skipped, false, fmt.Errorf("sched: timing search exceeded %d backtracks", budget)
 		}
-		return schedule.Schedule{}, fmt.Errorf("%w: no serialization order yields a time-valid schedule", ErrInfeasible)
+		return schedule.Schedule{}, skipped, false, fmt.Errorf("%w: no serialization order yields a time-valid schedule", ErrInfeasible)
 	}
 
-	if !st.g.LongestFromInto(st.finalDist, st.c.Anchor) {
+	if !st.g.LongestFromInto(st.cur, st.c.Anchor) {
 		// Unreachable: every visited step checked feasibility.
-		return schedule.Schedule{}, fmt.Errorf("%w: final graph has a positive cycle", ErrInfeasible)
+		return schedule.Schedule{}, skipped, false, fmt.Errorf("%w: final graph has a positive cycle", ErrInfeasible)
 	}
 	st.timingMark = st.g.Mark()
-	st.structEdges = st.g.AppendEdges(st.structEdges[:0])
-	return schedule.FromDist(st.finalDist, st.c.NumTasks()), nil
+	return schedule.Schedule{Start: st.cur[:n:n]}, skipped, false, nil
 }
 
-// candidates returns the unvisited tasks in the order the search should
-// try them: earliest current ASAP start first (the task the paper's
-// traversal would reach next), ties broken by the state's priority
-// permutation (the task index on the first restart, a seeded shuffle on
-// later restarts). Every unvisited task is a legal candidate; ordering
-// only steers the search toward reasonable schedules first. dist is the
-// incrementally maintained longest-path solution of the working graph.
-// The returned slice is the depth's reusable buffer: valid for the
-// caller's loop, invalidated by the next call at the same depth.
-func (st *state) candidates(depth int, visited []bool, dist []int) []int {
-	cand := st.candBuf(depth)
-	for v := 0; v < st.c.NumTasks(); v++ {
-		if !visited[v] {
-			cand = append(cand, v)
+// timingLB is the visit-order-independent finish lower bound of every
+// completion below the current search node, with candidate c about to
+// commit delay cd: each task must start at or after its current ASAP
+// distance (distances only grow as serialization edges accumulate) and
+// run for at least its committed delay (visited tasks and c) or its
+// minimum admissible delay (unvisited tasks). The later stages only
+// ever delay tasks beyond the timing solution, so the bound holds for
+// the restart's final finish too.
+func (st *state) timingLB(dist []int, visited []bool, c int, cd model.Time) model.Time {
+	n := st.c.NumTasks()
+	var lb model.Time
+	for v := 0; v < n; v++ {
+		var d model.Time
+		switch {
+		case v == c:
+			d = cd
+		case visited[v]:
+			d = st.tasks[v].Delay
+		default:
+			d = st.minDel[v]
+		}
+		if e := dist[v] + d; e > lb {
+			lb = e
 		}
 	}
-	st.candBufs[depth] = cand
-	st.sorter.cand, st.sorter.dist, st.sorter.prio = cand, dist, st.prio
-	sort.Sort(&st.sorter)
-	return cand
+	return lb
 }
 
 // choiceOrder returns the order — as indices into st.c.Choices[c] — in
@@ -248,40 +396,4 @@ func (st *state) choiceOrdBuf(depth int) []int {
 		st.choiceOrdBufs = append(st.choiceOrdBufs, []int(nil))
 	}
 	return st.choiceOrdBufs[depth][:0]
-}
-
-// savedBuf returns depth's reusable distance-snapshot buffer.
-func (st *state) savedBuf(depth int) []int {
-	for len(st.savedBufs) <= depth {
-		st.savedBufs = append(st.savedBufs, make([]int, st.g.N()))
-	}
-	return st.savedBufs[depth]
-}
-
-// candBuf returns depth's reusable candidate buffer, emptied.
-func (st *state) candBuf(depth int) []int {
-	for len(st.candBufs) <= depth {
-		st.candBufs = append(st.candBufs, make([]int, 0, st.c.NumTasks()))
-	}
-	return st.candBufs[depth][:0]
-}
-
-// candSorter orders candidates by (current ASAP start, priority): a
-// pointer-receiver sort.Interface so sorting allocates nothing, unlike
-// a sort.Slice closure. The key is unique per candidate (prio is a
-// permutation), so the unstable sort is deterministic.
-type candSorter struct {
-	cand []int
-	dist []int
-	prio []int
-}
-
-func (s *candSorter) Len() int      { return len(s.cand) }
-func (s *candSorter) Swap(i, j int) { s.cand[i], s.cand[j] = s.cand[j], s.cand[i] }
-func (s *candSorter) Less(i, j int) bool {
-	a, b := s.cand[i], s.cand[j]
-	if s.dist[a] != s.dist[b] {
-		return s.dist[a] < s.dist[b]
-	}
-	return s.prio[a] < s.prio[b]
 }

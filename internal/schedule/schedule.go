@@ -35,6 +35,12 @@ type Compiled struct {
 	// Hetero caches Prob.Heterogeneous(): false selects the paper's
 	// degenerate code paths (no assignment bookkeeping at all).
 	Hetero bool
+	// Res maps each task to a dense resource id — tasks sharing a
+	// Resource string share an id, numbered by first appearance — and
+	// NumRes counts the ids. The timing search's serialization loops
+	// compare these ints instead of the resource strings.
+	Res    []int
+	NumRes int
 }
 
 // Compile validates the problem and lowers its constraints to graph
@@ -52,16 +58,38 @@ func Compile(p *model.Problem) (*Compiled, error) {
 		Prob:   p,
 		Index:  p.TaskIndex(),
 		Anchor: n,
-		Base:   graph.New(n + 1),
-	}
-	for v := 0; v < n; v++ {
-		c.Base.AddEdge(c.Anchor, v, 0)
 	}
 	vertex := func(name string) int {
 		if name == model.Anchor {
 			return c.Anchor
 		}
 		return c.Index[name]
+	}
+	// Size the base graph exactly before building it: one release edge
+	// per task plus one (or two, with a max bound) per constraint, so
+	// construction performs three bulk allocations instead of per-vertex
+	// append growth.
+	outDeg := make([]int, n+1)
+	inDeg := make([]int, n+1)
+	outDeg[c.Anchor] = n
+	for v := 0; v < n; v++ {
+		inDeg[v] = 1
+	}
+	edges := n
+	for _, con := range p.Constraints {
+		u, v := vertex(con.From), vertex(con.To)
+		outDeg[u]++
+		inDeg[v]++
+		edges++
+		if con.HasMax {
+			outDeg[v]++
+			inDeg[u]++
+			edges++
+		}
+	}
+	c.Base = graph.NewSized(n+1, outDeg, inDeg, edges)
+	for v := 0; v < n; v++ {
+		c.Base.AddEdge(c.Anchor, v, 0)
 	}
 	for _, con := range p.Constraints {
 		u, v := vertex(con.From), vertex(con.To)
@@ -70,6 +98,17 @@ func Compile(p *model.Problem) (*Compiled, error) {
 			c.Base.AddEdge(v, u, -con.Max)
 		}
 	}
+	c.Res = make([]int, n)
+	resID := make(map[string]int, n)
+	for i := range p.Tasks {
+		id, ok := resID[p.Tasks[i].Resource]
+		if !ok {
+			id = len(resID)
+			resID[p.Tasks[i].Resource] = id
+		}
+		c.Res[i] = id
+	}
+	c.NumRes = len(resID)
 	c.Hetero = p.Heterogeneous()
 	c.Choices = make([][]model.TaskChoice, n)
 	for i := range c.Choices {
@@ -99,10 +138,13 @@ func (s Schedule) Clone() Schedule {
 }
 
 // Finish returns the finish time tau: the latest task completion.
+// Indexed field access, not a value range: model.Task is ~88 bytes and
+// this is called on scheduler hot paths, where copying every task per
+// call shows up as runtime.duffcopy.
 func (s Schedule) Finish(tasks []model.Task) model.Time {
 	var tau model.Time
-	for i, t := range tasks {
-		if end := s.Start[i] + t.Delay; end > tau {
+	for i := range tasks {
+		if end := s.Start[i] + tasks[i].Delay; end > tau {
 			tau = end
 		}
 	}

@@ -5,6 +5,11 @@
 # run must serve L2 hits (results computed before the restart) within a
 # p99 latency budget. This is the end-to-end check that write-through,
 # fsync-on-drain, recovery, and consistent routing compose.
+#
+# Ports are retried: on a shared CI machine another job (or a leftover
+# process) may hold the default port block, so a boot that does not
+# become ready tears the half-started tier down and retries the whole
+# boot on a different block before giving up.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,34 +27,54 @@ trap cleanup EXIT
 echo "== build"
 go build -o "$bin" ./cmd/serve ./cmd/router ./cmd/loadgen
 
-b1=http://127.0.0.1:18081
-b2=http://127.0.0.1:18082
-front=http://127.0.0.1:18080
-
+# wait_ready <url> <tries> <pid>: poll <url>/stats until it answers,
+# failing fast when the process exits first (a port collision makes the
+# server exit immediately, long before the poll budget runs out).
+# --max-time keeps a squatter that accepts but never answers from
+# hanging the probe (and with it the whole boot attempt).
 wait_ready() {
-  for _ in $(seq 100); do
-    if curl -fsS "$1/stats" >/dev/null 2>&1; then return 0; fi
+  for _ in $(seq "$2"); do
+    if ! kill -0 "$3" 2>/dev/null; then return 1; fi
+    if curl -fsS --max-time 2 "$1/stats" >/dev/null 2>&1; then return 0; fi
     sleep 0.1
   done
-  echo "backend $1 never became ready" >&2
-  exit 1
+  return 1
 }
 
 start_backends() {
-  "$bin/serve" -addr 127.0.0.1:18081 -shard-id a -cache-dir "$cache" &
+  "$bin/serve" -addr "127.0.0.1:$((port + 1))" -shard-id a -cache-dir "$cache" &
   pid_a=$!
-  "$bin/serve" -addr 127.0.0.1:18082 -shard-id b -cache-dir "$cache" &
+  "$bin/serve" -addr "127.0.0.1:$((port + 2))" -shard-id b -cache-dir "$cache" &
   pid_b=$!
   pids+=("$pid_a" "$pid_b")
-  wait_ready "$b1"
-  wait_ready "$b2"
+  wait_ready "$b1" 100 "$pid_a" && wait_ready "$b2" 100 "$pid_b"
 }
 
 echo "== boot 2 backends + router"
-start_backends
-"$bin/router" -addr 127.0.0.1:18080 -backends "$b1,$b2" &
-pids+=($!)
-wait_ready "$front"
+booted=false
+for attempt in 1 2 3; do
+  # A fresh port block per attempt; the first is the historical default.
+  port=$((18080 + (attempt - 1) * 400))
+  b1="http://127.0.0.1:$((port + 1))"
+  b2="http://127.0.0.1:$((port + 2))"
+  front="http://127.0.0.1:$port"
+  if start_backends &&
+    { "$bin/router" -addr "127.0.0.1:$port" -backends "$b1,$b2" &
+      pid_router=$!
+      pids+=("$pid_router")
+      wait_ready "$front" 100 "$pid_router"; }; then
+    booted=true
+    break
+  fi
+  echo "boot attempt $attempt on ports $port-$((port + 2)) failed (port collision?); retrying" >&2
+  kill "${pids[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  pids=()
+done
+if ! $booted; then
+  echo "serving tier never became ready after 3 port blocks" >&2
+  exit 1
+fi
 
 echo "== cold run (populates L1 + persistent store)"
 "$bin/loadgen" -target "$front" -duration 5s -workers 4 -zipf 1.1 \
@@ -58,7 +83,12 @@ echo "== cold run (populates L1 + persistent store)"
 echo "== restart backends (graceful drain flushes + fsyncs the store)"
 kill -TERM "$pid_a" "$pid_b"
 wait "$pid_a" "$pid_b" || true
-start_backends
+# The block is already proven free (we just ran on it); a transient
+# TIME_WAIT rebind hiccup is covered by the ready timeout.
+if ! start_backends; then
+  echo "backends did not come back after restart" >&2
+  exit 1
+fi
 
 echo "== warm run (must serve L2 hits from the recovered store)"
 "$bin/loadgen" -target "$front" -duration 5s -workers 4 -zipf 1.1 \
