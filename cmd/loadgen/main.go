@@ -40,6 +40,7 @@ func main() {
 		minL2      = flag.Int64("min-l2-hits", -1, "assert at least this many L2 hits (negative disables)")
 		minHitRate = flag.Float64("min-hit-rate", -1, "assert at least this combined hit rate (negative disables)")
 		maxP99     = flag.Duration("max-p99", 0, "assert p99 latency at most this (0 disables)")
+		maxErrors  = flag.Int("max-errors", -1, "assert at most this many request+item errors (negative = any error fails)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,7 @@ func main() {
 		fmt.Println(rep)
 	}
 
-	if err := rep.Assert(*minL2, *minHitRate, *maxP99); err != nil {
+	if err := rep.Assert(*minL2, *minHitRate, *maxP99, *maxErrors); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -9,10 +9,20 @@
 //	router -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
 //
 // Single requests (GET /schedule, GET /simulate, POST /problems,
-// POST /verify) forward to the owning backend and retry once against
-// the next replica if it is unreachable. POST /schedule/batch splits
-// per item across shards and stitches the responses back in order.
-// GET /stats aggregates every shard's metrics.
+// POST /verify) forward to the owning backend; failures walk the
+// rendezvous rank order under jittered exponential backoff
+// (-retries), and -hedge-after races a slow owner against the
+// rank-next replica. POST /schedule/batch splits per item across
+// shards and stitches the responses back in order. GET /stats
+// aggregates every shard's metrics plus the router's health view.
+//
+// Membership is health-checked: an active prober polls each backend's
+// /readyz every -probe-interval and a consecutive-failure /
+// consecutive-success state machine (-fail-threshold /
+// -rise-threshold) marks shards DOWN and UP; per-backend circuit
+// breakers (-breaker-threshold, -breaker-cooldown) react to forward
+// errors between probes. DOWN shards are skipped in rank order, so
+// every router instance with the same view places keys identically.
 package main
 
 import (
@@ -36,6 +46,18 @@ func main() {
 		backends = flag.String("backends", "", "comma-separated backend base URLs (required)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-backend request budget")
 
+		probeInterval = flag.Duration("probe-interval", time.Second, "active health probe period (0 disables the prober)")
+		probeTimeout  = flag.Duration("probe-timeout", 500*time.Millisecond, "per-probe budget; a timeout counts as a failure")
+		probePath     = flag.String("probe-path", "/readyz", "endpoint probed on each backend")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive probe failures that mark a backend DOWN")
+		riseThreshold = flag.Int("rise-threshold", 2, "consecutive probe successes that mark a DOWN backend UP")
+
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive forward errors that open a backend's circuit breaker")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open trial")
+		retries          = flag.Int("retries", 1, "additional replicas tried after a forward failure")
+		retryBackoff     = flag.Duration("retry-backoff", 10*time.Millisecond, "base of the jittered exponential retry backoff")
+		hedgeAfter       = flag.Duration("hedge-after", 0, "fire the rank-next replica if the owner has not answered within this duration (0 disables tail hedging)")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http header read timeout")
 		readTimeout       = flag.Duration("read-timeout", 15*time.Second, "http request read timeout")
 		writeTimeout      = flag.Duration("write-timeout", 120*time.Second, "http response write timeout")
@@ -45,10 +67,23 @@ func main() {
 	flag.Parse()
 
 	urls := strings.Split(*backends, ",")
-	rt, err := router.New(urls, &http.Client{Timeout: *timeout})
+	rt, err := router.New(urls, router.Config{
+		Client:           &http.Client{Timeout: *timeout},
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		ProbePath:        *probePath,
+		FailThreshold:    *failThreshold,
+		RiseThreshold:    *riseThreshold,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		HedgeAfter:       *hedgeAfter,
+	})
 	if err != nil {
 		log.Fatalf("router: %v", err)
 	}
+	defer rt.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -66,6 +66,7 @@ func main() {
 
 		queue          = flag.Int("queue", 0, "admission-control wait queue (0 = 8x workers, negative = no queue)")
 		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request compute budget (0 = none)")
+		drainGrace     = flag.Duration("drain-grace", 0, "delay between flipping /readyz to 503 and closing the listener, so health probers evict this shard first")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http header read timeout")
 		readTimeout       = flag.Duration("read-timeout", 15*time.Second, "http request read timeout")
@@ -123,6 +124,19 @@ func main() {
 		}
 		srv.Add(p)
 	}
+	// Registrations share the result store's log: uploads persist their
+	// spec text, so a restarted shard re-registers everything it knew
+	// and its warm L2 results stay addressable instead of 404ing.
+	if st != nil {
+		srv.SetSpecStore(st)
+		n, err := srv.LoadPersistedProblems()
+		if err != nil {
+			log.Printf("serve: %v", err)
+		}
+		if n > 0 {
+			fmt.Printf("store: re-registered %d persisted problem(s)\n", n)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -161,6 +175,15 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately instead of waiting out the drain
+
+	// Flip readiness first and give health probers a beat to evict this
+	// shard from the live set; requests then stop arriving *before* the
+	// listener closes, instead of failing into it.
+	srv.SetReady(false)
+	if *drainGrace > 0 {
+		fmt.Printf("serve: not ready, waiting %v for probers to notice\n", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
 
 	fmt.Println("serve: shutting down, draining in-flight requests")
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)

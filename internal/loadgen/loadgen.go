@@ -57,6 +57,16 @@ type Report struct {
 	P50        time.Duration `json:"p50_ns"`
 	P99        time.Duration `json:"p99_ns"`
 
+	// Error breakdown. Errors above is the request-level total
+	// (transport + 4xx + 5xx); the classes tell a chaos run whether a
+	// failure was a dead connection, a client bug, or a server fault.
+	// ItemErrors counts non-200 items inside 200 batch envelopes (the
+	// envelope itself is not an error) and is NOT part of Errors.
+	ErrorsTransport int `json:"errors_transport"`
+	Errors4xx       int `json:"errors_4xx"`
+	Errors5xx       int `json:"errors_5xx"`
+	ItemErrors      int `json:"item_errors"`
+
 	// Cache-effectiveness deltas from the target's /stats counters.
 	Hits    int64   `json:"hits"`
 	HitsL2  int64   `json:"hits_l2"`
@@ -67,10 +77,17 @@ type Report struct {
 // String renders the human-readable report.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"requests=%d items=%d errors=%d elapsed=%.2fs throughput=%.1f/s p50=%s p99=%s hits=%d hits_l2=%d misses=%d hit_rate=%.3f",
-		r.Requests, r.Items, r.Errors, r.Elapsed, r.Throughput, r.P50, r.P99,
+		"requests=%d items=%d errors=%d (transport=%d 4xx=%d 5xx=%d) item_errors=%d elapsed=%.2fs throughput=%.1f/s p50=%s p99=%s hits=%d hits_l2=%d misses=%d hit_rate=%.3f",
+		r.Requests, r.Items, r.Errors, r.ErrorsTransport, r.Errors4xx, r.Errors5xx, r.ItemErrors,
+		r.Elapsed, r.Throughput, r.P50, r.P99,
 		r.Hits, r.HitsL2, r.Misses, r.HitRate)
 }
+
+// statusError is a request that completed with a non-200 status, as
+// opposed to one that failed in transport.
+type statusError struct{ code int }
+
+func (e statusError) Error() string { return fmt.Sprintf("status %d", e.code) }
 
 // Run executes one load run against cfg.Target. The context bounds
 // the whole run (registration included); cfg.Duration bounds the
@@ -106,9 +123,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		latencies []time.Duration
-		requests  int
-		items     int
-		errCount  int
+		total     Report
 	)
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
@@ -118,25 +133,39 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
 			zipf := rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.Problems-1))
 			var local []time.Duration
-			var reqs, its, errs int
+			var sub Report
 			for lctx.Err() == nil {
-				n, lat, err := oneRequest(lctx, client, target, names, zipf, cfg.Batch)
+				n, itemErrs, lat, err := oneRequest(lctx, client, target, names, zipf, cfg.Batch)
 				if err != nil {
 					if lctx.Err() != nil {
 						break // the run ended mid-request; not a target failure
 					}
-					errs++
+					sub.Errors++
+					var se statusError
+					switch {
+					case errors.As(err, &se) && se.code >= 500:
+						sub.Errors5xx++
+					case errors.As(err, &se):
+						sub.Errors4xx++
+					default:
+						sub.ErrorsTransport++
+					}
 					continue
 				}
-				reqs++
-				its += n
+				sub.Requests++
+				sub.Items += n
+				sub.ItemErrors += itemErrs
 				local = append(local, lat)
 			}
 			mu.Lock()
 			latencies = append(latencies, local...)
-			requests += reqs
-			items += its
-			errCount += errs
+			total.Requests += sub.Requests
+			total.Items += sub.Items
+			total.Errors += sub.Errors
+			total.ErrorsTransport += sub.ErrorsTransport
+			total.Errors4xx += sub.Errors4xx
+			total.Errors5xx += sub.Errors5xx
+			total.ItemErrors += sub.ItemErrors
 			mu.Unlock()
 		}(w)
 	}
@@ -148,17 +177,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: stats after run: %w", err)
 	}
 
-	rep := &Report{
-		Requests: requests,
-		Items:    items,
-		Errors:   errCount,
-		Elapsed:  elapsed.Seconds(),
-		Hits:     after.Hits - before.Hits,
-		HitsL2:   after.HitsL2 - before.HitsL2,
-		Misses:   after.Misses - before.Misses,
-	}
+	rep := &total
+	rep.Elapsed = elapsed.Seconds()
+	rep.Hits = after.Hits - before.Hits
+	rep.HitsL2 = after.HitsL2 - before.HitsL2
+	rep.Misses = after.Misses - before.Misses
 	if elapsed > 0 {
-		rep.Throughput = float64(items) / elapsed.Seconds()
+		rep.Throughput = float64(rep.Items) / elapsed.Seconds()
 	}
 	if served := rep.Hits + rep.HitsL2 + rep.Misses; served > 0 {
 		rep.HitRate = float64(rep.Hits+rep.HitsL2) / float64(served)
@@ -195,8 +220,10 @@ func register(ctx context.Context, client *http.Client, target string, names []s
 
 // oneRequest issues one closed-loop request — a single GET /schedule,
 // or a POST /schedule/batch of batch Zipf draws — and returns how many
-// items it scheduled plus its latency.
-func oneRequest(ctx context.Context, client *http.Client, target string, names []string, zipf *rand.Zipf, batch int) (int, time.Duration, error) {
+// items it scheduled, how many items inside a 200 batch envelope came
+// back non-200, and its latency. A non-200 response is a statusError;
+// anything else is a transport failure.
+func oneRequest(ctx context.Context, client *http.Client, target string, names []string, zipf *rand.Zipf, batch int) (int, int, time.Duration, error) {
 	var req *http.Request
 	var err error
 	n := 1
@@ -221,22 +248,37 @@ func oneRequest(ctx context.Context, client *http.Client, target string, names [
 		}
 	}
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return 0, 0, err
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, 0, err
 	}
 	lat := time.Since(start)
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+		return 0, 0, 0, statusError{code: resp.StatusCode}
 	}
-	return n, lat, nil
+	itemErrs := 0
+	if batch > 1 {
+		var doc struct {
+			Items []web.BatchItemResult `json:"items"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return 0, 0, 0, err
+		}
+		for _, it := range doc.Items {
+			if it.Status != http.StatusOK {
+				itemErrs++
+			}
+		}
+	}
+	return n, itemErrs, lat, nil
 }
 
 // statsSnapshot fetches the target's service counters, accepting both
@@ -288,9 +330,12 @@ var ErrAssertion = errors.New("loadgen assertion failed")
 
 // Assert checks CI-style bounds on a report: minL2 requires at least
 // that many L2 hits (negative disables), minHitRate a floor on the
-// combined hit rate (negative disables), and maxP99 a latency budget
-// (zero disables). All violations are reported at once.
-func (r *Report) Assert(minL2 int64, minHitRate float64, maxP99 time.Duration) error {
+// combined hit rate (negative disables), maxP99 a latency budget (zero
+// disables), and maxErrors a ceiling on request-plus-item errors. A
+// negative maxErrors keeps the historical strictness — any error at
+// all fails; an explicit value lets a chaos run tolerate the bounded
+// blip it injected. All violations are reported at once.
+func (r *Report) Assert(minL2 int64, minHitRate float64, maxP99 time.Duration, maxErrors int) error {
 	var fails []string
 	if minL2 >= 0 && r.HitsL2 < minL2 {
 		fails = append(fails, fmt.Sprintf("hits_l2=%d < %d", r.HitsL2, minL2))
@@ -301,8 +346,12 @@ func (r *Report) Assert(minL2 int64, minHitRate float64, maxP99 time.Duration) e
 	if maxP99 > 0 && r.P99 > maxP99 {
 		fails = append(fails, fmt.Sprintf("p99=%s > %s", r.P99, maxP99))
 	}
-	if r.Errors > 0 {
-		fails = append(fails, fmt.Sprintf("errors=%d", r.Errors))
+	if all := r.Errors + r.ItemErrors; maxErrors >= 0 && all > maxErrors {
+		fails = append(fails, fmt.Sprintf("errors=%d item_errors=%d > max %d (transport=%d 4xx=%d 5xx=%d)",
+			r.Errors, r.ItemErrors, maxErrors, r.ErrorsTransport, r.Errors4xx, r.Errors5xx))
+	} else if maxErrors < 0 && all > 0 {
+		fails = append(fails, fmt.Sprintf("errors=%d item_errors=%d (transport=%d 4xx=%d 5xx=%d)",
+			r.Errors, r.ItemErrors, r.ErrorsTransport, r.Errors4xx, r.Errors5xx))
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("%w: %s", ErrAssertion, strings.Join(fails, ", "))

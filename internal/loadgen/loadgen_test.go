@@ -51,10 +51,10 @@ func TestRunSingle(t *testing.T) {
 	if rep.P50 <= 0 || rep.P99 < rep.P50 {
 		t.Errorf("quantiles out of order: p50=%s p99=%s", rep.P50, rep.P99)
 	}
-	if err := rep.Assert(-1, 0.1, 0); err != nil {
+	if err := rep.Assert(-1, 0.1, 0, -1); err != nil {
 		t.Errorf("healthy run failed assertions: %v", err)
 	}
-	if err := rep.Assert(1, -1, 0); err == nil {
+	if err := rep.Assert(1, -1, 0, -1); err == nil {
 		t.Errorf("no store configured, but the min-l2-hits assertion passed")
 	}
 }
@@ -80,6 +80,51 @@ func TestRunBatch(t *testing.T) {
 	}
 	if rep.Items != 3*rep.Requests {
 		t.Errorf("items=%d for %d batch requests, want x3", rep.Items, rep.Requests)
+	}
+	if rep.ItemErrors != 0 {
+		t.Errorf("item_errors=%d, want 0 (every item names a registered problem)", rep.ItemErrors)
+	}
+}
+
+// TestErrorClasses drives the generator into a tier that always
+// answers 503 and checks the per-class split plus the -max-errors
+// assertion semantics.
+func TestErrorClasses(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" {
+			fmt.Fprint(w, `{"hits":0,"hits_l2":0,"misses":0}`)
+			return
+		}
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(down.Close)
+	rep, err := Run(context.Background(), Config{
+		Target:   down.URL,
+		Problems: 2,
+		Tasks:    5,
+		Seed:     3,
+		Zipf:     1.2,
+		Workers:  1,
+		Duration: 100 * time.Millisecond,
+		Register: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 || rep.Errors5xx != rep.Errors {
+		t.Errorf("errors=%d errors_5xx=%d, want all errors classed 5xx", rep.Errors, rep.Errors5xx)
+	}
+	if rep.ErrorsTransport != 0 || rep.Errors4xx != 0 {
+		t.Errorf("transport=%d 4xx=%d, want 0", rep.ErrorsTransport, rep.Errors4xx)
+	}
+	if err := rep.Assert(-1, -1, 0, -1); err == nil {
+		t.Error("strict assertion passed despite errors")
+	}
+	if err := rep.Assert(-1, -1, 0, rep.Errors); err != nil {
+		t.Errorf("max-errors=%d should tolerate %d errors: %v", rep.Errors, rep.Errors, err)
+	}
+	if err := rep.Assert(-1, -1, 0, rep.Errors-1); err == nil {
+		t.Error("max-errors below the observed count passed")
 	}
 }
 

@@ -44,9 +44,15 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Group items by the first *live* backend in their rank order:
+	// rank is computed over the full configured set and DOWN backends
+	// are skipped, not re-ranked, so the grouping agrees with every
+	// other router sharing this health view.
 	groups := make(map[int][]int)
+	owners := make([]int, len(keys))
 	for i, k := range keys {
-		owner := rt.rank(k)[0]
+		owner := rt.liveOrder(rt.rank(k))[0]
+		owners[i] = owner
 		groups[owner] = append(groups[owner], i)
 	}
 
@@ -85,13 +91,19 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 
 	if len(failed) > 0 {
-		// One retry: regroup each failed item onto its next-ranked
-		// replica and resend. With a single backend that replica is the
-		// owner again, which doubles as a plain resend.
+		// One retry: regroup each failed item onto the next live replica
+		// after the one that just failed it. With a single backend that
+		// replica is the owner again, which doubles as a plain resend.
 		retryGroups := make(map[int][]int)
 		for _, i := range failed {
-			order := rt.rank(keys[i])
-			next := order[min(1, len(order)-1)]
+			live := rt.liveOrder(rt.rank(keys[i]))
+			next := live[0]
+			for _, idx := range live {
+				if idx != owners[i] {
+					next = idx
+					break
+				}
+			}
 			retryGroups[next] = append(retryGroups[next], i)
 		}
 		for b, idxs := range retryGroups {
@@ -174,6 +186,10 @@ func (rt *Router) sendSubBatch(r *http.Request, b int, items []json.RawMessage, 
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := rt.client.Do(req)
+	// Only the transport outcome feeds the breaker: a non-200 envelope
+	// below is a backend answer (e.g. overload shedding), not a reach-
+	// ability signal.
+	rt.health[b].recordForward(err, rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,27 @@
 // misrouted or failed-over request costs a cold compute, not a wrong
 // answer.
 //
+// # Failure-aware membership
+//
+// On top of the static configured set the router maintains a live
+// view: an active health prober (Config.ProbeInterval) walks each
+// backend's readiness endpoint and a consecutive-failure /
+// consecutive-success state machine marks backends DOWN and UP, while
+// per-backend circuit breakers react to forward transport errors
+// between probes. Ranking is always computed over the full configured
+// set and unavailable backends are *skipped in rank order* — never
+// re-ranked — so any two routers sharing a health view place keys
+// identically, and a recovered backend slots back into exactly the
+// keys it owned. Retries walk the live rank order under jittered
+// exponential backoff; optional tail hedging (Config.HedgeAfter)
+// races the rank-next replica against a slow owner and takes the
+// first answer, which determinism guarantees is byte-identical to the
+// one it raced. A forward that lands on a non-owner (failover, hedge,
+// or a DOWN owner skipped at rank time) carries the owner's base URL
+// in the X-Handoff-Owner header, so the answering shard can ship the
+// computed record to the owner asynchronously — hinted handoff
+// without a coordinator (see internal/web).
+//
 // Routing keys: requests that name a registered problem
 // (GET /schedule, GET /simulate, POST /problems, POST /verify) hash
 // "name/<problem>"; batch items carrying an inline spec hash
@@ -36,6 +57,7 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
@@ -46,6 +68,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,12 +84,27 @@ const (
 	maxBatchItems = 256
 )
 
-// Router fans requests out to a fixed set of backend serve processes.
-// Create one with New.
+// Router fans requests out to a fixed configured set of backend serve
+// processes, tracking each backend's health to skip dead or draining
+// shards. Create one with New; Close stops the prober.
 type Router struct {
 	backends []backend
+	health   []*health
+	cfg      Config
 	client   *http.Client
-	retries  atomic.Int64
+	// probeClient issues health probes; separate from client so the
+	// per-probe timeout (short) never fights the forward timeout
+	// (long).
+	probeClient *http.Client
+
+	retries     atomic.Int64 // forwards retried on another replica
+	hedges      atomic.Int64 // hedge requests fired
+	transitions atomic.Int64 // UP<->DOWN membership flips
+	recoveries  atomic.Int64 // DOWN->UP flips (subset of transitions)
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
 }
 
 type backend struct {
@@ -75,16 +113,19 @@ type backend struct {
 }
 
 // New creates a router over the given backend base URLs (e.g.
-// "http://127.0.0.1:8081"). A nil client selects one with sane
-// serving-tier timeouts.
-func New(backendURLs []string, client *http.Client) (*Router, error) {
+// "http://127.0.0.1:8081"). The zero Config keeps the router passive:
+// no active prober, breakers only, one retry, no hedging.
+func New(backendURLs []string, cfg Config) (*Router, error) {
 	if len(backendURLs) == 0 {
 		return nil, fmt.Errorf("router: no backends")
 	}
-	if client == nil {
-		client = &http.Client{Timeout: 60 * time.Second}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:         cfg,
+		client:      cfg.Client,
+		probeClient: &http.Client{Timeout: cfg.ProbeTimeout},
+		probeStop:   make(chan struct{}),
 	}
-	rt := &Router{client: client}
 	seen := make(map[string]bool)
 	for _, raw := range backendURLs {
 		raw = strings.TrimSuffix(strings.TrimSpace(raw), "/")
@@ -100,19 +141,40 @@ func New(backendURLs []string, client *http.Client) (*Router, error) {
 		}
 		seen[raw] = true
 		rt.backends = append(rt.backends, backend{name: raw, url: u})
+		rt.health = append(rt.health, &health{})
 	}
 	if len(rt.backends) == 0 {
 		return nil, fmt.Errorf("router: no backends")
 	}
+	if cfg.ProbeInterval > 0 {
+		for i := range rt.backends {
+			rt.probeWG.Add(1)
+			go rt.probeLoop(i)
+		}
+	}
 	return rt, nil
 }
 
-// Retries reports how many requests were retried against a second
-// replica after their primary backend failed.
+// Close stops the active prober (if running). The router keeps
+// forwarding afterwards; Close exists for orderly shutdown and tests.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.probeStop) })
+	rt.probeWG.Wait()
+}
+
+// Retries reports how many requests were retried against another
+// replica after a backend failed.
 func (rt *Router) Retries() int64 { return rt.retries.Load() }
 
+// Hedges reports how many hedge requests were fired against the
+// rank-next replica of a slow owner.
+func (rt *Router) Hedges() int64 { return rt.hedges.Load() }
+
 // rank returns backend indices ordered by rendezvous score for key,
-// highest first: rank[0] is the owner, rank[1] the retry replica.
+// highest first: rank[0] is the owner, rank[1] the retry replica. The
+// order is always computed over the full configured set; health is
+// applied by *skipping* entries afterwards (liveOrder), never by
+// re-ranking, so placement agrees across routers and across time.
 func (rt *Router) rank(key string) []int {
 	type scored struct {
 		score uint64
@@ -142,20 +204,28 @@ func (rt *Router) rank(key string) []int {
 // Handler returns the router's HTTP handler:
 //
 //	GET  /                 backend roster (HTML)
+//	GET  /healthz          router process liveness (always 200)
+//	GET  /readyz           readiness: 200 while at least one backend
+//	                       is believed live, 503 otherwise
 //	GET  /schedule         forwarded to the problem's shard
 //	GET  /simulate         forwarded to the problem's shard
-//	POST /problems         forwarded to the shard owning the spec's name
-//	POST /verify           forwarded likewise
+//	POST /problems         forwarded to the shard owning the spec's
+//	                       name, then replicated to the runner-up so
+//	                       failover finds the registration
+//	POST /verify           forwarded to the owning shard
 //	POST /schedule/batch   split per item across shards, one sub-batch
 //	                       per shard, responses stitched in order
-//	GET  /stats            every shard's stats plus a summed aggregate
+//	GET  /stats            every shard's stats plus a summed
+//	                       aggregate and the router's own health view
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", rt.index)
+	mux.HandleFunc("GET /healthz", rt.healthz)
+	mux.HandleFunc("GET /readyz", rt.readyz)
 	mux.HandleFunc("GET /schedule", rt.byProblem)
 	mux.HandleFunc("GET /simulate", rt.byProblem)
 	mux.HandleFunc("POST /problems", rt.bySpecName)
-	mux.HandleFunc("POST /verify", rt.bySpecName)
+	mux.HandleFunc("POST /verify", rt.byVerify)
 	mux.HandleFunc("POST /schedule/batch", rt.batch)
 	mux.HandleFunc("GET /stats", rt.stats)
 	return mux
@@ -170,6 +240,28 @@ func (rt *Router) index(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, `</ul><p><a href="/stats">aggregated stats</a></p></body></html>`)
 }
 
+// healthz is process liveness: if this handler runs, the router runs.
+func (rt *Router) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// readyz is tier readiness: 200 while at least one backend is
+// believed sendable, 503 when the whole tier looks down (a load
+// balancer in front of several routers can then prefer a healthier
+// one).
+func (rt *Router) readyz(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	for i := range rt.backends {
+		if rt.health[i].canSend(now, rt.cfg.BreakerThreshold) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, "ready\n")
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "no live backends")
+}
+
 // byProblem routes name-addressed GET endpoints.
 func (rt *Router) byProblem(w http.ResponseWriter, r *http.Request) {
 	key := ""
@@ -181,7 +273,11 @@ func (rt *Router) byProblem(w http.ResponseWriter, r *http.Request) {
 
 // bySpecName routes spec-carrying POST endpoints by the problem name
 // inside the document, so a follow-up GET /schedule?problem=<name>
-// lands on the shard that registered it.
+// lands on the shard that registered it. Successful registrations are
+// additionally replicated to the rank-next replica: registration is
+// in-memory per shard, so without the copy a failover for the name
+// would 404 on the runner-up exactly when the owner is down — the
+// moment it is needed.
 func (rt *Router) bySpecName(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
@@ -196,55 +292,220 @@ func (rt *Router) bySpecName(w http.ResponseWriter, r *http.Request) {
 	}
 	// Oversized or unparseable bodies still forward (key ""): the
 	// owner of the empty key produces the canonical 413/400 bytes.
+	status := rt.forward(w, r, key, body)
+	if key != "" && status >= 200 && status < 300 {
+		rt.replicateRegistration(r, key, body)
+	}
+}
+
+// byVerify routes POST /verify by the spec's name. Verification is
+// stateless, so no replication is needed.
+func (rt *Router) byVerify(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	key := ""
+	if len(body) <= maxSpecBytes {
+		if p, err := spec.Parse(bytes.NewReader(body)); err == nil && p.Name != "" {
+			key = "name/" + p.Name
+		}
+	}
 	rt.forward(w, r, key, body)
 }
 
-// forward proxies one request to the key's owning backend, retrying
-// exactly once against the next replica if the owner is unreachable
-// (transport error — an HTTP response of any status is a backend
-// answer, not a backend failure, and is relayed as-is). body is the
-// pre-read request body for POSTs (nil = no body).
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+// replicateRegistration best-effort copies a successful registration
+// body to the rank-next replica (skipping whoever just answered).
+// Registration is idempotent and deterministic, so the copy needs no
+// acknowledgement protocol; a failed copy costs only a 404 on a later
+// failover, which the client can retry after re-registering.
+func (rt *Router) replicateRegistration(r *http.Request, key string, body []byte) {
 	order := rt.rank(key)
-	if len(order) > 2 {
-		order = order[:2]
+	if len(order) < 2 {
+		return
+	}
+	// The owner answered (or its stand-in did); copy to the first
+	// other live backend in rank order.
+	live := rt.liveOrder(order)
+	target := -1
+	for _, idx := range live {
+		if idx != live[0] {
+			target = idx
+			break
+		}
+	}
+	if target < 0 {
+		return
+	}
+	req, err := http.NewRequestWithContext(context.WithoutCancel(r.Context()),
+		http.MethodPost, rt.backendURL(target, r.URL.Path, ""), bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort replica copy
+	resp.Body.Close()
+}
+
+// backendURL builds the proxied URL for backend idx.
+func (rt *Router) backendURL(idx int, path, rawQuery string) string {
+	u := *rt.backends[idx].url
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = rawQuery
+	return u.String()
+}
+
+// forward proxies one request along the key's live rank order:
+// the first sendable replica is tried, transport failures walk to the
+// next one under jittered exponential backoff (an HTTP response of
+// any status is a backend answer, not a backend failure, and is
+// relayed as-is), and — for body-less requests with hedging armed — a
+// slow owner is raced against the rank-next replica. body is the
+// pre-read request body for POSTs (nil = no body). Returns the status
+// relayed to the client (0 if the client went away).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) int {
+	order := rt.rank(key)
+	owner := order[0]
+	cands := rt.liveOrder(order)
+	if n := rt.cfg.Retries + 1; len(cands) > n {
+		cands = cands[:n]
+	}
+	if rt.cfg.HedgeAfter > 0 && body == nil && len(cands) > 1 {
+		return rt.forwardHedged(w, r, cands, owner)
 	}
 	var lastErr error
-	for attempt, idx := range order {
+	for attempt, idx := range cands {
 		if attempt > 0 {
 			rt.retries.Add(1)
+			rt.backoffSleep(r.Context(), attempt)
 		}
-		resp, err := rt.send(r, rt.backends[idx], body)
+		resp, err := rt.send(r.Context(), r, idx, owner, body)
+		rt.health[idx].recordForward(err, rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
 		if err != nil {
 			if r.Context().Err() != nil {
 				writeError(w, web.StatusClientClosedRequest, "client closed request")
-				return
+				return 0
 			}
 			lastErr = err
 			continue
 		}
 		defer resp.Body.Close()
 		copyResponse(w, resp)
-		return
+		return resp.StatusCode
 	}
 	writeError(w, http.StatusBadGateway, fmt.Sprintf("all replicas failed: %v", lastErr))
+	return http.StatusBadGateway
 }
 
-// send issues one proxied request.
-func (rt *Router) send(r *http.Request, b backend, body []byte) (*http.Response, error) {
-	u := *b.url
-	u.Path = strings.TrimSuffix(u.Path, "/") + r.URL.Path
-	u.RawQuery = r.URL.RawQuery
+// forwardHedged races the first candidate against later ones: each
+// time HedgeAfter elapses without an answer the next replica is fired
+// too, and the first transport-level success wins. Determinism makes
+// the race safe — every replica computes byte-identical bytes for the
+// same request — so hedging bounds tail latency without a consistency
+// protocol. Losers are canceled and drained in the background.
+func (rt *Router) forwardHedged(w http.ResponseWriter, r *http.Request, cands []int, owner int) int {
+	ctx, cancel := context.WithCancel(r.Context())
+	type answer struct {
+		resp *http.Response
+		err  error
+		idx  int
+	}
+	ch := make(chan answer, len(cands))
+	launch := func(idx int) {
+		resp, err := rt.send(ctx, r, idx, owner, nil)
+		ch <- answer{resp: resp, err: err, idx: idx}
+	}
+	inflight := 1
+	launched := 1
+	go launch(cands[0])
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+
+	// finish cancels the losers and drains their answers off the
+	// buffered channel so response bodies are closed promptly.
+	finish := func(pending int) {
+		cancel()
+		if pending > 0 {
+			go func() {
+				for i := 0; i < pending; i++ {
+					if a := <-ch; a.resp != nil {
+						a.resp.Body.Close()
+					}
+				}
+			}()
+		}
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched < len(cands) {
+				rt.hedges.Add(1)
+				go launch(cands[launched])
+				launched++
+				inflight++
+				timer.Reset(rt.cfg.HedgeAfter)
+			}
+		case a := <-ch:
+			inflight--
+			rt.health[a.idx].recordForward(a.err, rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+			if a.err == nil {
+				status := a.resp.StatusCode
+				copyResponse(w, a.resp)
+				a.resp.Body.Close()
+				finish(inflight)
+				return status
+			}
+			if r.Context().Err() != nil {
+				finish(inflight)
+				writeError(w, web.StatusClientClosedRequest, "client closed request")
+				return 0
+			}
+			lastErr = a.err
+			if inflight == 0 {
+				if launched < len(cands) {
+					// Every fired attempt failed fast; fall through to the
+					// next replica immediately (this is a retry, not a hedge).
+					rt.retries.Add(1)
+					go launch(cands[launched])
+					launched++
+					inflight++
+					continue
+				}
+				finish(0)
+				writeError(w, http.StatusBadGateway, fmt.Sprintf("all replicas failed: %v", lastErr))
+				return http.StatusBadGateway
+			}
+		}
+	}
+}
+
+// send issues one proxied request to backend idx. A forward landing on
+// a non-owner (failover, hedge, or a DOWN owner skipped at rank time)
+// carries the owner's base URL in X-Handoff-Owner so the answering
+// backend can ship the owner its record (hinted handoff).
+func (rt *Router) send(ctx context.Context, r *http.Request, idx, owner int, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), rd)
+	req, err := http.NewRequestWithContext(ctx, r.Method, rt.backendURL(idx, r.URL.Path, r.URL.RawQuery), rd)
 	if err != nil {
 		return nil, err
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
+	}
+	if idx != owner {
+		req.Header.Set(web.HandoffOwnerHeader, rt.backends[owner].name)
 	}
 	return rt.client.Do(req)
 }

@@ -8,7 +8,9 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/paperex"
@@ -33,7 +35,7 @@ func newBackend(t *testing.T) *httptest.Server {
 
 func newRouterServer(t *testing.T, backends ...string) (*Router, *httptest.Server) {
 	t.Helper()
-	rt, err := New(backends, nil)
+	rt, err := New(backends, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,15 +144,15 @@ func TestDifferentialSingleVsSharded(t *testing.T) {
 // owned.
 func TestRendezvousProperties(t *testing.T) {
 	names := []string{"http://a:1", "http://b:1", "http://c:1"}
-	rt1, err := New(names, nil)
+	rt1, err := New(names, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt2, err := New(names, nil)
+	rt2, err := New(names, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rtAB, err := New(names[:2], nil)
+	rtAB, err := New(names[:2], Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,5 +340,145 @@ func TestStatsAggregation(t *testing.T) {
 	}
 	if doc.Aggregate.UptimeSeconds < 0 {
 		t.Errorf("aggregate uptime %f, want >= 0", doc.Aggregate.UptimeSeconds)
+	}
+}
+
+// TestStatsDegradesOnUnreachableShard pins satellite behavior: an
+// unreachable shard yields a marked "unreachable" entry and a health
+// verdict, while the aggregate still sums whoever answered.
+func TestStatsDegradesOnUnreachableShard(t *testing.T) {
+	live := newBackend(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	_, rts := newRouterServer(t, live.URL, dead.URL)
+
+	// Put at least one counter into the live shard.
+	resp, err := http.Get(rts.URL + "/schedule?problem=nine-task-example&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(rts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats with a dead shard: status %d, want 200", resp.StatusCode)
+	}
+	var doc StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	var deadEntry, liveEntry *ShardStats
+	for i := range doc.Shards {
+		switch doc.Shards[i].Backend {
+		case dead.URL:
+			deadEntry = &doc.Shards[i]
+		case live.URL:
+			liveEntry = &doc.Shards[i]
+		}
+	}
+	if deadEntry == nil || liveEntry == nil {
+		t.Fatalf("missing shard entries: %+v", doc.Shards)
+	}
+	if !strings.HasPrefix(deadEntry.Error, "unreachable: ") || deadEntry.Stats != nil {
+		t.Errorf("dead shard entry: error=%q stats=%v, want unreachable marker and no stats", deadEntry.Error, deadEntry.Stats)
+	}
+	if liveEntry.Stats == nil {
+		t.Fatalf("live shard entry carries no stats: %+v", liveEntry)
+	}
+	if doc.Aggregate.Misses != liveEntry.Stats.Misses || doc.Aggregate.Misses < 1 {
+		t.Errorf("aggregate misses=%d, live shard misses=%d; aggregate must cover whoever answered",
+			doc.Aggregate.Misses, liveEntry.Stats.Misses)
+	}
+	if len(doc.Router.Backends) != 2 {
+		t.Errorf("router health view has %d backends, want 2", len(doc.Router.Backends))
+	}
+}
+
+// TestProberEvictsAndRecovers runs the active membership state
+// machine against a backend whose readiness flips: DOWN after
+// FailThreshold failed probes, requests skipping it without retries,
+// and UP again after RiseThreshold successes.
+func TestProberEvictsAndRecovers(t *testing.T) {
+	var notReady atomic.Bool
+	flaky := web.NewServer(sched.Options{})
+	flaky.Add(paperex.Nine())
+	fts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && notReady.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		flaky.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(fts.Close)
+	steady := newBackend(t)
+
+	rt, err := New([]string{fts.URL, steady.URL}, Config{
+		ProbeInterval: 10 * time.Millisecond,
+		FailThreshold: 2,
+		RiseThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	state := func(url string) string {
+		for _, h := range rt.Health() {
+			if h.Backend == url {
+				return h.State
+			}
+		}
+		return "unknown"
+	}
+	waitState := func(url, want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if state(url) == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("backend %s never reached state %q (now %q)", url, want, state(url))
+	}
+
+	waitState(fts.URL, "up")
+	waitState(steady.URL, "up")
+
+	notReady.Store(true)
+	waitState(fts.URL, "down")
+	// While down, requests owned by the flaky backend are skipped in
+	// rank order — served by the steady one with zero retries.
+	pre := rt.Retries()
+	for i := 0; i < 8; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/schedule?problem=nine-task-example&format=json&seed=%d", rts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d during eviction: status %d", i, resp.StatusCode)
+		}
+	}
+	if got := rt.Retries(); got != pre {
+		t.Errorf("retries grew %d -> %d while the down shard should be skipped at rank time", pre, got)
+	}
+
+	notReady.Store(false)
+	waitState(fts.URL, "up")
+	// /readyz reflects the tier: with one backend up it is ready.
+	resp, err := http.Get(rts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("router /readyz with live backends: status %d", resp.StatusCode)
 	}
 }

@@ -13,25 +13,41 @@ import (
 
 // ShardStats is one backend's contribution to the aggregated /stats
 // document: either its stats snapshot or the error that kept the
-// router from fetching one.
+// router from fetching one ("unreachable: ..." for transport
+// failures), plus the router's health verdict for the backend.
 type ShardStats struct {
 	Backend string        `json:"backend"`
+	Health  string        `json:"health"` // "up", "down", or "unprobed"
 	Error   string        `json:"error,omitempty"`
 	Stats   *web.StatsDoc `json:"stats,omitempty"`
+}
+
+// RouterStats is the router's own counter block inside the /stats
+// document: failovers, hedges, and membership churn observed at this
+// router, plus the live per-backend health view.
+type RouterStats struct {
+	Retries     int64           `json:"retries"`
+	Hedges      int64           `json:"hedges"`
+	Transitions int64           `json:"membership_transitions"`
+	Recoveries  int64           `json:"membership_recoveries"`
+	Backends    []BackendHealth `json:"backends"`
 }
 
 // StatsResponse is the router's GET /stats document: the per-shard
 // snapshots plus an aggregate summing every counter across reachable
 // shards (gauges like Queued and store sizes sum too — the tier-wide
-// totals are what capacity planning wants).
+// totals are what capacity planning wants) and the router's own
+// failover/health counters.
 type StatsResponse struct {
 	Aggregate service.Stats `json:"aggregate"`
+	Router    RouterStats   `json:"router"`
 	Shards    []ShardStats  `json:"shards"`
 }
 
 // stats fans GET /stats out to every backend concurrently and answers
 // with the per-shard snapshots and their sum. A dead shard degrades to
-// an error entry; the aggregate covers whoever answered.
+// an "unreachable" entry — never an error for the whole fan-out — and
+// the aggregate covers whoever answered.
 func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
 	shards := make([]ShardStats, len(rt.backends))
 	var wg sync.WaitGroup
@@ -49,7 +65,7 @@ func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
 			}
 			resp, err := rt.client.Do(req)
 			if err != nil {
-				shards[i].Error = err.Error()
+				shards[i].Error = "unreachable: " + err.Error()
 				return
 			}
 			defer resp.Body.Close()
@@ -67,13 +83,23 @@ func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 
+	for i, h := range rt.Health() {
+		shards[i].Health = h.State
+	}
 	var agg service.Stats
 	for _, sh := range shards {
 		if sh.Stats != nil {
 			addStats(&agg, sh.Stats.Stats)
 		}
 	}
-	data, err := json.MarshalIndent(StatsResponse{Aggregate: agg, Shards: shards}, "", "  ")
+	self := RouterStats{
+		Retries:     rt.retries.Load(),
+		Hedges:      rt.hedges.Load(),
+		Transitions: rt.transitions.Load(),
+		Recoveries:  rt.recoveries.Load(),
+		Backends:    rt.Health(),
+	}
+	data, err := json.MarshalIndent(StatsResponse{Aggregate: agg, Router: self, Shards: shards}, "", "  ")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -102,6 +128,10 @@ func addStats(agg *service.Stats, s service.Stats) {
 	agg.Shed += s.Shed
 	agg.Panics += s.Panics
 	agg.Queued += s.Queued
+	agg.HandoffsSent += s.HandoffsSent
+	agg.HandoffSendErrors += s.HandoffSendErrors
+	agg.HandoffsReceived += s.HandoffsReceived
+	agg.HandoffsRejected += s.HandoffsRejected
 	if agg.StartTime == 0 || (s.StartTime != 0 && s.StartTime < agg.StartTime) {
 		agg.StartTime = s.StartTime
 	}

@@ -30,6 +30,15 @@ type metrics struct {
 	shed             expvar.Int
 	panics           expvar.Int
 
+	// Hinted-handoff counters: records this shard shipped to an owner
+	// after answering a failed-over request (and shipments that failed),
+	// and records shipped *to* this shard that were accepted into the
+	// store or rejected by validation.
+	handoffsSent     expvar.Int
+	handoffSendErrs  expvar.Int
+	handoffsReceived expvar.Int
+	handoffsRejected expvar.Int
+
 	mu        sync.Mutex
 	compute   map[string]*expvar.Int // compute nanoseconds per stage bucket
 	lastPanic string                 // last contained panic: value + stack (metrics only, never responses)
@@ -120,6 +129,12 @@ type Stats struct {
 	Shed             int64 `json:"shed"`
 	Panics           int64 `json:"panics"`
 	Queued           int   `json:"queued"`
+	// Hinted handoff: records shipped from this shard to an owner (and
+	// shipment failures), and inbound records accepted or rejected.
+	HandoffsSent      int64 `json:"handoffs_sent"`
+	HandoffSendErrors int64 `json:"handoff_send_errors"`
+	HandoffsReceived  int64 `json:"handoffs_received"`
+	HandoffsRejected  int64 `json:"handoffs_rejected"`
 	// ComputeNS is the cumulative compute time per stage bucket in
 	// nanoseconds.
 	ComputeNS map[string]int64 `json:"compute_ns"`
@@ -138,24 +153,28 @@ func (s *Service) Stats() Stats {
 		storeBytes = s.store.Size()
 	}
 	return Stats{
-		Hits:             s.met.hits.Value(),
-		Misses:           s.met.misses.Value(),
-		Joins:            s.met.joins.Value(),
-		Evictions:        s.met.evictions.Value(),
-		Inflight:         s.met.inflight.Value(),
-		Entries:          entries,
-		HitsL2:           s.met.hitsL2.Value(),
-		StoreEntries:     storeEntries,
-		StoreBytes:       storeBytes,
-		StorePutErrors:   s.met.storeErrs.Value(),
-		StartTime:        s.started.Unix(),
-		UptimeSeconds:    time.Since(s.started).Seconds(),
-		Canceled:         s.met.canceled.Value(),
-		DeadlineExceeded: s.met.deadlineExceeded.Value(),
-		Shed:             s.met.shed.Value(),
-		Panics:           s.met.panics.Value(),
-		Queued:           queued,
-		ComputeNS:        s.met.computeSnapshot(),
+		Hits:              s.met.hits.Value(),
+		Misses:            s.met.misses.Value(),
+		Joins:             s.met.joins.Value(),
+		Evictions:         s.met.evictions.Value(),
+		Inflight:          s.met.inflight.Value(),
+		Entries:           entries,
+		HitsL2:            s.met.hitsL2.Value(),
+		StoreEntries:      storeEntries,
+		StoreBytes:        storeBytes,
+		StorePutErrors:    s.met.storeErrs.Value(),
+		StartTime:         s.started.Unix(),
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Canceled:          s.met.canceled.Value(),
+		DeadlineExceeded:  s.met.deadlineExceeded.Value(),
+		Shed:              s.met.shed.Value(),
+		Panics:            s.met.panics.Value(),
+		Queued:            queued,
+		HandoffsSent:      s.met.handoffsSent.Value(),
+		HandoffSendErrors: s.met.handoffSendErrs.Value(),
+		HandoffsReceived:  s.met.handoffsReceived.Value(),
+		HandoffsRejected:  s.met.handoffsRejected.Value(),
+		ComputeNS:         s.met.computeSnapshot(),
 	}
 }
 
@@ -194,6 +213,10 @@ func (s *Service) Vars() *expvar.Map {
 	m.Set("deadline_exceeded", &s.met.deadlineExceeded)
 	m.Set("shed", &s.met.shed)
 	m.Set("panics", &s.met.panics)
+	m.Set("handoffs_sent", &s.met.handoffsSent)
+	m.Set("handoff_send_errors", &s.met.handoffSendErrs)
+	m.Set("handoffs_received", &s.met.handoffsReceived)
+	m.Set("handoffs_rejected", &s.met.handoffsRejected)
 	m.Set("queued", expvar.Func(func() any {
 		s.mu.Lock()
 		defer s.mu.Unlock()

@@ -33,6 +33,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -75,6 +76,10 @@ func (o Options) withDefaults() Options {
 
 const headerSize = 12 // keyLen + valLen + crc, uint32 each
 
+// compactSuffix names the temp file a compaction streams into before
+// the atomic rename. Open removes a stale one (crash mid-compaction).
+const compactSuffix = ".compact"
+
 // entry locates one live value inside the log.
 type entry struct {
 	off     int64 // offset of the value bytes
@@ -106,6 +111,13 @@ func Open(path string, opts Options) (*Store, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
+	}
+	// A leftover compaction temp file means a crash hit between writing
+	// the temp and renaming it over the log. The rename never happened,
+	// so the original log is still the authoritative copy; the temp is
+	// garbage and must not be left around to confuse a later rename.
+	if err := os.Remove(path + compactSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: stale compact temp: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -240,6 +252,56 @@ func (s *Store) Put(key string, val []byte) error {
 	return nil
 }
 
+// PutIfChanged appends a record only when key is absent or its stored
+// bytes differ from val, reporting whether a write happened. In a
+// content-addressed store most re-puts carry byte-identical values
+// (the pipeline is deterministic), so skipping them keeps replication
+// traffic — hinted handoff re-ships in particular — from growing the
+// log.
+func (s *Store) PutIfChanged(key string, val []byte) (bool, error) {
+	s.mu.Lock()
+	if e, ok := s.index[key]; ok && e.vlen == len(val) {
+		old := make([]byte, e.vlen)
+		if _, err := s.f.ReadAt(old, e.off); err == nil && bytes.Equal(old, val) {
+			s.mu.Unlock()
+			return false, nil
+		}
+		// An unreadable or differing record falls through to a plain
+		// append, which repairs the index slot.
+	}
+	s.mu.Unlock()
+	return true, s.Put(key, val)
+}
+
+// ForEach calls fn for every live record, in unspecified order, with a
+// private copy of the value. It snapshots the index first and reads
+// values outside the lock, so fn may call back into the store; records
+// overwritten mid-iteration may surface either version, and a record
+// whose bytes become unreadable is skipped.
+func (s *Store) ForEach(fn func(key string, val []byte) error) error {
+	s.mu.Lock()
+	if s.f == nil {
+		s.mu.Unlock()
+		return errors.New("store: closed")
+	}
+	f := s.f
+	snap := make(map[string]entry, len(s.index))
+	for k, e := range s.index {
+		snap[k] = e
+	}
+	s.mu.Unlock()
+	for key, e := range snap {
+		val := make([]byte, e.vlen)
+		if _, err := f.ReadAt(val, e.off); err != nil {
+			continue // same degradation as Get: unreadable record = miss
+		}
+		if err := fn(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Len returns the number of live keys.
 func (s *Store) Len() int {
 	s.mu.Lock()
@@ -303,7 +365,7 @@ func (s *Store) Compact() error {
 // it, and atomically renames it over the log. On any error the
 // original log is left untouched.
 func (s *Store) compactLocked() error {
-	tmpPath := s.path + ".compact"
+	tmpPath := s.path + compactSuffix
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)

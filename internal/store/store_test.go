@@ -297,3 +297,169 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Fatal("hammer left an empty store")
 	}
 }
+
+// TestConcurrentAutoCompactHammer hammers a store whose auto-compaction
+// threshold is tiny, so compactions fire *during* concurrent puts and
+// gets rather than only when asked. Run under -race this pins the
+// file-handle swap inside compactLocked against every other code path.
+// Each worker owns a private key range, so the expected final value of
+// every key is known exactly and must survive both the churn and a
+// reopen.
+func TestConcurrentAutoCompactHammer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{CompactMinBytes: 2048})
+	const (
+		workers = 8
+		keys    = 4 // per worker
+		iters   = 150
+	)
+	payload := func(w, k, ver int) []byte {
+		return []byte(fmt.Sprintf("w%d-k%d-v%03d-%s", w, k, ver, string(bytes.Repeat([]byte{'x'}, 64))))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := i % keys
+				key := fmt.Sprintf("w%d-k%d", w, k)
+				if err := s.Put(key, payload(w, k, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := s.Get(key); !ok || len(v) == 0 {
+					t.Errorf("read-own-write miss for %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	check := func(s *Store, when string) {
+		t.Helper()
+		for w := 0; w < workers; w++ {
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("w%d-k%d", w, k)
+				// Last version written for key k by worker w is the
+				// largest i < iters with i%keys == k.
+				last := iters - 1 - ((iters - 1 - k) % keys)
+				want := payload(w, k, last)
+				got, ok := s.Get(key)
+				if !ok || !bytes.Equal(got, want) {
+					t.Errorf("%s: %s = %q, want %q", when, key, got, want)
+				}
+			}
+		}
+	}
+	check(s, "after hammer")
+	if s.Size() >= int64(workers*keys*iters*40) {
+		t.Errorf("log size %d suggests auto-compaction never fired", s.Size())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(openT(t, path, Options{}), "after reopen")
+}
+
+// TestCrashDuringCompactionRecovery simulates a crash between writing
+// the compaction temp file and the atomic rename: the leftover
+// ".compact" temp must be swept on Open and the original log must
+// warm-start untouched.
+func TestCrashDuringCompactionRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{NoAutoCompact: true})
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), bytes.Repeat([]byte{byte(i)}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "crash artifact": a temp file full of garbage (a torn
+	// compaction) sitting exactly where compactLocked writes.
+	if err := os.WriteFile(path+compactSuffix, bytes.Repeat([]byte{0xDE, 0xAD}, 500), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, path, Options{})
+	if s2.RecoveredDrops() != 0 {
+		t.Errorf("recovery dropped %d records; the stale temp must not damage the log", s2.RecoveredDrops())
+	}
+	if s2.Len() != 20 {
+		t.Errorf("warm start found %d keys, want 20", s2.Len())
+	}
+	if _, err := os.Stat(path + compactSuffix); !os.IsNotExist(err) {
+		t.Errorf("stale compact temp still present after Open (err=%v)", err)
+	}
+	// And compaction still works on the recovered store.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 20 {
+		t.Errorf("post-recovery compaction lost keys: %d, want 20", s2.Len())
+	}
+}
+
+// TestPutIfChanged pins the dedup path hinted handoff relies on:
+// byte-identical re-puts are skipped without growing the log.
+func TestPutIfChanged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{NoAutoCompact: true})
+
+	wrote, err := s.PutIfChanged("k", []byte("v1"))
+	if err != nil || !wrote {
+		t.Fatalf("first put: wrote=%v err=%v, want true/nil", wrote, err)
+	}
+	size := s.Size()
+
+	wrote, err = s.PutIfChanged("k", []byte("v1"))
+	if err != nil || wrote {
+		t.Fatalf("identical re-put: wrote=%v err=%v, want false/nil", wrote, err)
+	}
+	if s.Size() != size {
+		t.Errorf("identical re-put grew the log %d -> %d", size, s.Size())
+	}
+
+	wrote, err = s.PutIfChanged("k", []byte("v2"))
+	if err != nil || !wrote {
+		t.Fatalf("changed put: wrote=%v err=%v, want true/nil", wrote, err)
+	}
+	if v, _ := s.Get("k"); !bytes.Equal(v, []byte("v2")) {
+		t.Errorf("value after changed put: %q", v)
+	}
+	if s.Size() <= size {
+		t.Error("changed put did not append")
+	}
+}
+
+// TestForEach pins the iteration contract the spec-persistence layer
+// uses at startup.
+func TestForEach(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openT(t, path, Options{})
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range want {
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]string{}
+	if err := s.ForEach(func(k string, v []byte) error {
+		got[k] = string(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("ForEach[%s] = %q, want %q", k, got[k], v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("ForEach visited %d keys, want %d", len(got), len(want))
+	}
+}

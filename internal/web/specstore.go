@@ -1,0 +1,88 @@
+package web
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// SpecStore is the slice of the persistent store the server uses to
+// make uploaded registrations survive restarts, satisfied by
+// *store.Store. Registration is otherwise in-memory per process, which
+// is exactly wrong for a shard that crashes and comes back: its warm
+// L2 results would be unreachable behind 404s. Persisting the spec
+// text (not the parsed problem) keeps the record format trivially
+// stable, and re-parsing on load re-runs every validation.
+type SpecStore interface {
+	Put(key string, val []byte) error
+	ForEach(fn func(key string, val []byte) error) error
+}
+
+// specKeyPrefix version-tags persisted spec records; they share the
+// result store's log, so the prefix also keeps the two key spaces
+// disjoint.
+const specKeyPrefix = "spec1/"
+
+// SetSpecStore makes uploaded registrations durable in the given
+// store. Call before LoadPersistedProblems and before serving.
+func (s *Server) SetSpecStore(ss SpecStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.specStore = ss
+}
+
+// persistSpec writes a registered problem's spec text through to the
+// spec store, best-effort: persistence failure must not fail the
+// registration (the client got what it asked for; only restart
+// recovery degrades), so errors only surface as a dropped record.
+func (s *Server) persistSpec(p *model.Problem) {
+	s.mu.RLock()
+	ss := s.specStore
+	s.mu.RUnlock()
+	if ss == nil {
+		return
+	}
+	ss.Put(specKeyPrefix+p.Name, []byte(spec.Format(p))) //nolint:errcheck // best-effort durability
+}
+
+// LoadPersistedProblems re-registers every spec the store holds,
+// returning how many loaded. Specs that no longer parse or that
+// violate the serving bounds are skipped (and reported in err's
+// message) rather than aborting the load — one bad record must not
+// hold the rest of the shard's registrations hostage.
+func (s *Server) LoadPersistedProblems() (int, error) {
+	s.mu.RLock()
+	ss := s.specStore
+	s.mu.RUnlock()
+	if ss == nil {
+		return 0, nil
+	}
+	var loaded int
+	var bad []string
+	err := ss.ForEach(func(key string, val []byte) error {
+		if !strings.HasPrefix(key, specKeyPrefix) {
+			return nil
+		}
+		p, err := spec.ParseString(string(val))
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s: %v", key, err))
+			return nil
+		}
+		if err := checkSpecBounds(p); err != nil {
+			bad = append(bad, fmt.Sprintf("%s: %v", key, err))
+			return nil
+		}
+		s.Add(p)
+		loaded++
+		return nil
+	})
+	if err != nil {
+		return loaded, err
+	}
+	if len(bad) > 0 {
+		return loaded, fmt.Errorf("web: %d persisted spec(s) skipped: %s", len(bad), strings.Join(bad, "; "))
+	}
+	return loaded, nil
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dot"
 	"repro/internal/gantt"
@@ -59,6 +60,14 @@ type Server struct {
 	opts     sched.Options
 	svc      *service.Service
 	shardID  string
+	// notReady inverts readiness so the zero value serves: a fresh
+	// server is ready until SetReady(false) starts a drain.
+	notReady atomic.Bool
+	// handoffSem bounds concurrent outbound hinted-handoff shipments.
+	handoffSem chan struct{}
+	// specStore persists uploaded specs so a restarted shard recovers
+	// its registrations (nil = registrations are process-local).
+	specStore SpecStore
 }
 
 // NewServer creates an empty server with the given scheduler options
@@ -70,7 +79,12 @@ func NewServer(opts sched.Options) *Server {
 // NewServerWith creates a server on an existing scheduling service,
 // for deployments that share one cache between components.
 func NewServerWith(opts sched.Options, svc *service.Service) *Server {
-	return &Server{problems: make(map[string]*model.Problem), opts: opts, svc: svc}
+	return &Server{
+		problems:   make(map[string]*model.Problem),
+		opts:       opts,
+		svc:        svc,
+		handoffSem: make(chan struct{}, maxHandoffShips),
+	}
 }
 
 // Service returns the scheduling service backing the server.
@@ -112,6 +126,10 @@ func (s *Server) Names() []string {
 //	GET /simulate?problem=X    Monte-Carlo fault campaign; optional
 //	                           n=, seed=, faults=, format=json|html
 //	GET /stats                 scheduling-service metrics (JSON)
+//	GET /healthz               process liveness (always 200)
+//	GET /readyz                readiness; 503 once a drain has begun
+//	POST /store/put            hinted-handoff record ingestion from a
+//	                           peer shard (verified before storing)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.index)
@@ -120,7 +138,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /problems", s.upload)
 	mux.HandleFunc("GET /simulate", s.simulate)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
+	mux.HandleFunc("POST /store/put", s.storePut)
 	return mux
+}
+
+// SetReady flips the /readyz verdict. Serving starts ready; a graceful
+// shutdown calls SetReady(false) first, so a router's health prober
+// evicts the shard from the live set before connections start failing.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the current /readyz verdict.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
+
+// healthz is process liveness: if this handler runs, the shard runs.
+// It stays 200 through a drain — the process is alive while it
+// finishes in-flight work; only /readyz flips.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readyz is the shard's load-accepting verdict, the endpoint a
+// router's active prober polls.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
 }
 
 // StatsDoc is the /stats response: the service snapshot plus the
@@ -214,6 +262,7 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request) {
 		writeScheduleError(w, err)
 		return
 	}
+	s.maybeShipHandoff(r, p, opts, stage, res)
 
 	// Render against the effective problem: for heterogeneous runs the
 	// bars and profiles must reflect the chosen machine/level delays and
@@ -283,6 +332,7 @@ func (s *Server) upload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Add(p)
+	s.persistSpec(p)
 	w.WriteHeader(http.StatusCreated)
 	fmt.Fprintf(w, "registered %s (%d tasks)\n", p.Name, len(p.Tasks))
 }

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Chaos smoke test: boot three persistent shards behind a fast-probing,
+# hedging router, drive Zipf load through the tier, and — on a fixed
+# schedule — kill -9 one shard, restart it, and SIGSTOP/SIGCONT another
+# while the load is running. The tier's contract must hold throughout:
+#
+#   * the client (loadgen, talking only to the router) sees ZERO
+#     errors — every injected failure is absorbed by the prober,
+#     retries, and hedging;
+#   * p99 stays bounded — a SIGSTOPped shard stalls requests only
+#     until the hedge fires, not until a TCP timeout;
+#   * the kill -9'd shard rejoins warm: its spec store re-registers its
+#     problems and its result log serves L2 hits (appends are write(2)s,
+#     so they survive a process kill without fsync);
+#   * every response the chaotic tier produced is byte-identical to a
+#     fresh single-process oracle (the deterministic pipeline is what
+#     makes failover/hedging safe at all).
+#
+# The in-process variant of these scenarios (under -race) lives in
+# internal/chaos; this script is the real-processes, real-signals tier.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+cache="$(mktemp -d)"
+artifacts="${CHAOS_ARTIFACTS:-chaos-artifacts}"
+mkdir -p "$artifacts"
+tier_log="$artifacts/tier.log"
+: >"$tier_log"
+pids=()
+cleanup() {
+  # The restarted shard is spawned by the chaos subshell; if the script
+  # dies before adopting its pid it would leak, so pick it up here.
+  if [ -f "$cache/pid_b_new" ]; then
+    pids+=("$(cat "$cache/pid_b_new")")
+  fi
+  # SIGCONT first: one of the shards may still be SIGSTOPped.
+  kill -CONT "${pids[@]}" 2>/dev/null || true
+  kill "${pids[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$bin" "$cache"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$bin" ./cmd/serve ./cmd/router ./cmd/loadgen
+
+wait_ready() {
+  for _ in $(seq "$2"); do
+    if curl -fsS --max-time 2 "$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+# Tier processes log to a file, not our stdout: a process that outlives
+# the script (restarted mid-chaos) must not hold a pipe open, and the
+# log doubles as a CI artifact.
+start_shard() { # start_shard <letter> <port>; sets pid_<letter>
+  "$bin/serve" -addr "127.0.0.1:$2" -shard-id "$1" -cache-dir "$cache" \
+    -drain-grace 200ms >>"$tier_log" 2>&1 &
+  eval "pid_$1=$!"
+  pids+=("$!")
+}
+
+echo "== boot 3 shards + router (fast prober, hedging)"
+booted=false
+for attempt in 1 2 3; do
+  port=$((19080 + (attempt - 1) * 400))
+  b1="http://127.0.0.1:$((port + 1))"
+  b2="http://127.0.0.1:$((port + 2))"
+  b3="http://127.0.0.1:$((port + 3))"
+  front="http://127.0.0.1:$port"
+  start_shard a "$((port + 1))"
+  start_shard b "$((port + 2))"
+  start_shard c "$((port + 3))"
+  if wait_ready "$b1" 100 && wait_ready "$b2" 100 && wait_ready "$b3" 100 &&
+    { "$bin/router" -addr "127.0.0.1:$port" -backends "$b1,$b2,$b3" \
+        -probe-interval 100ms -probe-timeout 300ms \
+        -fail-threshold 2 -rise-threshold 1 \
+        -retries 2 -retry-backoff 5ms -hedge-after 300ms \
+        >>"$tier_log" 2>&1 &
+      pids+=("$!")
+      wait_ready "$front" 100; }; then
+    booted=true
+    break
+  fi
+  echo "boot attempt $attempt on ports $port-$((port + 3)) failed (port collision?); retrying" >&2
+  kill "${pids[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  pids=()
+done
+if ! $booted; then
+  echo "chaos tier never became ready after 3 port blocks" >&2
+  exit 1
+fi
+
+echo "== chaos run: 12s load, kill -9 @3s, restart @6s, SIGSTOP @8s, SIGCONT @10s"
+(
+  sleep 3
+  echo "-- chaos: kill -9 shard b" >&2
+  kill -9 "$pid_b" 2>/dev/null || true
+  sleep 3
+  echo "-- chaos: restart shard b" >&2
+  "$bin/serve" -addr "127.0.0.1:$((port + 2))" -shard-id b -cache-dir "$cache" \
+    >>"$tier_log" 2>&1 &
+  echo "$!" >"$cache/pid_b_new"
+  sleep 2
+  echo "-- chaos: SIGSTOP shard c" >&2
+  kill -STOP "$pid_c" 2>/dev/null || true
+  sleep 2
+  echo "-- chaos: SIGCONT shard c" >&2
+  kill -CONT "$pid_c" 2>/dev/null || true
+) &
+chaos_pid=$!
+
+# Fixed seed: the Zipf draw sequence, the problem pool, and therefore
+# the whole failure interleaving are reproducible. The pool parameters
+# must match serving_smoke.sh: this (tasks, seed) combination is known
+# to generate only specs that satisfy their own power bound, so every
+# registration is accepted.
+"$bin/loadgen" -target "$front" -duration 12s -workers 4 -zipf 1.1 \
+  -problems 24 -tasks 15 -seed 7 \
+  -max-errors 0 -max-p99 5s -json >"$artifacts/loadgen.json"
+wait "$chaos_pid"
+pids+=("$(cat "$cache/pid_b_new")")
+cat "$artifacts/loadgen.json"
+
+echo "== revived shard must be warm (L2 hits from the killed store)"
+wait_ready "$b2" 50
+l2="$(curl -fsS "$b2/stats" | tr -d ' \n' | grep -o '"hits_l2":[0-9]*' | cut -d: -f2)"
+echo "shard b hits_l2=$l2 after kill -9 + restart"
+if [ -z "$l2" ] || [ "$l2" -lt 1 ]; then
+  echo "revived shard served no L2 hits; warm start after kill -9 failed" >&2
+  exit 1
+fi
+
+echo "== differential replay vs single-process oracle"
+oracle_port=$((port + 7))
+oracle="http://127.0.0.1:$oracle_port"
+"$bin/serve" -addr "127.0.0.1:$oracle_port" >>"$tier_log" 2>&1 &
+pids+=("$!")
+wait_ready "$oracle" 100
+# Registering the same pool (same seed/tasks) makes the oracle compute
+# the same problems the chaotic tier served.
+"$bin/loadgen" -target "$oracle" -duration 1s -workers 2 -zipf 1.1 \
+  -problems 24 -tasks 15 -seed 7 >/dev/null
+for i in $(seq 0 23); do
+  name="$(printf 'load-%04d' "$i")"
+  curl -fsS "$front/schedule?problem=$name&format=json" >"$cache/tier.json"
+  curl -fsS "$oracle/schedule?problem=$name&format=json" >"$cache/oracle.json"
+  if ! cmp -s "$cache/tier.json" "$cache/oracle.json"; then
+    echo "response for $name differs between the chaotic tier and the oracle" >&2
+    diff "$cache/oracle.json" "$cache/tier.json" | head -20 >&2 || true
+    exit 1
+  fi
+done
+
+echo "== chaos smoke passed"

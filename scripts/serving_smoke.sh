@@ -27,15 +27,15 @@ trap cleanup EXIT
 echo "== build"
 go build -o "$bin" ./cmd/serve ./cmd/router ./cmd/loadgen
 
-# wait_ready <url> <tries> <pid>: poll <url>/stats until it answers,
-# failing fast when the process exits first (a port collision makes the
-# server exit immediately, long before the poll budget runs out).
-# --max-time keeps a squatter that accepts but never answers from
-# hanging the probe (and with it the whole boot attempt).
+# wait_ready <url> <tries>: poll <url>/readyz — the same readiness
+# verdict the router's prober consumes — until it answers 200. No pid
+# heuristics needed: a process that died (port collision) simply never
+# answers and the poll budget expires. --max-time keeps a squatter that
+# accepts but never answers from hanging the probe (and with it the
+# whole boot attempt).
 wait_ready() {
   for _ in $(seq "$2"); do
-    if ! kill -0 "$3" 2>/dev/null; then return 1; fi
-    if curl -fsS --max-time 2 "$1/stats" >/dev/null 2>&1; then return 0; fi
+    if curl -fsS --max-time 2 "$1/readyz" >/dev/null 2>&1; then return 0; fi
     sleep 0.1
   done
   return 1
@@ -43,11 +43,12 @@ wait_ready() {
 
 start_backends() {
   "$bin/serve" -addr "127.0.0.1:$((port + 1))" -shard-id a -cache-dir "$cache" &
+  pids+=("$!")
   pid_a=$!
   "$bin/serve" -addr "127.0.0.1:$((port + 2))" -shard-id b -cache-dir "$cache" &
+  pids+=("$!")
   pid_b=$!
-  pids+=("$pid_a" "$pid_b")
-  wait_ready "$b1" 100 "$pid_a" && wait_ready "$b2" 100 "$pid_b"
+  wait_ready "$b1" 100 && wait_ready "$b2" 100
 }
 
 echo "== boot 2 backends + router"
@@ -60,9 +61,8 @@ for attempt in 1 2 3; do
   front="http://127.0.0.1:$port"
   if start_backends &&
     { "$bin/router" -addr "127.0.0.1:$port" -backends "$b1,$b2" &
-      pid_router=$!
-      pids+=("$pid_router")
-      wait_ready "$front" 100 "$pid_router"; }; then
+      pids+=("$!")
+      wait_ready "$front" 100; }; then
     booted=true
     break
   fi
