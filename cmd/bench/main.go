@@ -1,9 +1,12 @@
-// Command bench runs the scheduler-core microbenchmarks over the
-// benchkit instance ladder and emits a machine-readable record in the
-// same format as BENCH_sim.json. The committed BENCH_sched.json is
-// regenerated with:
+// Command bench runs the repository's microbenchmark ladders and
+// emits a machine-readable record. The default mode measures the
+// scheduler core over the benchkit instance ladder; -sim switches to
+// the Monte-Carlo simulation layer (single-iteration replay plus the
+// campaign ladder: 16/256/4096 runs, sequential vs pooled-8 vs
+// 2-shard). The committed records are regenerated with:
 //
 //	go run ./cmd/bench -out BENCH_sched.json
+//	go run ./cmd/bench -sim -out BENCH_sim.json
 //
 // Each size is measured twice: the incremental pipeline (power profile
 // maintained as segment deltas, slack cached with dirty-set
@@ -56,6 +59,7 @@ func main() {
 	restarts := flag.Bool("restarts", true, "also measure the restart portfolio (sequential and parallel) on the 50-task instance")
 	machines := flag.Bool("machines", true, "also measure the heterogeneous (4-machine, DVS) 50-task instance")
 	serving := flag.Bool("serving", true, "also measure the serving tier (warm batch dispatch, persistent-store reads)")
+	simMode := flag.Bool("sim", false, "measure the Monte-Carlo simulation layer (replay, campaign ladder) instead of the scheduler core")
 	flag.Parse()
 
 	ns := benchkit.Sizes
@@ -78,6 +82,14 @@ func main() {
 		Goos:   runtime.GOOS,
 		Goarch: runtime.GOARCH,
 		CPU:    cpuModel(),
+	}
+	if *simMode {
+		rec.Comment = "Benchmark record for the Monte-Carlo simulation layer: single-iteration " +
+			"replay plus the campaign ladder (16/256/4096 runs; sequential vs pooled-8 vs 2-shard). " +
+			"Regenerate with: go run ./cmd/bench -sim -out BENCH_sim.json"
+		rec.Benchmarks = simBenchmarks()
+		writeRecord(*out, rec)
+		return
 	}
 	for _, n := range ns {
 		rec.Benchmarks = append(rec.Benchmarks, measure(n, false))
@@ -103,17 +115,21 @@ func main() {
 		rec.Benchmarks = append(rec.Benchmarks, measureStoreGet())
 	}
 
+	writeRecord(*out, rec)
+}
+
+func writeRecord(out string, rec record) {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}

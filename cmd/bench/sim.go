@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/power"
+	"repro/internal/rover"
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// simBenchmarks measures the Monte-Carlo simulation layer for
+// BENCH_sim.json: the single-iteration replay, the 16-run headline
+// campaign (mirroring BenchmarkCampaign in internal/sim, the pair the
+// CI speedup gate runs on), and the campaign ladder — 16/256/4096
+// runs, each sequential vs pooled-8 vs 2-shard. Every campaign
+// iteration builds a fresh service so the content-addressed cache
+// warms inside the measurement, exactly as a CLI invocation would.
+func simBenchmarks() []entry {
+	out := []entry{measureExecute()}
+	for _, workers := range []int{1, 8} {
+		name, desc := campaignVariant(workers)
+		out = append(out, measureCampaign("BenchmarkCampaign/"+name,
+			fmt.Sprintf("16-run rover fault campaign, %s, cold cache", desc), 16, workers))
+	}
+	for _, runs := range []int{16, 256, 4096} {
+		for _, workers := range []int{1, 8} {
+			name, desc := campaignVariant(workers)
+			out = append(out, measureCampaign(
+				fmt.Sprintf("BenchmarkCampaignLadder%d/%s", runs, name),
+				fmt.Sprintf("%d-run rover fault campaign, %s, cold cache", runs, desc), runs, workers))
+		}
+		out = append(out, measureCampaignSharded(runs))
+	}
+	return out
+}
+
+func campaignVariant(workers int) (name, desc string) {
+	if workers == 1 {
+		return "sequential", "worker pool width 1"
+	}
+	return fmt.Sprintf("pooled-%d", workers), fmt.Sprintf("worker pool width %d", workers)
+}
+
+// measureExecute mirrors BenchmarkExecute in internal/exec: the
+// second-by-second replay of one worst-case rover iteration.
+func measureExecute() entry {
+	prob := rover.BuildIteration(rover.Worst, rover.Cold)
+	r, err := sched.Run(prob, sched.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	par := rover.Table2(rover.Worst)
+	sup := power.Supply{Solar: power.NewSolar(par.Solar)}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bat := power.Battery{MaxPower: par.BatteryMax}
+			if _, err := exec.Execute(prob, r.Schedule, sup, &bat, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return report(entry{
+		Name:        "BenchmarkExecute",
+		Package:     "repro/internal/exec",
+		Description: "second-by-second replay of one worst-case rover iteration",
+	}, res)
+}
+
+func measureCampaign(name, desc string, runs, workers int) entry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := sim.Campaign{
+				Mission: sim.PaperMission(),
+				Faults:  sim.DefaultFaults(),
+				Runs:    runs,
+				Seed:    1,
+				Svc:     service.New(service.Config{Workers: workers}),
+			}
+			if _, err := c.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return report(entry{Name: name, Package: "repro/internal/sim", Description: desc}, res)
+}
+
+// measureCampaignSharded is the 2-shard ladder rung: the seed range
+// split into two contiguous halves, each folded by its own campaign
+// over its own service (modeling a router fan-out over two backend
+// processes), the partial reducers pushed through the wire format and
+// merged in range order — the exact shape of the scatter-gather path,
+// minus the HTTP transport.
+func measureCampaignSharded(runs int) entry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var (
+				wg     sync.WaitGroup
+				halves [2]*sim.Reducer
+				errs   [2]error
+			)
+			for s := 0; s < 2; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					c := sim.Campaign{
+						Mission: sim.PaperMission(),
+						Faults:  sim.DefaultFaults(),
+						Runs:    runs,
+						Seed:    1,
+						Svc:     service.New(service.Config{Workers: 8}),
+					}
+					lo, hi := s*runs/2, (s+1)*runs/2
+					red, err := c.ReduceRange(context.Background(), lo, hi)
+					if err != nil {
+						errs[s] = err
+						return
+					}
+					halves[s] = sim.ReducerFromWire(red.Wire())
+				}(s)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			halves[0].Merge(halves[1])
+			halves[0].Finalize(1)
+		}
+	})
+	return report(entry{
+		Name:        fmt.Sprintf("BenchmarkCampaignLadder%d/2shard", runs),
+		Package:     "repro/internal/sim",
+		Description: fmt.Sprintf("%d-run rover fault campaign split into two contiguous seed halves over two shard services, reducers wire-merged, cold caches", runs),
+	}, res)
+}
+
+// report fills an entry's metrics from a benchmark result and echoes
+// the line to stderr, matching the scheduler-ladder output.
+func report(e entry, res testing.BenchmarkResult) entry {
+	e.NsPerOp = res.NsPerOp()
+	e.BytesPerOp = res.AllocedBytesPerOp()
+	e.AllocsPerOp = res.AllocsPerOp()
+	fmt.Fprintf(os.Stderr, "%-36s %12d ns/op %12d B/op %8d allocs/op\n",
+		e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	return e
+}

@@ -23,6 +23,13 @@
 // reporting allocations skips the allocation gate only when the base
 // did not report them either.
 //
+// Beyond the base-vs-head regression gates, -min-speedup (with
+// -speedup-slow / -speedup-fast) asserts an absolute property of the
+// head run alone: the fast variant of a benchmark pair must beat the
+// slow one by at least the given ratio — how CI locks in that the
+// pooled campaign engine actually scales. -min-cpus keeps that gate
+// advisory on machines too narrow to demonstrate parallelism.
+//
 // -json replaces the table with a machine-readable report on stdout
 // (the exit code is unchanged), for archiving the verdict as a CI
 // artifact next to the benchstat diff.
@@ -35,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -45,6 +53,10 @@ func main() {
 	pattern := flag.String("pattern", "^BenchmarkPipeline", "regexp of benchmark names to gate")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed ns/op regression (0.15 = +15%)")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.10, "maximum allowed allocs/op regression (0.10 = +10%); negative disables the allocation gate")
+	speedupSlow := flag.String("speedup-slow", "", "slow-variant benchmark name (cpu suffix stripped) for the head speedup gate")
+	speedupFast := flag.String("speedup-fast", "", "fast-variant benchmark name for the head speedup gate")
+	minSpeedup := flag.Float64("min-speedup", 0, "minimum head ns/op ratio slow/fast (0 disables the speedup gate)")
+	minCPUs := flag.Int("min-cpus", 0, "enforce -min-speedup only on machines with at least this many CPUs (the ratio is meaningless on boxes too narrow to parallelize)")
 	jsonOut := flag.Bool("json", false, "emit the verdicts as JSON on stdout instead of a table")
 	flag.Parse()
 	if *baseFile == "" || *headFile == "" {
@@ -69,14 +81,22 @@ func main() {
 	}
 
 	verdicts, failed := gate(base, head, re, *maxRegress, *maxAllocRegress)
+	var sv *speedupVerdict
+	if *minSpeedup > 0 {
+		sv = speedupGate(head, *speedupSlow, *speedupFast, *minSpeedup, runtime.NumCPU(), *minCPUs)
+		if sv.Failed {
+			failed = true
+		}
+	}
 	if *jsonOut {
 		report := struct {
-			Pattern         string    `json:"pattern"`
-			MaxRegress      float64   `json:"max_regress"`
-			MaxAllocRegress float64   `json:"max_alloc_regress"`
-			Failed          bool      `json:"failed"`
-			Verdicts        []verdict `json:"verdicts"`
-		}{*pattern, *maxRegress, *maxAllocRegress, failed, verdicts}
+			Pattern         string          `json:"pattern"`
+			MaxRegress      float64         `json:"max_regress"`
+			MaxAllocRegress float64         `json:"max_alloc_regress"`
+			Failed          bool            `json:"failed"`
+			Verdicts        []verdict       `json:"verdicts"`
+			Speedup         *speedupVerdict `json:"speedup,omitempty"`
+		}{*pattern, *maxRegress, *maxAllocRegress, failed, verdicts, sv}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -101,6 +121,9 @@ func main() {
 		}
 		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %s %s\n", v.Name, v.BaseNs, v.HeadNs, v.NsDelta*100, alloc, v.Mark)
 	}
+	if sv != nil {
+		fmt.Println("benchgate:", sv.Note)
+	}
 	if failed {
 		fmt.Printf("benchgate: FAIL — regression above +%.0f%% ns/op or +%.0f%% allocs/op\n",
 			*maxRegress*100, *maxAllocRegress*100)
@@ -114,6 +137,54 @@ func main() {
 type sample struct {
 	ns     float64
 	allocs float64
+}
+
+// speedupVerdict is the head-only parallel-speedup gate's outcome: the
+// fast variant of a benchmark pair must beat the slow one by at least
+// -min-speedup. Unlike the regression gates it compares head against
+// head, so it locks an absolute property of the PR (the pooled
+// campaign actually scales), not a delta against the base.
+type speedupVerdict struct {
+	Slow     string  `json:"slow"`
+	Fast     string  `json:"fast"`
+	Min      float64 `json:"min"`
+	Ratio    float64 `json:"ratio,omitempty"`
+	Enforced bool    `json:"enforced"`
+	Failed   bool    `json:"failed"`
+	Note     string  `json:"note"`
+}
+
+// speedupGate checks head[slow].ns / head[fast].ns >= min. On machines
+// with fewer than minCPUs CPUs the gate records the ratio but does not
+// enforce it: a 1- or 2-core box cannot demonstrate pool scaling, and
+// failing there would make the gate unrunnable locally. Missing
+// benchmarks fail even unenforced — the pair must exist so the gate
+// cannot be disabled by deleting its inputs.
+func speedupGate(head map[string]sample, slow, fast string, min float64, cpus, minCPUs int) *speedupVerdict {
+	sv := &speedupVerdict{Slow: slow, Fast: fast, Min: min, Enforced: cpus >= minCPUs}
+	s, okS := head[slow]
+	f, okF := head[fast]
+	switch {
+	case slow == "" || fast == "":
+		sv.Failed = true
+		sv.Note = "speedup gate needs -speedup-slow and -speedup-fast"
+	case !okS || !okF:
+		sv.Failed = true
+		sv.Note = fmt.Sprintf("speedup gate: head output is missing %q or %q", slow, fast)
+	default:
+		sv.Ratio = s.ns / f.ns
+		switch {
+		case !sv.Enforced:
+			sv.Note = fmt.Sprintf("speedup %s/%s = %.2fx (want >= %.2fx; not enforced, %d CPUs < %d)",
+				slow, fast, sv.Ratio, min, cpus, minCPUs)
+		case sv.Ratio < min:
+			sv.Failed = true
+			sv.Note = fmt.Sprintf("SPEEDUP FAIL: %s/%s = %.2fx, want >= %.2fx", slow, fast, sv.Ratio, min)
+		default:
+			sv.Note = fmt.Sprintf("speedup %s/%s = %.2fx (>= %.2fx)", slow, fast, sv.Ratio, min)
+		}
+	}
+	return sv
 }
 
 type verdict struct {

@@ -113,3 +113,39 @@ func TestParseFileMinimizesPerMetric(t *testing.T) {
 		t.Fatalf("per-metric minimum not kept: %+v", got)
 	}
 }
+
+func TestSpeedupGate(t *testing.T) {
+	head := map[string]sample{
+		"BenchmarkCampaign/sequential": {ns: 3000, allocs: 100},
+		"BenchmarkCampaign/pooled-8":   {ns: 900, allocs: 100},
+	}
+	slow, fast := "BenchmarkCampaign/sequential", "BenchmarkCampaign/pooled-8"
+
+	// 3.33x >= 3x on a wide-enough machine passes.
+	sv := speedupGate(head, slow, fast, 3, 8, 4)
+	if sv.Failed || !sv.Enforced || sv.Ratio < 3.3 || sv.Ratio > 3.4 {
+		t.Fatalf("passing speedup failed: %+v", sv)
+	}
+
+	// Below the ratio fails when enforced...
+	head[fast] = sample{ns: 1500, allocs: 100}
+	if sv := speedupGate(head, slow, fast, 3, 8, 4); !sv.Failed {
+		t.Fatalf("2x speedup passed a 3x gate: %+v", sv)
+	}
+	// ...but is recorded without failing on a machine too narrow to
+	// demonstrate pool scaling.
+	if sv := speedupGate(head, slow, fast, 3, 2, 4); sv.Failed || sv.Enforced || sv.Ratio != 2 {
+		t.Fatalf("narrow-machine speedup not skipped cleanly: %+v", sv)
+	}
+
+	// A missing benchmark fails even unenforced: the gate cannot be
+	// disabled by deleting its inputs.
+	delete(head, fast)
+	if sv := speedupGate(head, slow, fast, 3, 2, 4); !sv.Failed {
+		t.Fatalf("missing fast benchmark passed: %+v", sv)
+	}
+	// Unset names fail loudly rather than gating nothing.
+	if sv := speedupGate(head, "", "", 3, 8, 4); !sv.Failed {
+		t.Fatalf("empty pair passed: %+v", sv)
+	}
+}

@@ -35,6 +35,7 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "load-generation duration")
 		batch    = flag.Int("batch", 1, "items per request (>1 uses POST /schedule/batch)")
 		register = flag.Bool("register", true, "register the problem pool before the run")
+		campaign = flag.Int("campaign-runs", 0, "campaign mode: each request is a POST /simulate/campaign of this many runs over a Zipf-drawn inline spec (0 disables; takes precedence over -batch)")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 
 		minL2      = flag.Int64("min-l2-hits", -1, "assert at least this many L2 hits (negative disables)")
@@ -56,6 +57,8 @@ func main() {
 		Duration: *duration,
 		Batch:    *batch,
 		Register: *register,
+
+		CampaignRuns: *campaign,
 	})
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/mission"
 	"repro/internal/sched"
@@ -40,6 +41,7 @@ func main() {
 		restarts     = flag.Int("restarts", 0, "restart portfolio size for every (re)schedule, including contingency rescheduling (0 = single run)")
 		schedWorkers = flag.Int("sched-workers", 0, "concurrent restart workers inside each pipeline run; any value yields identical results (0 = GOMAXPROCS)")
 		minSurvival  = flag.Float64("min-survival", -1, "exit nonzero when the survival rate falls below this (for CI gates)")
+		progress     = flag.Duration("progress", 0, "print campaign progress to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,10 @@ func main() {
 	// it would silently skew every statistic.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *progress > 0 {
+		stopProg := reportProgress(*progress, *n)
+		defer stopProg()
+	}
 	sum, err := c.RunCtx(ctx)
 	if err != nil {
 		fatal(err)
@@ -129,6 +135,36 @@ func printSummary(s sim.Summary) {
 	if s.Survived > 0 {
 		fmt.Printf("  finish time     mean %.4g s  p50 %.4g  p95 %.4g  max %.4g\n",
 			s.Finish.Mean, s.Finish.P50, s.Finish.P95, s.Finish.Max)
+	}
+}
+
+// reportProgress prints the campaign's progress counters to stderr at
+// the given interval until the returned stop function is called. The
+// counters are process-global (this process runs exactly one
+// campaign), so the delta against the start-of-campaign snapshot is
+// this campaign's progress.
+func reportProgress(every time.Duration, total int) (stop func()) {
+	base := sim.Progress()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				p := sim.Progress()
+				fmt.Fprintf(os.Stderr, "simulate: %d/%d runs done, %d failed, seed high-water %d\n",
+					p.RunsDone-base.RunsDone, total, p.RunsFailed-base.RunsFailed, p.SeedHighWater)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }
 

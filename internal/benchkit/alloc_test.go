@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 // TestPipelineAllocBudget pins the flat-memory property of the
@@ -27,5 +29,39 @@ func TestPipelineAllocBudget(t *testing.T) {
 	})
 	if avg > budget {
 		t.Fatalf("full 50-task pipeline run: %.0f allocs, budget %d", avg, budget)
+	}
+}
+
+// TestCampaignAllocBudget pins the streaming campaign engine's
+// constant-memory property the same way: a warm-cache 16-run campaign
+// (schedule cache populated, per-worker scratch in steady state) must
+// stay within a fixed allocation budget. Measured steady state is
+// ~1,344 allocs per campaign (~84 per run — reducer folding, fault
+// draws, and replay bookkeeping only); the budget is ~25% above that
+// and two orders of magnitude below the pre-streaming engine
+// (~37k allocs for the same campaign), so one accidental per-run
+// allocation on the hot loop — a cloned problem, a fresh trace, an
+// unmemoized fingerprint — fails here before the CI bench gate sees
+// it.
+func TestCampaignAllocBudget(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	c := sim.Campaign{
+		Mission: sim.PaperMission(),
+		Faults:  sim.DefaultFaults(),
+		Runs:    16,
+		Seed:    1,
+		Svc:     svc,
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 1700
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("warm 16-run campaign: %.0f allocs, budget %d", avg, budget)
 	}
 }

@@ -119,41 +119,46 @@ type Report struct {
 	// non-preemptive; partial progress is lost). Ordered by scheduled
 	// start, then name.
 	InFlight []string
+
+	// Sort keys parallel to NotStarted/InFlight, kept on the report so
+	// a reused report (Replayer) re-sorts into the same backing arrays
+	// instead of allocating per replay.
+	nsStarts []model.Time
+	ifStarts []model.Time
 }
 
 // residual fills the NotStarted/InFlight sets of the report for the
-// instant the replay stopped.
+// instant the replay stopped. It reuses the report's slice backing
+// (insertion sort by start, then name — residual sets are small), so a
+// reused report allocates nothing once the buffers have grown.
 func (rep *Report) residual(p *model.Problem, s schedule.Schedule, stop model.Time) {
 	rep.StoppedAt = stop
-	type at struct {
-		start model.Time
-		name  string
-	}
-	var pending []at
-	var inflight []at
+	rep.NotStarted, rep.nsStarts = rep.NotStarted[:0], rep.nsStarts[:0]
+	rep.InFlight, rep.ifStarts = rep.InFlight[:0], rep.ifStarts[:0]
 	for i, t := range p.Tasks {
 		switch {
 		case s.Start[i] >= stop:
-			pending = append(pending, at{s.Start[i], t.Name})
+			rep.NotStarted, rep.nsStarts = insertByStart(rep.NotStarted, rep.nsStarts, t.Name, s.Start[i])
 		case s.Start[i]+t.Delay > stop:
-			inflight = append(inflight, at{s.Start[i], t.Name})
+			rep.InFlight, rep.ifStarts = insertByStart(rep.InFlight, rep.ifStarts, t.Name, s.Start[i])
 		}
 	}
-	order := func(xs []at) []string {
-		sort.Slice(xs, func(a, b int) bool {
-			if xs[a].start != xs[b].start {
-				return xs[a].start < xs[b].start
-			}
-			return xs[a].name < xs[b].name
-		})
-		names := make([]string, len(xs))
-		for i, x := range xs {
-			names[i] = x.name
-		}
-		return names
+}
+
+// insertByStart inserts name into the (start, name)-ordered parallel
+// slices, keeping them sorted.
+func insertByStart(names []string, starts []model.Time, name string, start model.Time) ([]string, []model.Time) {
+	i := len(names)
+	for i > 0 && (starts[i-1] > start || (starts[i-1] == start && names[i-1] > name)) {
+		i--
 	}
-	rep.NotStarted = order(pending)
-	rep.InFlight = order(inflight)
+	names = append(names, "")
+	starts = append(starts, 0)
+	copy(names[i+1:], names[i:])
+	copy(starts[i+1:], starts[i:])
+	names[i] = name
+	starts[i] = start
+	return names, starts
 }
 
 // Execute replays the schedule starting at mission time offset against
@@ -175,15 +180,25 @@ func Execute(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power
 // contingency problem without re-deriving it from the event trace.
 func ExecuteUntil(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power.Battery, offset, until model.Time) (Report, error) {
 	rep := Report{Events: Trace(p, s), Finish: s.Finish(p.Tasks)}
+	err := replayCore(&rep, p, s, sup, bat, offset, until)
+	return rep, err
+}
+
+// replayCore is the second-by-second replay shared by ExecuteUntil and
+// Replayer. It expects rep.Finish to be set and accounts everything
+// else into rep. The float accumulation order (base power, then tasks
+// in index order, per second) is part of the contract: campaign
+// determinism relies on every replay path summing in the same order.
+func replayCore(rep *Report, p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power.Battery, offset, until model.Time) error {
 	end := rep.Finish
 	if until >= 0 && until < end {
 		end = until
 	}
-	fail := func(t model.Time, err error) (Report, error) {
+	fail := func(t model.Time, err error) error {
 		rep.Violated = true
 		rep.ViolationAt = t
 		rep.residual(p, s, t)
-		return rep, err
+		return err
 	}
 	for t := model.Time(0); t < end; t++ {
 		demand := p.BasePower
@@ -228,5 +243,5 @@ func ExecuteUntil(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *
 		rep.BatteryUsed += draw
 	}
 	rep.residual(p, s, end)
-	return rep, nil
+	return nil
 }

@@ -1,0 +1,43 @@
+package exec
+
+import (
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// Replayer is an allocation-free ExecuteUntil for hot loops (fault
+// campaigns replay thousands of schedules per second). It keeps one
+// Report and its residual-set buffers, reusing them across replays.
+//
+// Differences from ExecuteUntil, both deliberate:
+//   - no event trace is built (rep.Events is nil) — campaigns never
+//     read it, and Trace is the single largest per-replay allocation;
+//   - the returned *Report aliases the Replayer's internal state and
+//     is valid only until the next ExecuteUntil call. Callers must
+//     copy anything (InFlight, NotStarted) they keep.
+//
+// The numeric results are bit-identical to ExecuteUntil: both run the
+// same replayCore, which sums in a fixed order.
+type Replayer struct {
+	rep Report
+}
+
+// ExecuteUntil replays the first `until` seconds of the schedule (see
+// the package-level ExecuteUntil for semantics). The returned report
+// is owned by the Replayer and overwritten by the next call.
+func (r *Replayer) ExecuteUntil(p *model.Problem, s schedule.Schedule, sup power.Supply, bat *power.Battery, offset, until model.Time) (*Report, error) {
+	rep := &r.rep
+	rep.Events = nil
+	rep.Finish = s.Finish(p.Tasks)
+	rep.Energy = 0
+	rep.SolarUsed = 0
+	rep.BatteryUsed = 0
+	rep.SolarWasted = 0
+	rep.PeakDemand = 0
+	rep.Violated = false
+	rep.ViolationAt = 0
+	rep.StoppedAt = 0
+	err := replayCore(rep, p, s, sup, bat, offset, until)
+	return rep, err
+}

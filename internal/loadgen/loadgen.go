@@ -44,6 +44,14 @@ type Config struct {
 	Duration time.Duration // how long to generate load
 	Batch    int           // items per request: <= 1 uses GET /schedule, else POST /schedule/batch
 	Register bool          // register the problem pool before the run (off to re-drive an already-registered tier)
+
+	// CampaignRuns, when positive, switches the workload to
+	// POST /simulate/campaign: each request is an inline-spec
+	// Monte-Carlo campaign of that many runs over a Zipf-drawn problem
+	// (takes precedence over Batch). Against a router, full-range
+	// campaigns fan out as seed sub-ranges across the live shards, so
+	// this is the load shape that exercises the scatter-gather path.
+	CampaignRuns int
 }
 
 // Report is the outcome of one load run. Latencies are per request
@@ -111,6 +119,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
+	// Campaign mode sends inline specs (so an unregistered tier works
+	// and the router can fan the campaign over every shard); build the
+	// pool's spec documents once up front.
+	var specs []string
+	if cfg.CampaignRuns > 0 {
+		specs = make([]string, cfg.Problems)
+		for i := range specs {
+			p := benchkit.Generate(cfg.Tasks, cfg.Seed+int64(i))
+			p.Name = names[i]
+			specs[i] = spec.Format(p)
+		}
+	}
 
 	before, err := statsSnapshot(ctx, client, target)
 	if err != nil {
@@ -135,7 +155,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			var local []time.Duration
 			var sub Report
 			for lctx.Err() == nil {
-				n, itemErrs, lat, err := oneRequest(lctx, client, target, names, zipf, cfg.Batch)
+				n, itemErrs, lat, err := oneRequest(lctx, client, target, names, specs, zipf, cfg)
 				if err != nil {
 					if lctx.Err() != nil {
 						break // the run ended mid-request; not a target failure
@@ -219,19 +239,39 @@ func register(ctx context.Context, client *http.Client, target string, names []s
 }
 
 // oneRequest issues one closed-loop request — a single GET /schedule,
-// or a POST /schedule/batch of batch Zipf draws — and returns how many
-// items it scheduled, how many items inside a 200 batch envelope came
-// back non-200, and its latency. A non-200 response is a statusError;
-// anything else is a transport failure.
-func oneRequest(ctx context.Context, client *http.Client, target string, names []string, zipf *rand.Zipf, batch int) (int, int, time.Duration, error) {
+// a POST /schedule/batch of batch Zipf draws, or (in campaign mode) a
+// POST /simulate/campaign over one Zipf-drawn problem — and returns
+// how many items it scheduled (campaign runs count as items), how many
+// items inside a 200 batch envelope came back non-200, and its
+// latency. A non-200 response is a statusError; anything else is a
+// transport failure.
+func oneRequest(ctx context.Context, client *http.Client, target string, names, specs []string, zipf *rand.Zipf, cfg Config) (int, int, time.Duration, error) {
+	batch := cfg.Batch
 	var req *http.Request
 	var err error
 	n := 1
-	if batch <= 1 {
+	switch {
+	case cfg.CampaignRuns > 0:
+		batch = 0
+		n = cfg.CampaignRuns
+		var body []byte
+		body, err = json.Marshal(web.CampaignRequest{
+			Spec: specs[zipf.Uint64()],
+			Runs: cfg.CampaignRuns,
+			Seed: cfg.Seed,
+		})
+		if err == nil {
+			req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+				target+"/simulate/campaign", strings.NewReader(string(body)))
+			if req != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+		}
+	case batch <= 1:
 		name := names[zipf.Uint64()]
 		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
 			target+"/schedule?problem="+name+"&format=json", nil)
-	} else {
+	default:
 		n = batch
 		items := make([]web.BatchItem, batch)
 		for i := range items {

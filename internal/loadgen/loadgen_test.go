@@ -168,3 +168,27 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCampaign(t *testing.T) {
+	ts := testTier(t)
+	rep, err := Run(context.Background(), Config{
+		Target:       ts.URL,
+		Problems:     4,
+		Tasks:        10,
+		Seed:         3,
+		Zipf:         1.2,
+		Workers:      2,
+		Duration:     300 * time.Millisecond,
+		Register:     false, // campaign mode carries inline specs; no registration needed
+		CampaignRuns: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors=%d, want 0", rep.Errors)
+	}
+	if rep.Requests == 0 || rep.Items != 8*rep.Requests {
+		t.Errorf("items=%d for %d campaign requests, want x8", rep.Items, rep.Requests)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"hash"
 	"math"
 )
 
@@ -21,29 +20,36 @@ import (
 // section is preceded by its element count, so no two distinct
 // problems share an encoding. The result is the hex form of the first
 // 16 bytes of a SHA-256 digest, suitable as a cache key.
+//
+// The canonical bytes are assembled into one buffer and digested with
+// a single Sum256 — identical byte stream, identical digests to the
+// historical incremental-Write form, but two allocations instead of
+// one per field (hash.Hash's interface boundary forces every written
+// chunk to escape). Fault campaigns fingerprint every residual
+// problem; this is one of their hottest paths.
 func (p *Problem) Fingerprint() string {
-	h := sha256.New()
-	hashString(h, p.Name)
-	hashFloat(h, p.Pmax)
-	hashFloat(h, p.Pmin)
-	hashFloat(h, p.BasePower)
-	hashInt(h, int64(len(p.Tasks)))
+	b := make([]byte, 0, 64+48*len(p.Tasks)+40*len(p.Constraints))
+	b = appendHashString(b, p.Name)
+	b = appendHashFloat(b, p.Pmax)
+	b = appendHashFloat(b, p.Pmin)
+	b = appendHashFloat(b, p.BasePower)
+	b = appendHashInt(b, int64(len(p.Tasks)))
 	for _, t := range p.Tasks {
-		hashString(h, t.Name)
-		hashString(h, t.Resource)
-		hashInt(h, int64(t.Delay))
-		hashFloat(h, t.Power)
+		b = appendHashString(b, t.Name)
+		b = appendHashString(b, t.Resource)
+		b = appendHashInt(b, int64(t.Delay))
+		b = appendHashFloat(b, t.Power)
 	}
-	hashInt(h, int64(len(p.Constraints)))
+	b = appendHashInt(b, int64(len(p.Constraints)))
 	for _, c := range p.Constraints {
-		hashString(h, c.From)
-		hashString(h, c.To)
-		hashInt(h, int64(c.Min))
-		hashInt(h, int64(c.Max))
+		b = appendHashString(b, c.From)
+		b = appendHashString(b, c.To)
+		b = appendHashInt(b, int64(c.Min))
+		b = appendHashInt(b, int64(c.Max))
 		if c.HasMax {
-			h.Write([]byte{1})
+			b = append(b, 1)
 		} else {
-			h.Write([]byte{0})
+			b = append(b, 0)
 		}
 	}
 	// The heterogeneous machine/DVS section is appended only when the
@@ -52,40 +58,37 @@ func (p *Problem) Fingerprint() string {
 	// it had before the dimensions existed, so deployed cache keys for
 	// the m=1, one-speed case survive the representation change.
 	if p.Heterogeneous() {
-		hashString(h, "hetero/v1")
-		hashInt(h, int64(len(p.Machines)))
+		b = appendHashString(b, "hetero/v1")
+		b = appendHashInt(b, int64(len(p.Machines)))
 		for _, m := range p.Machines {
-			hashString(h, m.Name)
-			hashFloat(h, m.Speed)
-			hashFloat(h, m.PowerScale)
+			b = appendHashString(b, m.Name)
+			b = appendHashFloat(b, m.Speed)
+			b = appendHashFloat(b, m.PowerScale)
 		}
 		for _, t := range p.Tasks {
-			hashString(h, t.Machine)
-			hashInt(h, int64(len(t.Levels)))
+			b = appendHashString(b, t.Machine)
+			b = appendHashInt(b, int64(len(t.Levels)))
 			for _, l := range t.Levels {
-				hashFloat(h, l.Mult)
-				hashFloat(h, l.Power)
+				b = appendHashFloat(b, l.Mult)
+				b = appendHashFloat(b, l.Power)
 			}
 		}
 	}
-	return hex.EncodeToString(h.Sum(nil)[:16])
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
 }
 
-// hashString writes a length-prefixed string, making the stream
-// self-delimiting ("ab"+"c" hashes differently from "a"+"bc").
-func hashString(h hash.Hash, s string) {
-	hashInt(h, int64(len(s)))
-	h.Write([]byte(s))
+// appendHashString appends a length-prefixed string, keeping the
+// stream self-delimiting ("ab"+"c" encodes differently from "a"+"bc").
+func appendHashString(b []byte, s string) []byte {
+	b = appendHashInt(b, int64(len(s)))
+	return append(b, s...)
 }
 
-func hashInt(h hash.Hash, v int64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	h.Write(buf[:])
+func appendHashInt(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
 }
 
-func hashFloat(h hash.Hash, v float64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-	h.Write(buf[:])
+func appendHashFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }

@@ -1,0 +1,195 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/web"
+)
+
+// campaign shards POST /simulate/campaign: an inline-spec campaign
+// over the full run range is split into contiguous seed sub-ranges,
+// one per live backend in the spec's rendezvous rank order, executed
+// concurrently with Partial=true, and the returned reducers are merged
+// in range order and finalized locally. Reducer folding is
+// integer-exact, so the merged summary is byte-identical to one
+// backend running the whole campaign — sharding is purely a
+// wall-clock win, never a statistics change.
+//
+// Everything else is forwarded whole to a single shard: name-addressed
+// campaigns (only the owner and its replica registered the problem, so
+// a fan-out would 404), explicit sub-range or Partial requests (the
+// caller is already a coordinator), campaigns too small to split, and
+// documents the router cannot confidently decode (the owner of their
+// key produces the canonical error bytes).
+func (rt *Router) campaign(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	req, key, shardable := splitCampaign(body)
+	live := rt.liveOrder(rt.rank(key))
+	if !shardable || len(live) < 2 {
+		rt.forward(w, r, key, body)
+		return
+	}
+
+	// Contiguous sub-ranges in rank order: chunk i runs [lo_i, hi_i).
+	// Ascending order here is what lets the merge below just fold
+	// left-to-right.
+	chunks := len(live)
+	if chunks > req.Runs {
+		chunks = req.Runs
+	}
+	type chunk struct {
+		lo, hi int
+	}
+	parts := make([]chunk, chunks)
+	base, rem := req.Runs/chunks, req.Runs%chunks
+	lo := 0
+	for i := range parts {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		parts[i] = chunk{lo: lo, hi: hi}
+		lo = hi
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		reds = make([]*sim.Reducer, chunks)
+		errs = make([]error, chunks)
+	)
+	run := func(i, b int) {
+		defer wg.Done()
+		red, err := rt.sendCampaignChunk(r, b, req, parts[i].lo, parts[i].hi)
+		mu.Lock()
+		reds[i], errs[i] = red, err
+		mu.Unlock()
+	}
+	for i := range parts {
+		wg.Add(1)
+		go run(i, live[i])
+	}
+	wg.Wait()
+
+	// One retry per failed chunk, on the next live replica after the
+	// one that failed it (with a single survivor that is a plain
+	// resend). Ranges are disjoint, so a retried chunk can never
+	// double-count a run.
+	for i := range parts {
+		if errs[i] == nil {
+			continue
+		}
+		next := live[(i+1)%len(live)]
+		rt.retries.Add(1)
+		wg.Add(1)
+		go run(i, next)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "campaign shard failed: "+err.Error())
+			return
+		}
+	}
+	merged := reds[0]
+	for i := 1; i < chunks; i++ {
+		merged.Merge(reds[i])
+	}
+	data, err := merged.Finalize(req.Seed).JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// splitCampaign decodes a campaign document and decides how to route
+// it. shardable=true means the request is an inline-spec, full-range,
+// non-partial campaign the router may fan out; otherwise it must be
+// forwarded whole under key (empty when the document is malformed —
+// some deterministic backend then produces the canonical error).
+func splitCampaign(body []byte) (req web.CampaignRequest, key string, shardable bool) {
+	if len(body) > maxBatchBytes {
+		return req, "", false
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, "", false
+	}
+	switch {
+	case req.Problem != "" && req.Spec == "":
+		return req, "name/" + req.Problem, false
+	case req.Spec != "" && req.Problem == "" && len(req.Spec) <= maxSpecBytes:
+		p, err := spec.ParseString(req.Spec)
+		if err != nil {
+			return req, "", false
+		}
+		key = "fp/" + p.Fingerprint()
+	default:
+		return req, "", false
+	}
+	fullRange := req.Lo == 0 && (req.Hi == 0 || req.Hi == req.Runs)
+	if req.Partial || !fullRange || req.Runs < 2 {
+		return req, key, false
+	}
+	return req, key, true
+}
+
+// sendCampaignChunk posts one sub-range of the campaign to backend b
+// with Partial=true and returns the rebuilt reducer.
+func (rt *Router) sendCampaignChunk(r *http.Request, b int, req web.CampaignRequest, lo, hi int) (*sim.Reducer, error) {
+	sub := web.CampaignRequest{
+		Spec:    req.Spec,
+		Runs:    req.Runs,
+		Seed:    req.Seed,
+		Faults:  req.Faults,
+		Lo:      lo,
+		Hi:      hi,
+		Partial: true,
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	be := rt.backends[b]
+	u := *be.url
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/simulate/campaign"
+	httpReq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(httpReq)
+	// Transport outcome only: a non-200 below is a backend answer, not
+	// a reachability signal.
+	rt.health[b].recordForward(err, rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("backend %s: status %d: %s", be.name, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var part web.CampaignPartial
+	if err := json.NewDecoder(resp.Body).Decode(&part); err != nil {
+		return nil, fmt.Errorf("backend %s: %v", be.name, err)
+	}
+	if part.Lo != lo || part.Hi != hi {
+		return nil, fmt.Errorf("backend %s: range [%d, %d) back for [%d, %d) sent", be.name, part.Lo, part.Hi, lo, hi)
+	}
+	return sim.ReducerFromWire(part.Reducer), nil
+}

@@ -215,6 +215,11 @@ func (rt *Router) rank(key string) []int {
 //	POST /verify           forwarded to the owning shard
 //	POST /schedule/batch   split per item across shards, one sub-batch
 //	                       per shard, responses stitched in order
+//	POST /simulate/campaign
+//	                       inline-spec campaigns split into contiguous
+//	                       seed sub-ranges across shards, reducers
+//	                       merged in range order (byte-identical to a
+//	                       single shard); everything else forwarded
 //	GET  /stats            every shard's stats plus a summed
 //	                       aggregate and the router's own health view
 func (rt *Router) Handler() http.Handler {
@@ -227,6 +232,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /problems", rt.bySpecName)
 	mux.HandleFunc("POST /verify", rt.byVerify)
 	mux.HandleFunc("POST /schedule/batch", rt.batch)
+	mux.HandleFunc("POST /simulate/campaign", rt.campaign)
 	mux.HandleFunc("GET /stats", rt.stats)
 	return mux
 }

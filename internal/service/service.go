@@ -206,7 +206,14 @@ func Shared() *Service {
 // zero Options and an explicitly spelled-out default produce distinct
 // keys (both deterministic, so at worst one redundant compute).
 func Key(p *model.Problem, opts sched.Options, stage Stage) string {
-	return fmt.Sprintf("%s/%s/%x", p.Fingerprint(), stage, optsDigest(opts))
+	return KeyFP(p.Fingerprint(), opts, stage)
+}
+
+// KeyFP is Key for callers that already hold the problem's fingerprint
+// (hot loops like fault campaigns fingerprint each residual problem
+// once and reuse it across the three pipeline stages).
+func KeyFP(fp string, opts sched.Options, stage Stage) string {
+	return fmt.Sprintf("%s/%s/%x", fp, stage, optsDigest(opts))
 }
 
 // Schedule runs the pipeline up to stage for the problem under opts,
@@ -228,7 +235,16 @@ func (s *Service) Schedule(p *model.Problem, opts sched.Options, stage Stage) (*
 // computing for the remaining waiters and is canceled only when the
 // last one leaves.
 func (s *Service) ScheduleCtx(ctx context.Context, p *model.Problem, opts sched.Options, stage Stage) (*sched.Result, error) {
-	key := Key(p, opts, stage)
+	return s.ScheduleFPCtx(ctx, p.Fingerprint(), p, opts, stage)
+}
+
+// ScheduleFPCtx is ScheduleCtx for callers that already computed the
+// problem's fingerprint: fp must equal p.Fingerprint(). It exists for
+// hot loops that hit all three pipeline stages for one problem —
+// fingerprinting is a canonical serialization plus a hash, and doing
+// it once instead of three times is a measurable win per contingency.
+func (s *Service) ScheduleFPCtx(ctx context.Context, fp string, p *model.Problem, opts sched.Options, stage Stage) (*sched.Result, error) {
+	key := KeyFP(fp, opts, stage)
 	v, err := s.do(ctx, key, stage.String(), s.scheduleCodec(key, p), func(cctx context.Context) (any, error) {
 		q := p.Clone()
 		switch stage {

@@ -4,19 +4,21 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 	"repro/internal/service"
 )
 
-// Campaign fans N seeded fault-injection runs across the scheduling
-// service's worker pool and aggregates the outcomes. Run i uses the
-// seed splitmix64(Seed, i), so the sequence of per-run seeds — and
-// therefore every statistic — is independent of worker count and
-// scheduling order: the same (Seed, Runs) always produces the same
-// Summary, byte for byte.
+// Campaign fans N seeded fault-injection runs across worker goroutines
+// and folds the outcomes into a streaming Reducer. Run i uses the seed
+// splitmix64(Seed, i), so the per-run seeds — and therefore every
+// statistic — are independent of worker count and scheduling order;
+// the integer reducer algebra makes the fold independent of grouping.
+// The same (Seed, Runs) always produces the same Summary, byte for
+// byte, at any parallelism and across any seed-range sharding
+// (ReduceRange + Reducer.Merge).
 type Campaign struct {
 	Mission Mission
 	Faults  FaultModel
@@ -26,48 +28,27 @@ type Campaign struct {
 	Seed int64
 	Opts sched.Options
 	// Svc is the scheduling service (Shared() when nil). Its worker
-	// pool bounds run concurrency; its cache deduplicates identical
+	// count sets run concurrency; its cache deduplicates identical
 	// residual problems across runs.
 	Svc *service.Service
 	// MaxReschedules bounds per-run replanning (default 16).
 	MaxReschedules int
 	// OnContingency observes every verifier-checked candidate across
-	// all runs; it may be called concurrently.
+	// all runs; it may be called concurrently. Setting it disables the
+	// nominal-plan hoist and the per-worker adopt memo (every candidate
+	// must actually be checked to be observed), so campaigns with an
+	// observer run slower.
 	OnContingency func(ContingencyEvent)
 }
 
-// Dist summarizes a sample distribution.
+// Dist summarizes a sample distribution. Mean and Max are exact; P50
+// and P95 come from the reducer's integer log-bucket sketch (relative
+// error <= 2^-5), clamped to the observed [min, max].
 type Dist struct {
 	Mean float64 `json:"mean"`
 	P50  float64 `json:"p50"`
 	P95  float64 `json:"p95"`
 	Max  float64 `json:"max"`
-}
-
-// dist computes nearest-rank percentiles over xs (not modified).
-func dist(xs []float64) Dist {
-	if len(xs) == 0 {
-		return Dist{}
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	sum := 0.0
-	for _, x := range sorted {
-		sum += x
-	}
-	rank := func(p float64) float64 {
-		i := int(math.Ceil(p*float64(len(sorted)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return sorted[i]
-	}
-	return Dist{
-		Mean: sum / float64(len(sorted)),
-		P50:  rank(0.50),
-		P95:  rank(0.95),
-		Max:  sorted[len(sorted)-1],
-	}
 }
 
 // Summary aggregates a campaign. Field order (and the sorted Failures
@@ -85,6 +66,9 @@ type Summary struct {
 	VerifyRejects    int            `json:"verify_rejects"`
 	ConstraintDrops  int            `json:"constraint_drops"`
 	Failures         map[string]int `json:"failures,omitempty"`
+	// RescheduleHist[k] counts runs that replanned exactly k times
+	// (trailing zeros trimmed; omitted when no runs were folded).
+	RescheduleHist []int64 `json:"reschedule_hist,omitempty"`
 	// EnergyCost is the battery-energy distribution over all runs;
 	// Finish is the completion-time distribution over surviving runs.
 	EnergyCost Dist `json:"energy_cost"`
@@ -101,82 +85,123 @@ func (c Campaign) Run() (Summary, error) {
 	return c.RunCtx(context.Background())
 }
 
-// RunCtx is Run under a context. A canceled campaign stops submitting
+// RunCtx is Run under a context. A canceled campaign stops claiming
 // runs, lets in-flight runs abandon themselves at their next replanning
 // decision, and returns the context's error: a partial campaign would
 // silently skew every statistic, so there is no partial Summary.
 func (c Campaign) RunCtx(ctx context.Context) (Summary, error) {
+	red, err := c.ReduceRange(ctx, 0, c.Runs)
+	if err != nil {
+		return Summary{}, err
+	}
+	return red.Finalize(c.Seed), nil
+}
+
+// ReduceRange executes runs [lo, hi) of the campaign and returns their
+// partial reducer. It is the sharding entry point: a coordinator that
+// splits [0, Runs) into contiguous sub-ranges, calls ReduceRange for
+// each (locally or on remote shards), and merges the partial reducers
+// in range order gets exactly RunCtx's summary — run i's outcome
+// depends only on splitmix64(Seed, i), and the reducer algebra is
+// exact, so the grouping cannot show through.
+//
+// Memory is constant in (hi - lo): each worker folds runs into a
+// private reducer as they finish; no per-run result is retained.
+func (c Campaign) ReduceRange(ctx context.Context, lo, hi int) (*Reducer, error) {
 	if c.Runs <= 0 {
-		return Summary{}, fmt.Errorf("sim: campaign needs Runs > 0, got %d", c.Runs)
+		return nil, fmt.Errorf("sim: campaign needs Runs > 0, got %d", c.Runs)
 	}
 	if c.Mission.Problem == nil || len(c.Mission.Phases) == 0 {
-		return Summary{}, fmt.Errorf("sim: campaign mission needs a problem and at least one phase")
+		return nil, fmt.Errorf("sim: campaign mission needs a problem and at least one phase")
+	}
+	if lo < 0 || hi > c.Runs || lo >= hi {
+		return nil, fmt.Errorf("sim: campaign range [%d, %d) outside [0, %d)", lo, hi, c.Runs)
 	}
 	svc := c.Svc
 	if svc == nil {
 		svc = service.Shared()
 	}
-	results := make([]RunResult, c.Runs)
-	err := svc.Pool().ForEachCtx(ctx, c.Runs, func(i int) {
-		results[i] = RunCtx(ctx, RunConfig{
-			Mission:        c.Mission,
-			Faults:         c.Faults,
-			Opts:           c.Opts,
-			Seed:           runSeed(c.Seed, i),
-			Svc:            svc,
-			MaxReschedules: c.MaxReschedules,
-			OnContingency:  c.OnContingency,
-		})
-	})
-	if err == nil {
-		err = ctx.Err() // all runs submitted, but late cancellation abandoned some
+	workers := svc.Pool().Workers()
+	if workers > hi-lo {
+		workers = hi - lo
 	}
-	for _, r := range results {
-		if r.Failure == FailCanceled {
-			err = cmpErr(err, ctx.Err())
+	if workers < 1 {
+		workers = 1
+	}
+
+	cfg := RunConfig{
+		Mission:        c.Mission,
+		Faults:         c.Faults,
+		Opts:           c.Opts,
+		Svc:            svc,
+		MaxReschedules: c.MaxReschedules,
+		OnContingency:  c.OnContingency,
+	}
+	// Hoist the nominal plan: every run plans the same problem under
+	// the same t=0 conditions, so one adopt serves the whole range. An
+	// OnContingency observer disables the hoist — it must see each
+	// run's nominal candidates under that run's seed.
+	var nom *nominalPlan
+	if c.OnContingency == nil {
+		nom = hoistNominal(ctx, svc, cfg, newRunScratch())
+		if !nom.ok && ctx.Err() != nil {
+			return nil, fmt.Errorf("sim: campaign aborted: %w", ctx.Err())
 		}
 	}
-	if err != nil {
-		return Summary{}, fmt.Errorf("sim: campaign aborted: %w", err)
-	}
-	return summarize(c.Runs, c.Seed, results), nil
-}
 
-// cmpErr keeps the first non-nil error.
-func cmpErr(a, b error) error {
-	if a != nil {
-		return a
-	}
-	return b
-}
-
-// summarize folds per-run results, in run order, into a Summary.
-func summarize(runs int, seed int64, results []RunResult) Summary {
-	sum := Summary{Runs: runs, Seed: seed}
-	var energy, finish []float64
-	for _, r := range results {
-		if r.Survived {
-			sum.Survived++
-			finish = append(finish, float64(r.Finish))
-			if r.DeadlineMiss {
-				sum.DeadlineMisses++
+	// Workers claim run indices from a shared counter and fold results
+	// into private reducers. Claim order is racy; the summary is not,
+	// because folding is commutative and exact. Dedicated goroutines —
+	// not the service pool — so campaign workers can never starve the
+	// compute slots their own adopts queue on.
+	reds := make([]*Reducer, workers)
+	var (
+		next     atomic.Int64
+		canceled atomic.Bool
+		wg       sync.WaitGroup
+	)
+	next.Store(int64(lo))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			red := NewReducer()
+			reds[w] = red
+			sc := newRunScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= hi || canceled.Load() || ctx.Err() != nil {
+					return
+				}
+				cfg := cfg
+				cfg.Seed = runSeed(c.Seed, i)
+				res := runOne(ctx, cfg, sc, nom)
+				if res.Failure == FailCanceled {
+					// An abandoned run, not a mission verdict: folding
+					// it would skew the campaign, so abort instead.
+					canceled.Store(true)
+					return
+				}
+				red.Add(res)
+				progRunDone(i, !res.Survived)
 			}
-		} else {
-			if sum.Failures == nil {
-				sum.Failures = make(map[string]int)
-			}
-			sum.Failures[r.Failure]++
-		}
-		sum.Reschedules += r.Reschedules
-		sum.Fallbacks += r.Fallbacks
-		sum.Waits += r.Waits
-		sum.VerifyRejects += r.VerifyRejects
-		sum.ConstraintDrops += r.ConstraintDrops
-		energy = append(energy, r.EnergyCost)
+		}(w)
 	}
-	sum.SurvivalRate = float64(sum.Survived) / float64(runs)
-	sum.DeadlineMissRate = float64(sum.DeadlineMisses) / float64(runs)
-	sum.EnergyCost = dist(energy)
-	sum.Finish = dist(finish)
-	return sum
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: campaign aborted: %w", err)
+	}
+	if canceled.Load() {
+		// A run saw cancellation that the context has since cleared —
+		// only possible with an exotic context; report it anyway.
+		return nil, fmt.Errorf("sim: campaign aborted: %w", context.Canceled)
+	}
+	// Merge the worker reducers in worker order. (Any order gives the
+	// same bytes — the fold is exact — but determinism should not need
+	// that argument to be checked twice.)
+	total := reds[0]
+	for _, r := range reds[1:] {
+		total.Merge(r)
+	}
+	return total, nil
 }

@@ -171,10 +171,28 @@ type runFaults struct {
 // dropout, degradation — so a given (model, seed, task set) always
 // yields the same perturbation regardless of scheduling concurrency.
 func (m FaultModel) draw(rng *rand.Rand, tasks []model.Task, scripted []mission.FaultPhase, horizon model.Time) runFaults {
-	f := runFaults{
-		actual: make(map[string]model.Time, len(tasks)),
-		fatal:  make(map[string]bool),
+	var f runFaults
+	m.drawInto(&f, rng, tasks, scripted, horizon)
+	return f
+}
+
+// drawInto is draw into reused storage: f's maps are cleared and its
+// window slice truncated, so a campaign worker redraws every run
+// without reallocating. The RNG consumption order is identical to
+// draw's.
+func (m FaultModel) drawInto(f *runFaults, rng *rand.Rand, tasks []model.Task, scripted []mission.FaultPhase, horizon model.Time) {
+	if f.actual == nil {
+		f.actual = make(map[string]model.Time, len(tasks))
+	} else {
+		clear(f.actual)
 	}
+	if f.fatal == nil {
+		f.fatal = make(map[string]bool)
+	} else {
+		clear(f.fatal)
+	}
+	f.windows = f.windows[:0]
+	f.degrade = 0
 	for _, t := range tasks {
 		frac := 0.0
 		if m.OverrunProb > 0 && rng.Float64() < m.OverrunProb {
@@ -224,5 +242,4 @@ func (m FaultModel) draw(rng *rand.Rand, tasks []model.Task, scripted []mission.
 	if m.DegradeFrac > 0 {
 		f.degrade = rng.Float64() * m.DegradeFrac
 	}
-	return f
 }

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// Campaign progress counters. They are process-global — a campaign is
+// a whole-process activity — and expvar-typed so they can be wired
+// into /debug/vars, but not auto-published (tests run many campaigns;
+// expvar.Publish panics on duplicate names). The web layer snapshots
+// them into /stats via Progress.
+var (
+	progRunsDone      expvar.Int   // runs folded into a reducer (any outcome)
+	progRunsFailed    expvar.Int   // folded runs that did not survive
+	progReducerMerges expvar.Int   // Reducer.Merge calls (worker + shard merges)
+	progHighWater     atomic.Int64 // highest completed run index, CAS-maxed
+)
+
+// progRunDone records one completed run: idx is the campaign run index
+// (the seed-range position), failed reports a non-survival outcome.
+// The high-water mark only ratchets upward.
+func progRunDone(idx int, failed bool) {
+	progRunsDone.Add(1)
+	if failed {
+		progRunsFailed.Add(1)
+	}
+	for {
+		cur := progHighWater.Load()
+		if int64(idx) <= cur {
+			return
+		}
+		if progHighWater.CompareAndSwap(cur, int64(idx)) {
+			return
+		}
+	}
+}
+
+// ProgressStats is a point-in-time snapshot of campaign progress,
+// shaped for JSON (the /stats campaign block and -progress output).
+type ProgressStats struct {
+	RunsDone      int64 `json:"runs_done"`
+	RunsFailed    int64 `json:"runs_failed"`
+	ReducerMerges int64 `json:"reducer_merges"`
+	SeedHighWater int64 `json:"seed_high_water"`
+}
+
+// Progress snapshots the process-global campaign counters.
+func Progress() ProgressStats {
+	return ProgressStats{
+		RunsDone:      progRunsDone.Value(),
+		RunsFailed:    progRunsFailed.Value(),
+		ReducerMerges: progReducerMerges.Value(),
+		SeedHighWater: progHighWater.Load(),
+	}
+}
+
+// ProgressVars assembles the live campaign counters into an expvar.Map
+// (names: runs_done, runs_failed, reducer_merges, seed_high_water).
+// The map shares the counters, so one wiring stays current.
+func ProgressVars() *expvar.Map {
+	m := new(expvar.Map)
+	m.Set("runs_done", &progRunsDone)
+	m.Set("runs_failed", &progRunsFailed)
+	m.Set("reducer_merges", &progReducerMerges)
+	m.Set("seed_high_water", expvar.Func(func() any { return progHighWater.Load() }))
+	return m
+}

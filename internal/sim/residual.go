@@ -7,19 +7,6 @@ import (
 	"repro/internal/schedule"
 )
 
-// withActualDelays returns a copy of p whose task delays are the run's
-// realized (perturbed) delays — the problem the replay executes, as
-// opposed to the nominal problem the schedule was computed for.
-func withActualDelays(p *model.Problem, actual map[string]model.Time) *model.Problem {
-	q := p.Clone()
-	for i := range q.Tasks {
-		if d, ok := actual[q.Tasks[i].Name]; ok && d > q.Tasks[i].Delay {
-			q.Tasks[i].Delay = d
-		}
-	}
-	return q
-}
-
 // timingConflict scans for the earliest instant at which the run's
 // overruns break the schedule's structure: a same-resource successor
 // whose planned start arrives before its predecessor's actual finish,
@@ -28,7 +15,8 @@ func withActualDelays(p *model.Problem, actual map[string]model.Time) *model.Pro
 // instant is the successor's planned start — the moment the executive
 // would discover it cannot start the task and must replan. Starts are
 // kept as planned ("start fidelity"): tasks that can start on time do.
-func timingConflict(p *model.Problem, actual map[string]model.Time, s schedule.Schedule) (model.Time, bool) {
+// idx must be p.TaskIndex() — callers in hot loops memoize it.
+func timingConflict(p *model.Problem, idx map[string]int, actual map[string]model.Time, s schedule.Schedule) (model.Time, bool) {
 	best := model.Time(0)
 	found := false
 	consider := func(t model.Time) {
@@ -56,7 +44,6 @@ func timingConflict(p *model.Problem, actual map[string]model.Time, s schedule.S
 			}
 		}
 	}
-	idx := p.TaskIndex()
 	for _, c := range p.Constraints {
 		if c.From == model.Anchor || c.To == model.Anchor {
 			continue

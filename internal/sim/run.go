@@ -2,9 +2,7 @@ package sim
 
 import (
 	"context"
-	"math/rand"
 
-	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/power"
 	rtlib "repro/internal/runtime"
@@ -112,8 +110,36 @@ const pipelineSource = "minpower"
 // schedulable and verified, otherwise the best valid entry of a
 // runtime library built from the cheaper pipeline stages. Every
 // candidate checked is reported through cfg.OnContingency.
-func adopt(ctx context.Context, svc *service.Service, prob *model.Problem, cfg RunConfig, at model.Time) (schedule.Schedule, string, int, bool) {
+//
+// When no observer is installed, outcomes are memoized per worker by
+// problem fingerprint (the pipeline, the verify gate, and the library
+// selection are all deterministic in the problem content), so repeated
+// residual problems across a campaign's runs skip the service round
+// trip and re-verification entirely.
+func adopt(ctx context.Context, svc *service.Service, prob *model.Problem, cfg RunConfig, at model.Time, sc *runScratch) (schedule.Schedule, string, int, bool) {
+	fp := prob.Fingerprint()
+	memo := cfg.OnContingency == nil
+	if memo {
+		if e, hit := sc.adoptMemo[fp]; hit {
+			return e.sched, e.source, e.rejects, e.ok
+		}
+	}
 	rejects := 0
+	// keep memoizes the outcome before returning it. A canceled
+	// context may have turned "infeasible" into "gave up early" — that
+	// must not be remembered as infeasibility, so cancel-tainted
+	// outcomes are never stored.
+	keep := func(s schedule.Schedule, source string, ok bool) (schedule.Schedule, string, int, bool) {
+		if memo && ctx.Err() == nil {
+			if sc.adoptMemo == nil {
+				sc.adoptMemo = make(map[string]adoptEntry)
+			} else if len(sc.adoptMemo) >= adoptMemoMax {
+				clear(sc.adoptMemo)
+			}
+			sc.adoptMemo[fp] = adoptEntry{sched: s, source: source, rejects: rejects, ok: ok}
+		}
+		return s, source, rejects, ok
+	}
 	check := func(s schedule.Schedule, source string) bool {
 		ok := verify.Check(prob, s).OK()
 		if cfg.OnContingency != nil {
@@ -128,9 +154,9 @@ func adopt(ctx context.Context, svc *service.Service, prob *model.Problem, cfg R
 		}
 		return ok
 	}
-	if r, err := svc.ScheduleCtx(ctx, prob, cfg.Opts, service.StageMinPower); err == nil {
+	if r, err := svc.ScheduleFPCtx(ctx, fp, prob, cfg.Opts, service.StageMinPower); err == nil {
 		if check(r.Schedule, pipelineSource) {
-			return r.Schedule, pipelineSource, rejects, true
+			return keep(r.Schedule, pipelineSource, true)
 		}
 	}
 	// Full pipeline infeasible (or rejected): fall back to runtime
@@ -139,11 +165,12 @@ func adopt(ctx context.Context, svc *service.Service, prob *model.Problem, cfg R
 	// itself rather than reading it as infeasibility.
 	var lib rtlib.Selector
 	for _, st := range []service.Stage{service.StageMaxPower, service.StageTiming} {
-		if r, err := svc.ScheduleCtx(ctx, prob, cfg.Opts, st); err == nil {
+		if r, err := svc.ScheduleFPCtx(ctx, fp, prob, cfg.Opts, st); err == nil {
 			lib.Add(rtlib.NewEntry(st.String(), prob, r.Schedule))
 		}
 	}
-	tried := make(map[string]bool)
+	clear(sc.tried)
+	tried := sc.tried
 	for {
 		var cand rtlib.Selector
 		for _, e := range lib.Entries() {
@@ -153,11 +180,11 @@ func adopt(ctx context.Context, svc *service.Service, prob *model.Problem, cfg R
 		}
 		e, ok := cand.Select(prob.Pmax, prob.Pmin)
 		if !ok {
-			return schedule.Schedule{}, "", rejects, false
+			return keep(schedule.Schedule{}, "", false)
 		}
 		tried[e.Name] = true
 		if check(e.Sched, e.Name) {
-			return e.Sched, e.Name, rejects, true
+			return keep(e.Sched, e.Name, true)
 		}
 	}
 }
@@ -174,6 +201,42 @@ func Run(cfg RunConfig) RunResult {
 // next replanning decision and reports FailCanceled — an abandoned
 // run, not a mission verdict; campaign aggregation discards it.
 func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
+	return runOne(ctx, cfg, newRunScratch(), nil)
+}
+
+// nominalPlan is the t = 0 planning result. Every run of a campaign
+// plans the same nominal problem under the same starting conditions,
+// so campaigns hoist this once per fan-out and re-account the outcome
+// (rejects, fallback counting) per run — byte-identical to each run
+// adopting it itself. The problem and schedule are shared read-only.
+type nominalPlan struct {
+	p0      *model.Problem
+	s0      schedule.Schedule
+	source  string
+	rejects int
+	ok      bool
+	finish0 model.Time
+}
+
+// hoistNominal plans the nominal mission under the conditions at t=0.
+func hoistNominal(ctx context.Context, svc *service.Service, cfg RunConfig, sc *runScratch) *nominalPlan {
+	m := cfg.Mission
+	p0 := m.Problem.Clone()
+	p0.Pmin = m.Phases[0].Cond.Solar
+	p0.Pmax = p0.Pmin + m.Battery.MaxPower
+	s0, source, rejects, ok := adopt(ctx, svc, p0, cfg, 0, sc)
+	nom := &nominalPlan{p0: p0, s0: s0, source: source, rejects: rejects, ok: ok}
+	if ok {
+		nom.finish0 = s0.Finish(p0.Tasks)
+	}
+	return nom
+}
+
+// runOne executes one seeded run on a worker's scratch state. nom is
+// the campaign's hoisted nominal plan (nil when the run must plan the
+// nominal mission itself — single runs, and campaigns with an
+// OnContingency observer that wants per-run nominal events).
+func runOne(ctx context.Context, cfg RunConfig, sc *runScratch, nom *nominalPlan) RunResult {
 	res := RunResult{Seed: cfg.Seed}
 	svc := cfg.Svc
 	if svc == nil {
@@ -188,15 +251,15 @@ func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
 		res.Failure = FailUnschedulable
 		return res
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := sc.seed(cfg.Seed)
 
-	// Plan the nominal mission under the conditions at t = 0.
-	p0 := m.Problem.Clone()
-	p0.Pmin = m.Phases[0].Cond.Solar
-	p0.Pmax = p0.Pmin + m.Battery.MaxPower
-	s0, source, rejects, ok := adopt(ctx, svc, p0, cfg, 0)
-	res.VerifyRejects += rejects
-	if !ok {
+	// Plan the nominal mission under the conditions at t = 0 (or adopt
+	// the campaign's hoisted plan).
+	if nom == nil {
+		nom = hoistNominal(ctx, svc, cfg, sc)
+	}
+	res.VerifyRejects += nom.rejects
+	if !nom.ok {
 		if ctx.Err() != nil {
 			res.Failure = FailCanceled
 			return res
@@ -204,10 +267,10 @@ func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
 		res.Failure = FailUnschedulable
 		return res
 	}
-	if source != pipelineSource {
+	if nom.source != pipelineSource {
 		res.Fallbacks++
 	}
-	finish0 := s0.Finish(p0.Tasks)
+	p0, s0, finish0 := nom.p0, nom.s0, nom.finish0
 
 	deadline := m.Deadline
 	if deadline <= 0 {
@@ -221,14 +284,15 @@ func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
 	if h := 2 * finish0; h < horizon {
 		horizon = h
 	}
-	faults := cfg.Faults.draw(rng, m.Problem.Tasks, m.Faults, horizon)
+	cfg.Faults.drawInto(&sc.faults, rng, m.Problem.Tasks, m.Faults, horizon)
+	faults := &sc.faults
 	for _, t := range m.Problem.Tasks {
 		if faults.fatal[t.Name] {
 			res.Failure = FailTask
 			return res
 		}
 	}
-	env := buildEnvironment(m.Phases, faults.windows)
+	env := sc.environment(m.Phases, faults.windows)
 	bat := power.Battery{
 		MaxPower: m.Battery.MaxPower,
 		Capacity: m.Battery.Capacity * (1 - faults.degrade),
@@ -247,11 +311,11 @@ func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
 			return res
 		}
 		until := model.Time(-1)
-		tc, hasTC := timingConflict(P, faults.actual, S)
+		tc, hasTC := timingConflict(P, sc.taskIndex(P), faults.actual, S)
 		if hasTC {
 			until = tc
 		}
-		rep, execErr := exec.ExecuteUntil(withActualDelays(P, faults.actual), S, sup, &bat, T, until)
+		rep, execErr := sc.replayer.ExecuteUntil(sc.delayedProblem(P, faults.actual), S, sup, &bat, T, until)
 		res.EnergyCost = bat.Drawn()
 		switch {
 		case execErr != nil:
@@ -276,8 +340,12 @@ func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
 		// In-flight tasks have revealed their true duration: the
 		// contingency plans with it rather than re-trusting the
 		// nominal delay (which would re-create the same conflict).
-		pending := append(append([]string(nil), rep.InFlight...), rep.NotStarted...)
-		revealed := make(map[string]model.Time, len(rep.InFlight))
+		// Copies, not aliases: the replayer owns rep's slices and
+		// overwrites them on the next replay.
+		sc.pending = append(append(sc.pending[:0], rep.InFlight...), rep.NotStarted...)
+		pending := sc.pending
+		clear(sc.revealed)
+		revealed := sc.revealed
 		for _, n := range rep.InFlight {
 			revealed[n] = faults.actual[n]
 		}
@@ -309,7 +377,7 @@ func RunCtx(ctx context.Context, cfg RunConfig) RunResult {
 			}
 			q.Pmax = q.Pmin + headroom
 			if q.Pmax > 0 { // Pmax == 0 means "unconstrained" to the model; never schedule into a blackout
-				s2, source, rejects, ok := adopt(ctx, svc, q, cfg, cur)
+				s2, source, rejects, ok := adopt(ctx, svc, q, cfg, cur, sc)
 				res.VerifyRejects += rejects
 				if ok {
 					if source != pipelineSource {

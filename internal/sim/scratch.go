@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/mission"
+	"repro/internal/model"
+	"repro/internal/schedule"
+)
+
+// adoptMemoMax bounds the per-worker adopt memo. Campaigns with heavy
+// fault models generate an unbounded stream of distinct residual
+// problems; clearing the memo at the cap keeps a 10^6-run campaign's
+// memory flat while still short-circuiting the common repeats.
+const adoptMemoMax = 4096
+
+// adoptEntry is a memoized adopt outcome for one residual-problem
+// fingerprint. The pipeline and the verifier are deterministic in the
+// problem content, so replaying the stored outcome — including the
+// reject count — is indistinguishable from recomputing it.
+type adoptEntry struct {
+	sched   schedule.Schedule
+	source  string
+	rejects int
+	ok      bool
+}
+
+// runScratch is the per-worker reusable state of the run loop: the
+// run RNG, the realized fault set, the replayer and its buffers, the
+// perturbed-problem copy, and the adopt memo. One scratch serves one
+// goroutine for the lifetime of a campaign; nothing in it is shared.
+type runScratch struct {
+	src rand.Source
+	rng *rand.Rand
+
+	faults   runFaults
+	replayer exec.Replayer
+
+	// delayed is the reusable perturbed problem handed to the replayer
+	// (the scratch equivalent of withActualDelays); taskBuf backs its
+	// task slice.
+	delayed model.Problem
+	taskBuf []model.Task
+
+	// pending and revealed carry the residual state between a replay
+	// and the replans that consume it.
+	pending  []string
+	revealed map[string]model.Time
+
+	// idx memoizes TaskIndex for the current segment problem (keyed by
+	// pointer — a campaign's shared nominal problem hits across runs).
+	idxProb *model.Problem
+	idx     map[string]int
+
+	// tried is the adopt loop's per-call candidate-exclusion set.
+	tried map[string]bool
+
+	adoptMemo map[string]adoptEntry
+
+	// env memoizes buildEnvironment for the previous run's window set:
+	// most runs draw no random solar windows, so consecutive runs of a
+	// campaign share one environment (read-only once built). A scratch
+	// serves a single campaign, so the phases are constant.
+	env        environment
+	envWindows []window
+	envValid   bool
+}
+
+func newRunScratch() *runScratch {
+	src := rand.NewSource(0)
+	return &runScratch{
+		src:      src,
+		rng:      rand.New(src),
+		revealed: make(map[string]model.Time),
+		tried:    make(map[string]bool),
+	}
+}
+
+// seed re-seeds the scratch RNG for a run and returns it. The run loop
+// consumes only Float64 and Intn — both drawn straight from the
+// source — so re-seeding the shared source reproduces a fresh
+// rand.New(rand.NewSource(seed)) draw-for-draw.
+func (sc *runScratch) seed(seed int64) *rand.Rand {
+	sc.src.Seed(seed)
+	return sc.rng
+}
+
+// delayedProblem is withActualDelays without the Clone: the scratch
+// problem shadows p with the run's realized delays applied. Only the
+// task slice is copied — the replay reads nothing else that the delay
+// overlay changes (constraints alias p's).
+func (sc *runScratch) delayedProblem(p *model.Problem, actual map[string]model.Time) *model.Problem {
+	sc.taskBuf = append(sc.taskBuf[:0], p.Tasks...)
+	sc.delayed = *p
+	sc.delayed.Tasks = sc.taskBuf
+	for i := range sc.delayed.Tasks {
+		if d, ok := actual[sc.delayed.Tasks[i].Name]; ok && d > sc.delayed.Tasks[i].Delay {
+			sc.delayed.Tasks[i].Delay = d
+		}
+	}
+	return &sc.delayed
+}
+
+// taskIndex memoizes p.TaskIndex() for the current segment problem.
+func (sc *runScratch) taskIndex(p *model.Problem) map[string]int {
+	if sc.idxProb != p {
+		sc.idxProb = p
+		sc.idx = p.TaskIndex()
+	}
+	return sc.idx
+}
+
+// environment returns the faulted environment for this run's windows,
+// reusing the previous run's when the window set is identical.
+func (sc *runScratch) environment(phases []mission.Phase, windows []window) environment {
+	if sc.envValid && windowsEqual(sc.envWindows, windows) {
+		return sc.env
+	}
+	sc.env = buildEnvironment(phases, windows)
+	sc.envWindows = append(sc.envWindows[:0], windows...)
+	sc.envValid = true
+	return sc.env
+}
+
+func windowsEqual(a, b []window) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -129,26 +129,26 @@ func TestTimingConflict(t *testing.T) {
 	}
 	s := schedule.Schedule{Start: []model.Time{0, 2, 4}}
 
-	if _, ok := timingConflict(p, map[string]model.Time{}, s); ok {
+	if _, ok := timingConflict(p, p.TaskIndex(), map[string]model.Time{}, s); ok {
 		t.Fatal("nominal delays reported a conflict")
 	}
 	// a overruns to 3: same-resource conflict with b at its start 2.
-	if at, ok := timingConflict(p, map[string]model.Time{"a": 3}, s); !ok || at != 2 {
+	if at, ok := timingConflict(p, p.TaskIndex(), map[string]model.Time{"a": 3}, s); !ok || at != 2 {
 		t.Errorf("overrun a=3: conflict = %d, %v, want 2, true", at, ok)
 	}
 	// a overruns to 5: b conflicts at 2 (earlier than c's dependency
 	// conflict at 4).
-	if at, ok := timingConflict(p, map[string]model.Time{"a": 5}, s); !ok || at != 2 {
+	if at, ok := timingConflict(p, p.TaskIndex(), map[string]model.Time{"a": 5}, s); !ok || at != 2 {
 		t.Errorf("overrun a=5: conflict = %d, %v, want 2, true", at, ok)
 	}
 	// b overruns past c's start: only the dependency a->c is a
 	// finish-to-start edge, and b/c share no resource, so b's overrun
 	// alone conflicts with nothing.
-	if _, ok := timingConflict(p, map[string]model.Time{"b": 5}, s); ok {
+	if _, ok := timingConflict(p, p.TaskIndex(), map[string]model.Time{"b": 5}, s); ok {
 		t.Error("overrun b=5 reported a conflict; b and c are unrelated")
 	}
 	// c overruns: nothing depends on c.
-	if _, ok := timingConflict(p, map[string]model.Time{"c": 9}, s); ok {
+	if _, ok := timingConflict(p, p.TaskIndex(), map[string]model.Time{"c": 9}, s); ok {
 		t.Error("overrun c=9 reported a conflict")
 	}
 }

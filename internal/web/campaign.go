@@ -1,0 +1,158 @@
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// webCampaignMaxRuns caps a POST /simulate/campaign request. Campaigns
+// stream into constant-memory reducers, so the bound is about CPU-time
+// per request, not memory; million-run campaigns are in scope — that
+// is what sharding exists for.
+const webCampaignMaxRuns = 1 << 20
+
+// CampaignRequest is the POST /simulate/campaign document. Exactly one
+// of Problem (a registered name) or Spec (an inline spec document)
+// selects the problem. Runs and Seed define the campaign; Faults is
+// the CLI fault spec ("" = defaults, "none" = fault-free).
+//
+// Lo/Hi select the seed sub-range [Lo, Hi) of the campaign (Hi = 0
+// means Runs). A coordinator shards a campaign by posting sub-ranges
+// of the SAME (runs, seed, faults) campaign to different backends with
+// Partial set, then merges the returned reducers in range order; the
+// result is byte-identical to one backend running the whole range.
+type CampaignRequest struct {
+	Problem string `json:"problem,omitempty"`
+	Spec    string `json:"spec,omitempty"`
+	Runs    int    `json:"runs"`
+	Seed    int64  `json:"seed"`
+	Faults  string `json:"faults,omitempty"`
+	Lo      int    `json:"lo,omitempty"`
+	Hi      int    `json:"hi,omitempty"`
+	// Partial requests the sub-range's raw reducer (CampaignPartial)
+	// instead of a finalized Summary.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// CampaignPartial is the Partial=true response: the executed range and
+// its reducer in wire form, ready for Reducer.Merge at a coordinator.
+type CampaignPartial struct {
+	Lo      int             `json:"lo"`
+	Hi      int             `json:"hi"`
+	Reducer sim.ReducerWire `json:"reducer"`
+}
+
+// simulateCampaign is POST /simulate/campaign: the body-driven,
+// shardable sibling of GET /simulate. It accepts inline specs (so a
+// router can fan one campaign over backends that never registered the
+// problem), larger run counts, and sub-range execution with reducer
+// wire output for scatter-gather coordinators.
+func (s *Server) simulateCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("campaign request exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "bad campaign request: "+err.Error())
+		return
+	}
+
+	var p *model.Problem
+	switch {
+	case req.Problem != "" && req.Spec != "":
+		writeJSONError(w, http.StatusBadRequest, "request sets both problem and spec")
+		return
+	case req.Problem != "":
+		q, ok := s.lookup(req.Problem)
+		if !ok {
+			writeJSONError(w, http.StatusNotFound, "unknown problem")
+			return
+		}
+		p = q
+	case req.Spec != "":
+		if len(req.Spec) > maxSpecBytes {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("spec exceeds %d bytes", maxSpecBytes))
+			return
+		}
+		q, err := spec.ParseString(req.Spec)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := checkSpecBounds(q); err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		p = q
+	default:
+		writeJSONError(w, http.StatusBadRequest, "request needs a problem name or an inline spec")
+		return
+	}
+	if p.Pmax <= 0 {
+		writeJSONError(w, http.StatusUnprocessableEntity, "problem has no positive pmax to simulate against")
+		return
+	}
+	if req.Runs < 1 || req.Runs > webCampaignMaxRuns {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad runs (want 1..%d)", webCampaignMaxRuns))
+		return
+	}
+	lo, hi := req.Lo, req.Hi
+	if hi == 0 {
+		hi = req.Runs
+	}
+	if lo < 0 || hi > req.Runs || lo >= hi {
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad range [%d, %d) for %d runs", lo, hi, req.Runs))
+		return
+	}
+	if !req.Partial && (lo != 0 || hi != req.Runs) {
+		// A Summary whose header says "runs: N" but which folded a
+		// sub-range would be silently wrong; sub-ranges are only served
+		// in reducer form.
+		writeJSONError(w, http.StatusBadRequest, "sub-range campaigns require partial=true")
+		return
+	}
+	fm, err := sim.ParseFaults(req.Faults)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	c := sim.Campaign{
+		Mission: sim.ProblemMission(p),
+		Faults:  fm,
+		Runs:    req.Runs,
+		Seed:    req.Seed,
+		Opts:    s.opts,
+		Svc:     s.svc,
+	}
+	red, err := c.ReduceRange(r.Context(), lo, hi)
+	if err != nil {
+		writeScheduleError(w, err)
+		return
+	}
+
+	var data []byte
+	if req.Partial {
+		data, err = json.MarshalIndent(CampaignPartial{Lo: lo, Hi: hi, Reducer: red.Wire()}, "", "  ")
+	} else {
+		data, err = red.Finalize(req.Seed).JSON()
+	}
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}

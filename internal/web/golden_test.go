@@ -14,12 +14,15 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// The nondeterministic fields of /stats (elapsed compute time and the
-// wall/monotonic clock anchors) are scrubbed so the rest of the
-// document can be compared exactly.
+// The nondeterministic fields of /stats (elapsed compute time, the
+// wall/monotonic clock anchors, and the process-global campaign
+// progress counters — cumulative across every campaign the test
+// process has run, so shuffle-order dependent) are scrubbed so the
+// rest of the document can be compared exactly.
 var (
-	computeNS = regexp.MustCompile(`"compute_ns": \{[^{}]*\}`)
-	clockFlds = regexp.MustCompile(`"(start_time|uptime_seconds)": [0-9.e+-]+`)
+	computeNS   = regexp.MustCompile(`"compute_ns": \{[^{}]*\}`)
+	clockFlds   = regexp.MustCompile(`"(start_time|uptime_seconds)": [0-9.e+-]+`)
+	campaignFld = regexp.MustCompile(`"campaign": \{[^{}]*\}`)
 )
 
 // TestGolden locks the /schedule JSON representation across all three
@@ -51,6 +54,7 @@ func TestGolden(t *testing.T) {
 		}
 		got := computeNS.ReplaceAllString(body, `"compute_ns": {}`)
 		got = clockFlds.ReplaceAllString(got, `"$1": 0`)
+		got = campaignFld.ReplaceAllString(got, `"campaign": {}`)
 		path := filepath.Join("testdata", tc.golden)
 		if *update {
 			if err := os.MkdirAll("testdata", 0o755); err != nil {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/verify"
 )
@@ -125,6 +126,10 @@ func (s *Server) Names() []string {
 //	POST /problems             register a problem from a spec document
 //	GET /simulate?problem=X    Monte-Carlo fault campaign; optional
 //	                           n=, seed=, faults=, format=json|html
+//	POST /simulate/campaign    body-driven campaign: inline specs,
+//	                           large run counts, seed-range sharding
+//	                           with mergeable reducer output (see
+//	                           campaign.go)
 //	GET /stats                 scheduling-service metrics (JSON)
 //	GET /healthz               process liveness (always 200)
 //	GET /readyz                readiness; 503 once a drain has begun
@@ -137,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /schedule/batch", s.scheduleBatch)
 	mux.HandleFunc("POST /problems", s.upload)
 	mux.HandleFunc("GET /simulate", s.simulate)
+	mux.HandleFunc("POST /simulate/campaign", s.simulateCampaign)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /readyz", s.readyz)
@@ -177,6 +183,9 @@ func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
 type StatsDoc struct {
 	ShardID string `json:"shard_id"`
 	service.Stats
+	// Campaign is the process-global campaign progress snapshot
+	// (counters are cumulative across campaigns, like the rest).
+	Campaign sim.ProgressStats `json:"campaign"`
 }
 
 // SetShardID labels this server's /stats responses (routers aggregate
@@ -192,7 +201,7 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	shard := s.shardID
 	s.mu.RUnlock()
-	data, err := json.MarshalIndent(StatsDoc{ShardID: shard, Stats: s.svc.Stats()}, "", "  ")
+	data, err := json.MarshalIndent(StatsDoc{ShardID: shard, Stats: s.svc.Stats(), Campaign: sim.Progress()}, "", "  ")
 	if err != nil {
 		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
